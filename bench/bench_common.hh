@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Shared harness for the paper-figure benchmarks.
+ *
+ * Each figure binary runs the six-application suite under the base and
+ * extended protocols on the paper's cluster geometry and prints the
+ * execution-time breakdowns the corresponding figure plots. Absolute
+ * numbers depend on the timing model; the *shape* (which component
+ * dominates which application, and the base-vs-extended overhead band)
+ * is the reproduction target — see EXPERIMENTS.md.
+ *
+ * RSVM_BENCH_SCALE (float, default 1.0) scales problem sizes;
+ * RSVM_BENCH_APPS (comma list) restricts the suite.
+ */
+
+#ifndef RSVM_BENCH_BENCH_COMMON_HH
+#define RSVM_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/app_common.hh"
+
+namespace rsvm {
+namespace bench {
+
+/** Result of one application run. */
+struct RunResult
+{
+    std::string app;
+    ProtocolKind protocol;
+    SimTime wall = 0;
+    TimeBreakdown avg;
+    Counters counters;
+    bool verified = false;
+};
+
+inline double
+ms(SimTime t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+inline double
+benchScale()
+{
+    if (const char *s = std::getenv("RSVM_BENCH_SCALE"))
+        return std::atof(s);
+    return 1.0;
+}
+
+inline std::vector<std::string>
+benchApps()
+{
+    std::vector<std::string> apps;
+    if (const char *s = std::getenv("RSVM_BENCH_APPS")) {
+        std::string spec(s);
+        std::size_t pos = 0;
+        while (pos < spec.size()) {
+            std::size_t comma = spec.find(',', pos);
+            if (comma == std::string::npos)
+                comma = spec.size();
+            apps.push_back(spec.substr(pos, comma - pos));
+            pos = comma + 1;
+        }
+        return apps;
+    }
+    return apps::appNames();
+}
+
+/** Scale an app's default problem size, respecting its constraints. */
+inline apps::AppParams
+scaledParams(const std::string &name, double scale,
+             std::uint32_t total_threads)
+{
+    apps::AppParams p = apps::defaultParams(name);
+    if (scale != 1.0) {
+        p.size = static_cast<std::uint64_t>(
+            static_cast<double>(p.size) * scale);
+    }
+    if (name == "fft") {
+        std::uint64_t m = 1;
+        while (m * m < p.size)
+            m <<= 1;
+        p.size = m * m;
+    } else if (name == "lu") {
+        p.size = (p.size + 31) / 32 * 32;
+    } else if (name == "volrend") {
+        p.size = (p.size + 7) / 8 * 8;
+    } else {
+        p.size = (p.size + total_threads - 1) / total_threads *
+                 total_threads;
+    }
+    return p;
+}
+
+/** Run one application once and collect everything. */
+inline RunResult
+runApp(const std::string &name, ProtocolKind protocol,
+       std::uint32_t nodes, std::uint32_t tpn, double scale)
+{
+    Config cfg;
+    cfg.protocol = protocol;
+    cfg.numNodes = nodes;
+    cfg.threadsPerNode = tpn;
+    cfg.sharedBytes = 256u << 20;
+
+    Cluster cluster(cfg);
+    apps::AppParams p = scaledParams(name, scale, cfg.totalThreads());
+    apps::AppInstance app = apps::makeApp(name, p);
+    app.setup(cluster);
+    cluster.spawn(app.threadFn);
+    cluster.run();
+
+    RunResult r;
+    r.app = name;
+    r.protocol = protocol;
+    r.wall = cluster.wallTime();
+    r.avg = cluster.avgBreakdown();
+    r.counters = cluster.totalCounters();
+    r.verified = app.verify(cluster).ok;
+    return r;
+}
+
+inline const char *
+protoName(ProtocolKind k)
+{
+    return k == ProtocolKind::Base ? "base(0)" : "ext (1)";
+}
+
+} // namespace bench
+} // namespace rsvm
+
+#endif // RSVM_BENCH_BENCH_COMMON_HH

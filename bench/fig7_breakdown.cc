@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 7 (and Figure 9 via --smp): execution-time breakdown of the
+ * six-application suite on 8 nodes, base (0) vs extended (1) protocol,
+ * in the paper's four-component format: compute, data wait, lock,
+ * barrier.
+ *
+ * Reproduction target (§5.3.1): the extended protocol's overall
+ * overhead lies in a 20–67 % band with one thread per node (24–100 %
+ * with two); FFT and LU pay mostly in the lock/barrier bars via diff
+ * processing; Water-Nsquared's lock bar grows the most.
+ */
+
+#include "bench_common.hh"
+
+namespace rsvm {
+namespace bench {
+namespace {
+
+int
+runFigure(std::uint32_t tpn)
+{
+    double scale = benchScale();
+    std::printf("# Figure %s: execution time breakdown, 8 nodes x %u "
+                "thread(s)/node (ms of simulated time, per-thread "
+                "average)\n",
+                tpn == 1 ? "7" : "9", tpn);
+    std::printf("%-11s %-8s %9s %9s %9s %9s %10s %9s %s\n", "app",
+                "proto", "compute", "data", "lock", "barrier", "total",
+                "overhead", "ok");
+
+    int failures = 0;
+    for (const std::string &app : benchApps()) {
+        double base_total = 0;
+        for (ProtocolKind kind :
+             {ProtocolKind::Base, ProtocolKind::FaultTolerant}) {
+            RunResult r = runApp(app, kind, 8, tpn, scale);
+            auto four = r.avg.fourComp();
+            double total = ms(four.compute + four.data + four.lock +
+                              four.barrier);
+            std::string overhead = "-";
+            if (kind == ProtocolKind::Base) {
+                base_total = total;
+            } else if (base_total > 0) {
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%+.0f%%",
+                              (total / base_total - 1.0) * 100.0);
+                overhead = buf;
+            }
+            std::printf("%-11s %-8s %9.2f %9.2f %9.2f %9.2f %10.2f "
+                        "%9s %s\n",
+                        app.c_str(), protoName(kind),
+                        ms(four.compute), ms(four.data), ms(four.lock),
+                        ms(four.barrier), total, overhead.c_str(),
+                        r.verified ? "ok" : "VERIFY-FAILED");
+            if (!r.verified)
+                failures++;
+        }
+    }
+    return failures;
+}
+
+} // namespace
+} // namespace bench
+} // namespace rsvm
+
+int
+main(int argc, char **argv)
+{
+    std::uint32_t tpn = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--smp")
+            tpn = 2;
+    }
+    return rsvm::bench::runFigure(tpn) ? 1 : 0;
+}

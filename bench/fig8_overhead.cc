@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 8 (and Figure 10 via --smp): execution-time breakdown in the
+ * paper's six-component format — compute, data wait, synchronization,
+ * diffs, protocol processing, checkpointing — for the base (0) and
+ * extended (1) protocols on 8 nodes.
+ *
+ * Reproduction targets (§5.3): diffs dominate the extended overhead
+ * for FFT/LU/Water-SpatialFL (home pages are diffed and everything is
+ * propagated twice); checkpointing stays under ~10 %/15 % of base time
+ * except for Water-Nsquared (its release count is an order of
+ * magnitude higher); protocol processing stays < 5 %.
+ */
+
+#include "bench_common.hh"
+
+namespace rsvm {
+namespace bench {
+namespace {
+
+int
+runFigure(std::uint32_t tpn)
+{
+    double scale = benchScale();
+    std::printf("# Figure %s: overhead breakdown, 8 nodes x %u "
+                "thread(s)/node (ms of simulated time, per-thread "
+                "average)\n",
+                tpn == 1 ? "8" : "10", tpn);
+    std::printf("%-11s %-8s %9s %9s %9s %9s %9s %9s %10s %s\n", "app",
+                "proto", "compute", "data", "sync", "diffs", "proto",
+                "ckpt", "total", "ok");
+
+    int failures = 0;
+    for (const std::string &app : benchApps()) {
+        for (ProtocolKind kind :
+             {ProtocolKind::Base, ProtocolKind::FaultTolerant}) {
+            RunResult r = runApp(app, kind, 8, tpn, scale);
+            auto six = r.avg.sixComp();
+            double total = ms(six.compute + six.data + six.sync +
+                              six.diffs + six.protocol + six.ckpt);
+            std::printf("%-11s %-8s %9.2f %9.2f %9.2f %9.2f %9.2f "
+                        "%9.2f %10.2f %s\n",
+                        app.c_str(), protoName(kind), ms(six.compute),
+                        ms(six.data), ms(six.sync), ms(six.diffs),
+                        ms(six.protocol), ms(six.ckpt), total,
+                        r.verified ? "ok" : "VERIFY-FAILED");
+            if (!r.verified)
+                failures++;
+        }
+    }
+    return failures;
+}
+
+} // namespace
+} // namespace bench
+} // namespace rsvm
+
+int
+main(int argc, char **argv)
+{
+    std::uint32_t tpn = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--smp")
+            tpn = 2;
+    }
+    return rsvm::bench::runFigure(tpn) ? 1 : 0;
+}

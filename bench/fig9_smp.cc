@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 9: execution-time breakdown with 2 compute threads per node
+ * (the paper's SMP configuration), four-component format. Thin wrapper
+ * over the fig7 harness in --smp mode so each figure has its own
+ * binary.
+ */
+
+#include "bench_common.hh"
+
+namespace {
+
+int
+run()
+{
+    using namespace rsvm;
+    using namespace rsvm::bench;
+    double scale = benchScale();
+    std::printf("# Figure 9: execution time breakdown, 8 nodes x 2 "
+                "threads/node (ms of simulated time, per-thread "
+                "average)\n");
+    std::printf("%-11s %-8s %9s %9s %9s %9s %10s %9s %s\n", "app",
+                "proto", "compute", "data", "lock", "barrier", "total",
+                "overhead", "ok");
+    int failures = 0;
+    for (const std::string &app : benchApps()) {
+        double base_total = 0;
+        for (ProtocolKind kind :
+             {ProtocolKind::Base, ProtocolKind::FaultTolerant}) {
+            RunResult r = runApp(app, kind, 8, 2, scale);
+            auto four = r.avg.fourComp();
+            double total = ms(four.compute + four.data + four.lock +
+                              four.barrier);
+            std::string overhead = "-";
+            if (kind == ProtocolKind::Base) {
+                base_total = total;
+            } else if (base_total > 0) {
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%+.0f%%",
+                              (total / base_total - 1.0) * 100.0);
+                overhead = buf;
+            }
+            std::printf("%-11s %-8s %9.2f %9.2f %9.2f %9.2f %10.2f "
+                        "%9s %s\n",
+                        app.c_str(), protoName(kind),
+                        ms(four.compute), ms(four.data), ms(four.lock),
+                        ms(four.barrier), total, overhead.c_str(),
+                        r.verified ? "ok" : "VERIFY-FAILED");
+            if (!r.verified)
+                failures++;
+        }
+    }
+    return failures;
+}
+
+} // namespace
+
+int
+main()
+{
+    return run() ? 1 : 0;
+}

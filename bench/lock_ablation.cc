@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Lock-algorithm ablation (§4.3): the distributed queuing lock vs the
+ * centralized polling lock (base protocol), and the fault-tolerant
+ * polling lock with replicated lock homes. The paper's claims:
+ *
+ *  - the centralized algorithm performs at least as well as the
+ *    queuing lock;
+ *  - polling increases network traffic/contention but backoff avoids
+ *    livelock;
+ *  - replication (FT) adds a constant per-acquire cost (both homes are
+ *    updated on every acquire and release).
+ *
+ * Synthetic workload: a lock-protected counter under a configurable
+ * contention level, plus a low-contention many-locks scenario.
+ */
+
+#include "bench_common.hh"
+
+namespace {
+
+using namespace rsvm;
+
+struct LockRun
+{
+    SimTime wall = 0;
+    double avgLockWaitUs = 0;
+    std::uint64_t pollRounds = 0;
+    std::uint64_t messages = 0;
+};
+
+LockRun
+runLockStress(ProtocolKind proto, LockAlgo algo, std::uint32_t nodes,
+              int iters, int num_locks, SimTime think)
+{
+    Config cfg;
+    cfg.protocol = proto;
+    cfg.lockAlgo = algo;
+    cfg.numNodes = nodes;
+    Cluster cluster(cfg);
+    Addr counters = cluster.mem().allocPageAligned(8 * num_locks);
+    cluster.spawn([&, counters, iters, num_locks, think](AppThread &t) {
+        for (int i = 0; i < iters; ++i) {
+            LockId l = 300 + (t.id() + i) % num_locks;
+            t.lock(l);
+            std::uint64_t v = t.get<std::uint64_t>(
+                counters + 8ull * ((t.id() + i) % num_locks));
+            t.put<std::uint64_t>(
+                counters + 8ull * ((t.id() + i) % num_locks), v + 1);
+            t.unlock(l);
+            t.compute(think);
+        }
+        t.barrier();
+    });
+    cluster.run();
+
+    LockRun r;
+    r.wall = cluster.wallTime();
+    Counters c = cluster.totalCounters();
+    TimeBreakdown total = cluster.totalBreakdown();
+    r.avgLockWaitUs = c.lockAcquires
+                          ? static_cast<double>(
+                                total.get(Comp::LockWait)) /
+                                (1e3 * static_cast<double>(
+                                           c.lockAcquires))
+                          : 0;
+    r.pollRounds = c.lockPollRounds;
+    r.messages = c.messagesSent;
+    return r;
+}
+
+int
+run()
+{
+    std::printf("# Lock-algorithm ablation (8 nodes, lock-protected "
+                "counters)\n");
+    std::printf("%-22s %-10s %12s %14s %12s %12s\n", "scenario",
+                "algo", "wall(ms)", "lockWait(us)", "pollRounds",
+                "messages");
+
+    struct Case
+    {
+        const char *name;
+        ProtocolKind proto;
+        LockAlgo algo;
+        int locks;
+        SimTime think;
+    };
+    const Case cases[] = {
+        {"contended(base)", ProtocolKind::Base, LockAlgo::Queuing, 1,
+         20 * kMicrosecond},
+        {"contended(base)", ProtocolKind::Base,
+         LockAlgo::CentralizedPolling, 1, 20 * kMicrosecond},
+        {"contended(ft)", ProtocolKind::FaultTolerant,
+         LockAlgo::CentralizedPolling, 1, 20 * kMicrosecond},
+        {"contended(ft)", ProtocolKind::FaultTolerant,
+         LockAlgo::Queuing, 1, 20 * kMicrosecond},
+        {"spread(base)", ProtocolKind::Base, LockAlgo::Queuing, 64,
+         20 * kMicrosecond},
+        {"spread(base)", ProtocolKind::Base,
+         LockAlgo::CentralizedPolling, 64, 20 * kMicrosecond},
+        {"spread(ft)", ProtocolKind::FaultTolerant,
+         LockAlgo::CentralizedPolling, 64, 20 * kMicrosecond},
+        {"spread(ft)", ProtocolKind::FaultTolerant,
+         LockAlgo::Queuing, 64, 20 * kMicrosecond},
+    };
+    for (const Case &c : cases) {
+        LockRun r = runLockStress(c.proto, c.algo, 8, 40, c.locks,
+                                  c.think);
+        std::printf("%-22s %-10s %12.2f %14.1f %12llu %12llu\n",
+                    c.name,
+                    c.algo == LockAlgo::Queuing ? "queuing" : "polling",
+                    rsvm::bench::ms(r.wall), r.avgLockWaitUs,
+                    static_cast<unsigned long long>(r.pollRounds),
+                    static_cast<unsigned long long>(r.messages));
+    }
+    std::printf("\n# Expectation (§4.3): polling >= queuing in "
+                "throughput; FT polling adds the\n# replicated-home "
+                "cost per acquire/release but recovery stays "
+                "stateless;\n# the replicated QUEUING lock (the "
+                "variant the paper abandoned) shows why:\n# "
+                "comparable failure-free cost, but stateful homes "
+                "that recovery cannot untangle.\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    return run();
+}

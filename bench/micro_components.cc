@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the primitive costs
+ * underlying the protocol: diff compute/apply, vector clocks, page
+ * fetch round trips, lock acquisition, and checkpoint capture.
+ *
+ * These are the building blocks whose modelled simulated-time costs
+ * drive the figure harnesses; the micro-benchmarks here measure the
+ * *implementation's* real cost, which is what bounds simulation speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/diff.hh"
+#include "runtime/cluster.hh"
+#include "svm/timestamp.hh"
+
+namespace {
+
+using namespace rsvm;
+
+void
+BM_DiffComputeSparse(benchmark::State &state)
+{
+    std::vector<std::byte> twin(4096, std::byte{0});
+    std::vector<std::byte> cur = twin;
+    // Every 64th word modified.
+    for (std::size_t i = 0; i < 4096; i += 256)
+        cur[i] = std::byte{1};
+    for (auto _ : state) {
+        Diff d = diff::compute(0, 0, 1, cur, twin);
+        benchmark::DoNotOptimize(d);
+    }
+}
+BENCHMARK(BM_DiffComputeSparse);
+
+void
+BM_DiffComputeDense(benchmark::State &state)
+{
+    std::vector<std::byte> twin(4096, std::byte{0});
+    std::vector<std::byte> cur(4096, std::byte{1});
+    for (auto _ : state) {
+        Diff d = diff::compute(0, 0, 1, cur, twin);
+        benchmark::DoNotOptimize(d);
+    }
+}
+BENCHMARK(BM_DiffComputeDense);
+
+void
+BM_DiffApply(benchmark::State &state)
+{
+    std::vector<std::byte> twin(4096, std::byte{0});
+    std::vector<std::byte> cur = twin;
+    for (std::size_t i = 0; i < 4096; i += 64)
+        cur[i] = std::byte{1};
+    Diff d = diff::compute(0, 0, 1, cur, twin);
+    std::vector<std::byte> target(4096, std::byte{0});
+    for (auto _ : state) {
+        diff::apply(d, target.data(), target.size());
+        benchmark::DoNotOptimize(target);
+    }
+}
+BENCHMARK(BM_DiffApply);
+
+void
+BM_VectorClockDominates(benchmark::State &state)
+{
+    VectorClock a(8), b(8);
+    for (NodeId i = 0; i < 8; ++i) {
+        a[i] = 1000 + i;
+        b[i] = 900 + i;
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.dominates(b));
+}
+BENCHMARK(BM_VectorClockDominates);
+
+/** Whole-simulation throughput: remote page fetch round trips. */
+void
+BM_SimPageFetchRoundTrip(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Config cfg;
+        cfg.numNodes = 2;
+        cfg.protocol = ProtocolKind::FaultTolerant;
+        Cluster cluster(cfg);
+        Addr page = cluster.mem().allocPageAligned(4096);
+        cluster.mem().setPrimaryHome(cluster.mem().pageOf(page), 0);
+        cluster.spawn([page](AppThread &t) {
+            if (t.id() == 0)
+                t.put<std::uint64_t>(page, 42);
+            t.barrier();
+            if (t.id() == 1)
+                benchmark::DoNotOptimize(t.get<std::uint64_t>(page));
+            t.barrier();
+        });
+        cluster.run();
+    }
+}
+BENCHMARK(BM_SimPageFetchRoundTrip);
+
+/** Whole-simulation throughput: one lock handoff between nodes. */
+void
+BM_SimLockHandoff(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Config cfg;
+        cfg.numNodes = 2;
+        cfg.protocol = ProtocolKind::FaultTolerant;
+        Cluster cluster(cfg);
+        Addr counter = cluster.mem().alloc(8);
+        cluster.spawn([counter](AppThread &t) {
+            for (int i = 0; i < 4; ++i) {
+                t.lock(1);
+                std::uint64_t v = t.get<std::uint64_t>(counter);
+                t.put<std::uint64_t>(counter, v + 1);
+                t.unlock(1);
+            }
+            t.barrier();
+        });
+        cluster.run();
+    }
+}
+BENCHMARK(BM_SimLockHandoff);
+
+} // namespace
+
+BENCHMARK_MAIN();

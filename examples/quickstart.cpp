@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Quickstart: a four-node fault-tolerant SVM cluster running a
+ * lock-protected shared counter — with one node killed mid-run.
+ *
+ * Demonstrates the core API surface:
+ *  - Cluster construction from a Config;
+ *  - shared allocation (Cluster::mem().alloc);
+ *  - the AppThread programming interface (get/put, lock/unlock,
+ *    barrier, compute);
+ *  - failure injection and transparent recovery;
+ *  - post-run verification via debugRead and the protocol counters.
+ *
+ * Expected output: the counter equals threads x iterations even
+ * though node 2 fail-stops at t = 2 ms, and the recovery statistics
+ * show the reconfiguration the paper describes (§4.5).
+ */
+
+#include <cstdio>
+
+#include "runtime/cluster.hh"
+
+int
+main()
+{
+    using namespace rsvm;
+
+    Config cfg;
+    cfg.protocol = ProtocolKind::FaultTolerant;
+    cfg.numNodes = 4;
+    cfg.threadsPerNode = 1;
+
+    Cluster cluster(cfg);
+    Addr counter = cluster.mem().alloc(8);
+
+    // Fail-stop node 2 two milliseconds into the run.
+    cluster.injector().killAt(2, 2 * kMillisecond);
+
+    const int kIters = 25;
+    cluster.spawn([counter](AppThread &t) {
+        for (int i = 0; i < kIters; ++i) {
+            t.lock(1);
+            std::uint64_t v = t.get<std::uint64_t>(counter);
+            t.compute(5 * kMicrosecond); // "work" inside the section
+            t.put<std::uint64_t>(counter, v + 1);
+            t.unlock(1);
+            t.compute(25 * kMicrosecond); // work outside the section
+        }
+        t.barrier();
+    });
+    cluster.run();
+
+    std::uint64_t final_value = 0;
+    cluster.debugRead(counter, &final_value, 8);
+    std::uint64_t expected =
+        static_cast<std::uint64_t>(kIters) * cfg.totalThreads();
+
+    Counters c = cluster.totalCounters();
+    std::printf("counter            : %llu (expected %llu) %s\n",
+                static_cast<unsigned long long>(final_value),
+                static_cast<unsigned long long>(expected),
+                final_value == expected ? "OK" : "MISMATCH");
+    std::printf("simulated time     : %.2f ms\n",
+                static_cast<double>(cluster.wallTime()) / 1e6);
+    std::printf("failures detected  : %llu\n",
+                static_cast<unsigned long long>(c.failuresDetected));
+    std::printf("recoveries         : %llu\n",
+                static_cast<unsigned long long>(c.recoveries));
+    std::printf("threads restored   : %llu\n",
+                static_cast<unsigned long long>(c.threadsRestored));
+    std::printf("pages re-replicated: %llu\n",
+                static_cast<unsigned long long>(c.pagesReReplicated));
+    std::printf("checkpoints taken  : %llu (%llu bytes)\n",
+                static_cast<unsigned long long>(c.checkpointsTaken),
+                static_cast<unsigned long long>(c.checkpointBytes));
+    std::printf("node 2 now hosted on physical node %u\n",
+                cluster.hostOf(2));
+    return final_value == expected ? 0 : 1;
+}

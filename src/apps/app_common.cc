@@ -1,0 +1,95 @@
+#include "apps/app_common.hh"
+
+#include "base/panic.hh"
+
+namespace rsvm {
+namespace apps {
+
+const std::vector<std::string> &
+appNames()
+{
+    static const std::vector<std::string> names = {
+        "fft", "lu", "water-nsq", "water-sp", "radix", "volrend",
+    };
+    return names;
+}
+
+AppParams
+defaultParams(const std::string &name)
+{
+    AppParams p;
+    if (name == "fft") {
+        p.size = 16384; // complex points (paper: 1M)
+        p.computePerItem = 80;
+    } else if (name == "lu") {
+        p.size = 128; // matrix dim (paper: 1024)
+        p.computePerItem = 120;
+    } else if (name == "water-nsq") {
+        p.size = 192; // molecules (paper: 4096)
+        p.steps = 2;
+        p.computePerItem = 700;
+    } else if (name == "water-sp") {
+        p.size = 216; // molecules (paper: 4096)
+        p.steps = 2;
+        p.computePerItem = 900;
+    } else if (name == "radix") {
+        p.size = 65536; // keys (paper: 4M)
+        p.computePerItem = 25;
+    } else if (name == "volrend") {
+        p.size = 48; // volume edge (paper: "head" 256ish)
+        p.computePerItem = 100;
+    } else {
+        rsvm_fatal("unknown application: " + name);
+    }
+    return p;
+}
+
+AppParams
+paperParams(const std::string &name)
+{
+    AppParams p = defaultParams(name);
+    if (name == "fft")
+        p.size = 1u << 20;
+    else if (name == "lu")
+        p.size = 1024;
+    else if (name == "water-nsq" || name == "water-sp")
+        p.size = 4096;
+    else if (name == "radix")
+        p.size = 4u << 20;
+    else if (name == "volrend")
+        p.size = 128;
+    return p;
+}
+
+AppInstance
+makeApp(const std::string &name, const AppParams &params)
+{
+    if (name == "fft")
+        return makeFft(params);
+    if (name == "lu")
+        return makeLu(params);
+    if (name == "water-nsq")
+        return makeWaterNsq(params);
+    if (name == "water-sp")
+        return makeWaterSp(params);
+    if (name == "radix")
+        return makeRadix(params);
+    if (name == "volrend")
+        return makeVolrend(params);
+    rsvm_fatal("unknown application: " + name);
+}
+
+AppResult
+runAndVerify(const Config &cfg, const std::string &name,
+             const AppParams &params)
+{
+    Cluster cluster(cfg);
+    AppInstance app = makeApp(name, params);
+    app.setup(cluster);
+    cluster.spawn(app.threadFn);
+    cluster.run();
+    return app.verify(cluster);
+}
+
+} // namespace apps
+} // namespace rsvm

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Common infrastructure for the mini-SPLASH-2 application suite
+ * (§5.1: FFT, LU-contiguous, Water-Nsquared, Water-SpatialFL,
+ * RadixLocal, Volrend).
+ *
+ * Each application provides:
+ *  - setup(): shared-memory allocation and home assignment (the paper:
+ *    "the assignment of primary homes to pages is performed by the
+ *    application");
+ *  - a thread function (the parallel program, written against the
+ *    AppThread API);
+ *  - verify(): an engine-side check of the final shared state against
+ *    a serial reference computation.
+ *
+ * Problem sizes default to scaled-down versions of the paper's (so the
+ * test suite stays fast); the paper sizes are reachable through
+ * AppParams.
+ */
+
+#ifndef RSVM_APPS_APP_COMMON_HH
+#define RSVM_APPS_APP_COMMON_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/cluster.hh"
+
+namespace rsvm {
+namespace apps {
+
+/** Application parameters (meaning is app-specific). */
+struct AppParams
+{
+    /** Primary problem size (points, matrix dim, molecules, keys...). */
+    std::uint64_t size = 0;
+    /** Iterations / timesteps where applicable. */
+    std::uint64_t steps = 0;
+    /** Modelled ns of computation per inner-loop work item. */
+    SimTime computePerItem = 0;
+};
+
+/** Verification outcome. */
+struct AppResult
+{
+    bool ok = false;
+    std::string detail;
+};
+
+/** An instantiated application, ready to run on a Cluster. */
+struct AppInstance
+{
+    std::string name;
+    /** Allocate shared data, assign homes, precompute references. */
+    std::function<void(Cluster &)> setup;
+    /** Per-thread parallel program. */
+    Cluster::AppFn threadFn;
+    /** Engine-side verification after the run. */
+    std::function<AppResult(Cluster &)> verify;
+};
+
+/** Factory: instantiate one of the suite's applications by name. */
+AppInstance makeApp(const std::string &name, const AppParams &params);
+
+/** Names of all applications in the suite (paper order). */
+const std::vector<std::string> &appNames();
+
+/** Default (scaled) parameters for an application. */
+AppParams defaultParams(const std::string &name);
+
+/** The paper's full problem sizes (§5.1). */
+AppParams paperParams(const std::string &name);
+
+// Factories (one per kernel; see the per-app translation units).
+AppInstance makeFft(const AppParams &params);
+AppInstance makeLu(const AppParams &params);
+AppInstance makeWaterNsq(const AppParams &params);
+AppInstance makeWaterSp(const AppParams &params);
+AppInstance makeRadix(const AppParams &params);
+AppInstance makeVolrend(const AppParams &params);
+
+/** Convenience: run an app on a fresh cluster and verify. */
+AppResult runAndVerify(const Config &cfg, const std::string &name,
+                       const AppParams &params);
+
+} // namespace apps
+} // namespace rsvm
+
+#endif // RSVM_APPS_APP_COMMON_HH

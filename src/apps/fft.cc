@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Mini SPLASH-2 FFT (§5.1: 1M points on the paper's testbed).
+ *
+ * Six-step 1D complex FFT of n = m*m points viewed as an m x m matrix:
+ * transpose, m-point row FFTs, twiddle scaling, transpose, row FFTs,
+ * transpose. Rows are block-distributed across threads and their pages
+ * homed at the owning node, giving the paper's characteristic pattern:
+ * every node updates (almost) exclusively its own home pages, so the
+ * extended protocol's home-page diffing dominates its overhead
+ * (§5.3.1). Transposes are the all-to-all communication steps.
+ *
+ * Verification: the identical algorithm executed serially on the host
+ * produces bit-identical doubles (per-element operation order is the
+ * same), so the check is exact.
+ */
+
+#include "apps/app_common.hh"
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "base/panic.hh"
+
+namespace rsvm {
+namespace apps {
+namespace {
+
+/** Deterministic complex init value for global element index i. */
+inline void
+initValue(std::uint64_t i, double &re, double &im)
+{
+    std::uint64_t z = (i + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z ^= z >> 27;
+    re = static_cast<double>(z & 0xffff) / 65536.0 - 0.5;
+    im = static_cast<double>((z >> 16) & 0xffff) / 65536.0 - 0.5;
+}
+
+/** In-place iterative radix-2 FFT of m complex points. */
+void
+fftRow(double *re, double *im, std::uint32_t m)
+{
+    // Bit reversal.
+    for (std::uint32_t i = 1, j = 0; i < m; ++i) {
+        std::uint32_t bit = m >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j) {
+            std::swap(re[i], re[j]);
+            std::swap(im[i], im[j]);
+        }
+    }
+    for (std::uint32_t len = 2; len <= m; len <<= 1) {
+        double ang = -2.0 * M_PI / static_cast<double>(len);
+        double wr = std::cos(ang), wi = std::sin(ang);
+        for (std::uint32_t i = 0; i < m; i += len) {
+            double cr = 1.0, ci = 0.0;
+            for (std::uint32_t k = 0; k < len / 2; ++k) {
+                std::uint32_t a = i + k, b = i + k + len / 2;
+                double tr = re[b] * cr - im[b] * ci;
+                double ti = re[b] * ci + im[b] * cr;
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+                double ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+        }
+    }
+}
+
+/** Twiddle scaling for element (r, c) of the intermediate matrix. */
+inline void
+twiddle(std::uint32_t r, std::uint32_t c, std::uint32_t n, double &re,
+        double &im)
+{
+    double ang = -2.0 * M_PI * static_cast<double>(r) *
+                 static_cast<double>(c) / static_cast<double>(n);
+    double wr = std::cos(ang), wi = std::sin(ang);
+    double nr = re * wr - im * wi;
+    im = re * wi + im * wr;
+    re = nr;
+}
+
+/** Serial reference: the same six-step algorithm on host memory. */
+void
+serialSixStep(std::vector<double> &are, std::vector<double> &aim,
+              std::uint32_t m)
+{
+    std::uint32_t n = m * m;
+    std::vector<double> bre(n), bim(n);
+    auto transpose = [m](const std::vector<double> &sre,
+                         const std::vector<double> &sim,
+                         std::vector<double> &dre,
+                         std::vector<double> &dim) {
+        for (std::uint32_t r = 0; r < m; ++r) {
+            for (std::uint32_t c = 0; c < m; ++c) {
+                dre[r * m + c] = sre[c * m + r];
+                dim[r * m + c] = sim[c * m + r];
+            }
+        }
+    };
+    transpose(are, aim, bre, bim);
+    for (std::uint32_t r = 0; r < m; ++r) {
+        fftRow(&bre[r * m], &bim[r * m], m);
+        for (std::uint32_t c = 0; c < m; ++c)
+            twiddle(r, c, n, bre[r * m + c], bim[r * m + c]);
+    }
+    transpose(bre, bim, are, aim);
+    for (std::uint32_t r = 0; r < m; ++r)
+        fftRow(&are[r * m], &aim[r * m], m);
+    transpose(are, aim, bre, bim);
+    are = bre;
+    aim = bim;
+}
+
+struct FftState
+{
+    std::uint32_t n = 0;
+    std::uint32_t m = 0;
+    SimTime cpi = 0;
+    Addr a = 0; // matrix A: n complex (re, im interleaved)
+    Addr b = 0; // matrix B
+};
+
+constexpr std::uint64_t kComplexBytes = 16;
+
+} // namespace
+
+AppInstance
+makeFft(const AppParams &params)
+{
+    auto st = std::make_shared<FftState>();
+    st->n = static_cast<std::uint32_t>(params.size);
+    st->m = 1;
+    while (st->m * st->m < st->n)
+        st->m <<= 1;
+    rsvm_assert_msg(st->m * st->m == st->n,
+                    "fft size must be a power of 4");
+    st->cpi = params.computePerItem;
+
+    AppInstance app;
+    app.name = "fft";
+
+    app.setup = [st](Cluster &cluster) {
+        std::uint64_t bytes = st->n * kComplexBytes;
+        st->a = cluster.mem().allocPageAligned(bytes);
+        st->b = cluster.mem().allocPageAligned(bytes);
+        // Rows block-distributed: row r belongs to thread r/(m/P);
+        // home its pages at the owner's node.
+        const Config &cfg = cluster.config();
+        std::uint32_t nthreads = cfg.totalThreads();
+        std::uint32_t rows_per = st->m / nthreads;
+        rsvm_assert_msg(rows_per >= 1, "more threads than fft rows");
+        for (std::uint32_t r = 0; r < st->m; ++r) {
+            NodeId owner = std::min<std::uint32_t>(
+                (r / rows_per) / cfg.threadsPerNode, cfg.numNodes - 1);
+            std::uint64_t row_bytes = st->m * kComplexBytes;
+            cluster.mem().setPrimaryHomeRange(st->a + r * row_bytes,
+                                              row_bytes, owner);
+            cluster.mem().setPrimaryHomeRange(st->b + r * row_bytes,
+                                              row_bytes, owner);
+        }
+    };
+
+    app.threadFn = [st](AppThread &t) {
+        const std::uint32_t m = st->m;
+        const std::uint32_t n = st->n;
+        std::uint32_t nthreads = t.clusterThreads();
+        std::uint32_t rows_per = m / nthreads;
+        std::uint32_t row0 = t.id() * rows_per;
+        std::uint32_t row1 = (t.id() + 1 == nthreads)
+                                 ? m
+                                 : row0 + rows_per;
+        auto elem = [&](Addr base, std::uint32_t r,
+                        std::uint32_t c) -> Addr {
+            return base +
+                   (static_cast<std::uint64_t>(r) * m + c) *
+                       kComplexBytes;
+        };
+
+        // Init own rows of A.
+        for (std::uint32_t r = row0; r < row1; ++r) {
+            for (std::uint32_t c = 0; c < m; ++c) {
+                double re, im;
+                initValue(static_cast<std::uint64_t>(r) * m + c, re,
+                          im);
+                t.put<double>(elem(st->a, r, c), re);
+                t.put<double>(elem(st->a, r, c) + 8, im);
+            }
+            t.compute(st->cpi * m / 4);
+        }
+        t.barrier();
+
+        auto transpose = [&](Addr src, Addr dst) {
+            for (std::uint32_t r = row0; r < row1; ++r) {
+                for (std::uint32_t c = 0; c < m; ++c) {
+                    double re = t.get<double>(elem(src, c, r));
+                    double im = t.get<double>(elem(src, c, r) + 8);
+                    t.put<double>(elem(dst, r, c), re);
+                    t.put<double>(elem(dst, r, c) + 8, im);
+                }
+                t.compute(st->cpi * m / 2);
+            }
+        };
+
+        auto fft_rows = [&](Addr base, bool do_twiddle) {
+            // Row buffers live on the stack (PODs only: checkpoint
+            // discipline). Cap: 1024-point rows = 16 KB.
+            double re[1024], im[1024];
+            rsvm_assert(m <= 1024);
+            for (std::uint32_t r = row0; r < row1; ++r) {
+                for (std::uint32_t c = 0; c < m; ++c) {
+                    re[c] = t.get<double>(elem(base, r, c));
+                    im[c] = t.get<double>(elem(base, r, c) + 8);
+                }
+                fftRow(re, im, m);
+                if (do_twiddle) {
+                    for (std::uint32_t c = 0; c < m; ++c)
+                        twiddle(r, c, n, re[c], im[c]);
+                }
+                // log2(m) butterflies per point plus the twiddle.
+                std::uint32_t lg = 0;
+                while ((1u << lg) < m)
+                    ++lg;
+                t.compute(st->cpi * m * lg);
+                for (std::uint32_t c = 0; c < m; ++c) {
+                    t.put<double>(elem(base, r, c), re[c]);
+                    t.put<double>(elem(base, r, c) + 8, im[c]);
+                }
+            }
+        };
+
+        transpose(st->a, st->b); // step 1
+        t.barrier();
+        fft_rows(st->b, true); // steps 2+3
+        t.barrier();
+        transpose(st->b, st->a); // step 4
+        t.barrier();
+        fft_rows(st->a, false); // step 5
+        t.barrier();
+        transpose(st->a, st->b); // step 6
+        t.barrier();
+    };
+
+    app.verify = [st](Cluster &cluster) -> AppResult {
+        std::vector<double> are(st->n), aim(st->n);
+        for (std::uint32_t i = 0; i < st->n; ++i)
+            initValue(i, are[i], aim[i]);
+        serialSixStep(are, aim, st->m);
+
+        AppResult res;
+        res.ok = true;
+        std::uint64_t mismatches = 0;
+        for (std::uint32_t i = 0; i < st->n; ++i) {
+            double re = 0, im = 0;
+            cluster.debugRead(st->b + i * kComplexBytes, &re, 8);
+            cluster.debugRead(st->b + i * kComplexBytes + 8, &im, 8);
+            if (re != are[i] || im != aim[i])
+                mismatches++;
+        }
+        if (mismatches) {
+            res.ok = false;
+            res.detail = "fft: " + std::to_string(mismatches) +
+                         " mismatching elements";
+        } else {
+            res.detail = "fft: " + std::to_string(st->n) +
+                         " elements exact";
+        }
+        return res;
+    };
+
+    return app;
+}
+
+} // namespace apps
+} // namespace rsvm

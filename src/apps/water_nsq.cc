@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Mini SPLASH-2 Water-Nsquared (§5.1: 4096 molecules on the paper's
+ * testbed).
+ *
+ * O(n^2) pairwise molecular-dynamics kernel with the suite's signature
+ * synchronization structure: one lock per molecule guarding force
+ * accumulation plus a handful of global locks (the paper reports 4105
+ * locks = 4096 + 9), and a very high release frequency — which is
+ * exactly why Water-Nsquared shows the largest lock-wait and
+ * checkpointing overheads under the extended protocol (§5.3).
+ *
+ * All state is int64 fixed-point so force accumulation is associative:
+ * the parallel result matches the serial reference bit-for-bit
+ * regardless of accumulation order.
+ */
+
+#include "apps/app_common.hh"
+
+#include <memory>
+#include <vector>
+
+#include "base/panic.hh"
+
+namespace rsvm {
+namespace apps {
+namespace {
+
+constexpr LockId kMolLockBase = 16;
+/** Global locks (the paper's "+9"). */
+constexpr LockId kGlobalLock = 8;
+
+inline std::int64_t
+initCoord(std::uint64_t i, unsigned axis)
+{
+    std::uint64_t z = (i * 3 + axis + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    return static_cast<std::int64_t>(z & 0xffff) - 0x8000;
+}
+
+/** Deterministic pairwise "force" on one axis (fixed point). */
+inline std::int64_t
+pairForce(std::int64_t a, std::int64_t b)
+{
+    std::int64_t d = a - b;
+    // Bounded, antisymmetric, nonlinear.
+    return (d >> 2) - ((d * d * (d > 0 ? 1 : -1)) >> 20);
+}
+
+struct WaterState
+{
+    std::uint32_t n = 0;
+    std::uint32_t steps = 0;
+    SimTime cpi = 0;
+    Addr pos = 0;   // n x 3 int64
+    Addr force = 0; // n x 3 int64
+    Addr contrib = 0; // nthreads x n x 3 int64 (thread-private)
+    Addr potential = 0; // global accumulator (int64)
+};
+
+} // namespace
+
+AppInstance
+makeWaterNsq(const AppParams &params)
+{
+    auto st = std::make_shared<WaterState>();
+    st->n = static_cast<std::uint32_t>(params.size);
+    st->steps = static_cast<std::uint32_t>(params.steps ? params.steps
+                                                        : 1);
+    st->cpi = params.computePerItem;
+
+    AppInstance app;
+    app.name = "water-nsq";
+
+    app.setup = [st](Cluster &cluster) {
+        const Config &cfg = cluster.config();
+        std::uint32_t nthreads = cfg.totalThreads();
+        rsvm_assert(st->n % nthreads == 0);
+        st->pos = cluster.mem().allocPageAligned(st->n * 24ull);
+        st->force = cluster.mem().allocPageAligned(st->n * 24ull);
+        st->contrib = cluster.mem().allocPageAligned(
+            static_cast<std::uint64_t>(nthreads) * st->n * 24ull);
+        st->potential = cluster.mem().allocPageAligned(8);
+        std::uint32_t chunk = st->n / nthreads;
+        for (std::uint32_t tid = 0; tid < nthreads; ++tid) {
+            NodeId owner = tid / cfg.threadsPerNode;
+            cluster.mem().setPrimaryHomeRange(
+                st->pos + static_cast<std::uint64_t>(tid) * chunk * 24,
+                chunk * 24ull, owner);
+            cluster.mem().setPrimaryHomeRange(
+                st->force +
+                    static_cast<std::uint64_t>(tid) * chunk * 24,
+                chunk * 24ull, owner);
+            // Thread-private accumulation buffers live on the owner.
+            cluster.mem().setPrimaryHomeRange(
+                st->contrib +
+                    static_cast<std::uint64_t>(tid) * st->n * 24,
+                st->n * 24ull, owner);
+        }
+    };
+
+    app.threadFn = [st](AppThread &t) {
+        const std::uint32_t n = st->n;
+        const std::uint32_t nthreads = t.clusterThreads();
+        const std::uint32_t chunk = n / nthreads;
+        const std::uint32_t lo = t.id() * chunk;
+        auto pos3 = [&](std::uint32_t i, unsigned a) {
+            return st->pos + (static_cast<std::uint64_t>(i) * 3 + a) * 8;
+        };
+        auto frc3 = [&](std::uint32_t i, unsigned a) {
+            return st->force +
+                   (static_cast<std::uint64_t>(i) * 3 + a) * 8;
+        };
+
+        // Init own molecules.
+        for (std::uint32_t i = lo; i < lo + chunk; ++i) {
+            for (unsigned a = 0; a < 3; ++a) {
+                t.put<std::int64_t>(pos3(i, a), initCoord(i, a));
+                t.put<std::int64_t>(frc3(i, a), 0);
+            }
+        }
+        t.barrier();
+
+        Addr my_contrib =
+            st->contrib + static_cast<std::uint64_t>(t.id()) * n * 24;
+        auto ctr3 = [&](std::uint32_t i, unsigned a) {
+            return my_contrib +
+                   (static_cast<std::uint64_t>(i) * 3 + a) * 8;
+        };
+        for (std::uint32_t step = 0; step < st->steps; ++step) {
+            // Pairwise interactions, SPLASH-2 style: contributions
+            // accumulate into a thread-private buffer; the global
+            // force arrays are updated once per molecule under its
+            // per-molecule lock afterwards.
+            for (std::uint32_t i = 0; i < n; ++i)
+                for (unsigned a = 0; a < 3; ++a)
+                    t.put<std::int64_t>(ctr3(i, a), 0);
+            std::int64_t my_potential = 0;
+            for (std::uint32_t i = lo; i < lo + chunk; ++i) {
+                std::int64_t pi0 = t.get<std::int64_t>(pos3(i, 0));
+                std::int64_t pi1 = t.get<std::int64_t>(pos3(i, 1));
+                std::int64_t pi2 = t.get<std::int64_t>(pos3(i, 2));
+                for (std::uint32_t j = i + 1; j < n; ++j) {
+                    std::int64_t f0 = pairForce(
+                        pi0, t.get<std::int64_t>(pos3(j, 0)));
+                    std::int64_t f1 = pairForce(
+                        pi1, t.get<std::int64_t>(pos3(j, 1)));
+                    std::int64_t f2 = pairForce(
+                        pi2, t.get<std::int64_t>(pos3(j, 2)));
+                    my_potential += (f0 + f1 + f2) >> 4;
+                    t.put<std::int64_t>(
+                        ctr3(i, 0),
+                        t.get<std::int64_t>(ctr3(i, 0)) + f0);
+                    t.put<std::int64_t>(
+                        ctr3(i, 1),
+                        t.get<std::int64_t>(ctr3(i, 1)) + f1);
+                    t.put<std::int64_t>(
+                        ctr3(i, 2),
+                        t.get<std::int64_t>(ctr3(i, 2)) + f2);
+                    t.put<std::int64_t>(
+                        ctr3(j, 0),
+                        t.get<std::int64_t>(ctr3(j, 0)) - f0);
+                    t.put<std::int64_t>(
+                        ctr3(j, 1),
+                        t.get<std::int64_t>(ctr3(j, 1)) - f1);
+                    t.put<std::int64_t>(
+                        ctr3(j, 2),
+                        t.get<std::int64_t>(ctr3(j, 2)) - f2);
+                }
+                t.compute(st->cpi * (n - i - 1));
+            }
+            // Global accumulation under the per-molecule locks (the
+            // paper's 4096 + 9 locks and its very high release count).
+            for (std::uint32_t m = 0; m < n; ++m) {
+                std::int64_t c0 = t.get<std::int64_t>(ctr3(m, 0));
+                std::int64_t c1 = t.get<std::int64_t>(ctr3(m, 1));
+                std::int64_t c2 = t.get<std::int64_t>(ctr3(m, 2));
+                if (c0 == 0 && c1 == 0 && c2 == 0)
+                    continue;
+                t.lock(kMolLockBase + m);
+                t.put<std::int64_t>(
+                    frc3(m, 0),
+                    t.get<std::int64_t>(frc3(m, 0)) + c0);
+                t.put<std::int64_t>(
+                    frc3(m, 1),
+                    t.get<std::int64_t>(frc3(m, 1)) + c1);
+                t.put<std::int64_t>(
+                    frc3(m, 2),
+                    t.get<std::int64_t>(frc3(m, 2)) + c2);
+                t.unlock(kMolLockBase + m);
+            }
+            // Global potential accumulation (one of the "+9" locks).
+            t.lock(kGlobalLock);
+            t.put<std::int64_t>(st->potential,
+                                t.get<std::int64_t>(st->potential) +
+                                    my_potential);
+            t.unlock(kGlobalLock);
+            t.barrier();
+
+            // Position update by owners; forces reset.
+            for (std::uint32_t i = lo; i < lo + chunk; ++i) {
+                for (unsigned a = 0; a < 3; ++a) {
+                    std::int64_t p = t.get<std::int64_t>(pos3(i, a));
+                    std::int64_t f = t.get<std::int64_t>(frc3(i, a));
+                    t.put<std::int64_t>(pos3(i, a), p + (f >> 6));
+                    t.put<std::int64_t>(frc3(i, a), 0);
+                }
+            }
+            t.compute(st->cpi * chunk);
+            t.barrier();
+        }
+    };
+
+    app.verify = [st](Cluster &cluster) -> AppResult {
+        const std::uint32_t n = st->n;
+        std::vector<std::int64_t> pos(n * 3), force(n * 3, 0);
+        std::int64_t potential = 0;
+        for (std::uint32_t i = 0; i < n; ++i)
+            for (unsigned a = 0; a < 3; ++a)
+                pos[i * 3 + a] = initCoord(i, a);
+        for (std::uint32_t step = 0; step < st->steps; ++step) {
+            for (std::uint32_t i = 0; i < n; ++i) {
+                for (std::uint32_t j = i + 1; j < n; ++j) {
+                    for (unsigned a = 0; a < 3; ++a) {
+                        std::int64_t f = pairForce(pos[i * 3 + a],
+                                                   pos[j * 3 + a]);
+                        force[i * 3 + a] += f;
+                        force[j * 3 + a] -= f;
+                    }
+                    std::int64_t f0 = pairForce(pos[i * 3], pos[j * 3]);
+                    std::int64_t f1 =
+                        pairForce(pos[i * 3 + 1], pos[j * 3 + 1]);
+                    std::int64_t f2 =
+                        pairForce(pos[i * 3 + 2], pos[j * 3 + 2]);
+                    potential += (f0 + f1 + f2) >> 4;
+                }
+            }
+            for (std::uint32_t i = 0; i < n * 3; ++i) {
+                pos[i] += force[i] >> 6;
+                force[i] = 0;
+            }
+        }
+
+        std::vector<std::int64_t> got(n * 3);
+        cluster.debugRead(st->pos, got.data(), n * 24ull);
+        std::int64_t got_potential = 0;
+        cluster.debugRead(st->potential, &got_potential, 8);
+
+        AppResult res;
+        res.ok = (got == pos) && (got_potential == potential);
+        res.detail =
+            res.ok ? "water-nsq: positions and potential exact"
+                   : "water-nsq: state differs from reference";
+        return res;
+    };
+
+    return app;
+}
+
+} // namespace apps
+} // namespace rsvm

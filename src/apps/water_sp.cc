@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Mini SPLASH-2 Water-SpatialFL (§5.1: 4096 molecules on the paper's
+ * testbed).
+ *
+ * Spatial variant of the water kernel: molecules live in a 3D grid of
+ * cells and only interact with molecules in the same or neighboring
+ * cells, guarded by one lock per cell (the paper reports 518 locks:
+ * 512 cells + globals). Releases are far less frequent than in
+ * Water-Nsquared, and nearly all pages a node diffs are its own home
+ * pages (§5.3.1 reports > 99%), because the molecule arrays are
+ * owner-partitioned and cell interactions are mostly local.
+ *
+ * Fixed-point int64 state makes the parallel result bit-identical to
+ * the serial reference (associative accumulation).
+ */
+
+#include "apps/app_common.hh"
+
+#include <memory>
+#include <vector>
+
+#include "base/log.hh"
+#include "base/panic.hh"
+
+namespace rsvm {
+namespace apps {
+namespace {
+
+constexpr std::uint32_t kGrid = 4; // 4x4x4 = 64 cells
+constexpr std::uint32_t kCells = kGrid * kGrid * kGrid;
+constexpr LockId kCellLockBase = 32;
+constexpr LockId kGlobalLock = 9;
+constexpr std::int64_t kBox = 1 << 16;
+
+inline std::int64_t
+initCoord(std::uint64_t i, unsigned axis, std::uint32_t n)
+{
+    std::uint64_t z = (i * 3 + axis + 11) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    if (axis == 0) {
+        // Index-ordered along x: contiguous index chunks (= ownership
+        // chunks) occupy contiguous space, the spatial decomposition
+        // the paper's Water-SpatialFL relies on — interactions and
+        // force updates then stay overwhelmingly within the owner's
+        // own (home) pages (§5.3.1: > 99 %).
+        std::int64_t base = static_cast<std::int64_t>(
+            i * static_cast<std::uint64_t>(kBox) / n);
+        return base + static_cast<std::int64_t>(z % (kBox / n + 1));
+    }
+    return static_cast<std::int64_t>(z % kBox);
+}
+
+inline std::uint32_t
+cellOf(std::int64_t x, std::int64_t y, std::int64_t z)
+{
+    auto clamp = [](std::int64_t v) -> std::uint32_t {
+        std::int64_t c = v * kGrid / kBox;
+        if (c < 0)
+            c = 0;
+        if (c >= kGrid)
+            c = kGrid - 1;
+        return static_cast<std::uint32_t>(c);
+    };
+    return (clamp(x) * kGrid + clamp(y)) * kGrid + clamp(z);
+}
+
+inline std::int64_t
+pairForce(std::int64_t a, std::int64_t b)
+{
+    std::int64_t d = a - b;
+    return (d >> 3) - ((d * (d > 0 ? d : -d)) >> 18);
+}
+
+struct WaterSpState
+{
+    std::uint32_t n = 0;
+    std::uint32_t steps = 0;
+    SimTime cpi = 0;
+    Addr pos = 0;      // per-owner page-padded chunks of n x 3 int64
+    Addr force = 0;    // same layout (cell-lock protected)
+    Addr contrib = 0;  // nthreads x page-padded n x 3 int64 (private)
+    Addr cellOfMol = 0; // per-owner page-padded chunks of u32
+    Addr potential = 0;
+    /** Page-padded strides so each owner's chunk occupies whole
+     *  pages (full home-page ownership, as at the paper's sizes). */
+    std::uint64_t chunkStride24 = 0; // for pos/force chunks
+    std::uint64_t chunkStride4 = 0;  // for cellOfMol chunks
+    std::uint64_t contribStride = 0; // per-thread contrib region
+    std::uint32_t chunk = 0;
+};
+
+inline Addr
+molAddr(const WaterSpState &st, Addr base, std::uint32_t i,
+        unsigned axis)
+{
+    std::uint32_t owner = i / st.chunk;
+    std::uint32_t off = i % st.chunk;
+    return base + owner * st.chunkStride24 +
+           (static_cast<std::uint64_t>(off) * 3 + axis) * 8;
+}
+
+inline Addr
+cellAddr(const WaterSpState &st, std::uint32_t i)
+{
+    std::uint32_t owner = i / st.chunk;
+    std::uint32_t off = i % st.chunk;
+    return st.cellOfMol + owner * st.chunkStride4 + 4ull * off;
+}
+
+} // namespace
+
+AppInstance
+makeWaterSp(const AppParams &params)
+{
+    auto st = std::make_shared<WaterSpState>();
+    st->n = static_cast<std::uint32_t>(params.size);
+    st->steps = static_cast<std::uint32_t>(params.steps ? params.steps
+                                                        : 1);
+    st->cpi = params.computePerItem;
+
+    AppInstance app;
+    app.name = "water-sp";
+
+    app.setup = [st](Cluster &cluster) {
+        const Config &cfg = cluster.config();
+        std::uint32_t nthreads = cfg.totalThreads();
+        rsvm_assert(st->n % nthreads == 0);
+        st->chunk = st->n / nthreads;
+        auto page_align = [&](std::uint64_t b) {
+            return (b + cfg.pageSize - 1) / cfg.pageSize *
+                   cfg.pageSize;
+        };
+        st->chunkStride24 = page_align(st->chunk * 24ull);
+        st->chunkStride4 = page_align(st->chunk * 4ull);
+        st->contribStride = page_align(st->n * 24ull);
+        st->pos = cluster.mem().allocPageAligned(nthreads *
+                                                 st->chunkStride24);
+        st->force = cluster.mem().allocPageAligned(nthreads *
+                                                   st->chunkStride24);
+        st->contrib = cluster.mem().allocPageAligned(
+            nthreads * st->contribStride);
+        st->cellOfMol = cluster.mem().allocPageAligned(
+            nthreads * st->chunkStride4);
+        st->potential = cluster.mem().allocPageAligned(8);
+        for (std::uint32_t tid = 0; tid < nthreads; ++tid) {
+            NodeId owner = tid / cfg.threadsPerNode;
+            cluster.mem().setPrimaryHomeRange(
+                st->pos + tid * st->chunkStride24, st->chunkStride24,
+                owner);
+            cluster.mem().setPrimaryHomeRange(
+                st->force + tid * st->chunkStride24,
+                st->chunkStride24, owner);
+            cluster.mem().setPrimaryHomeRange(
+                st->cellOfMol + tid * st->chunkStride4,
+                st->chunkStride4, owner);
+            cluster.mem().setPrimaryHomeRange(
+                st->contrib + tid * st->contribStride,
+                st->contribStride, owner);
+        }
+    };
+
+    app.threadFn = [st](AppThread &t) {
+        const std::uint32_t n = st->n;
+        const std::uint32_t nthreads = t.clusterThreads();
+        const std::uint32_t chunk = n / nthreads;
+        const std::uint32_t lo = t.id() * chunk;
+        auto pos3 = [&](std::uint32_t i, unsigned a) {
+            return molAddr(*st, st->pos, i, a);
+        };
+        auto frc3 = [&](std::uint32_t i, unsigned a) {
+            return molAddr(*st, st->force, i, a);
+        };
+        Addr my_contrib =
+            st->contrib +
+            static_cast<std::uint64_t>(t.id()) * st->contribStride;
+        auto ctr3 = [&](std::uint32_t i, unsigned a) {
+            return my_contrib +
+                   (static_cast<std::uint64_t>(i) * 3 + a) * 8;
+        };
+
+        for (std::uint32_t i = lo; i < lo + chunk; ++i) {
+            for (unsigned a = 0; a < 3; ++a) {
+                t.put<std::int64_t>(pos3(i, a), initCoord(i, a, n));
+                t.put<std::int64_t>(frc3(i, a), 0);
+            }
+        }
+        t.barrier();
+
+        for (std::uint32_t step = 0; step < st->steps; ++step) {
+            // Cell assignment of own molecules.
+            for (std::uint32_t i = lo; i < lo + chunk; ++i) {
+                std::uint32_t c =
+                    cellOf(t.get<std::int64_t>(pos3(i, 0)),
+                           t.get<std::int64_t>(pos3(i, 1)),
+                           t.get<std::int64_t>(pos3(i, 2)));
+                t.put<std::uint32_t>(cellAddr(*st, i), c);
+            }
+            t.compute(st->cpi * chunk);
+            t.barrier();
+
+            // Interactions, SPLASH-2 style: contributions go to a
+            // thread-private buffer first; the shared force arrays
+            // are updated once per molecule under the lock of its
+            // cell afterwards (the paper's 512 + globals locks).
+            for (std::uint32_t i = 0; i < n; ++i)
+                for (unsigned a = 0; a < 3; ++a)
+                    t.put<std::int64_t>(ctr3(i, a), 0);
+            std::int64_t my_potential = 0;
+            for (std::uint32_t i = lo; i < lo + chunk; ++i) {
+                std::uint32_t ci =
+                    t.get<std::uint32_t>(cellAddr(*st, i));
+                std::int64_t pi0 = t.get<std::int64_t>(pos3(i, 0));
+                std::int64_t pi1 = t.get<std::int64_t>(pos3(i, 1));
+                std::int64_t pi2 = t.get<std::int64_t>(pos3(i, 2));
+                std::uint32_t interactions = 0;
+                for (std::uint32_t j = i + 1; j < n; ++j) {
+                    std::uint32_t cj = t.get<std::uint32_t>(cellAddr(*st, j));
+                    // Neighboring cells: each grid coordinate differs
+                    // by at most 1.
+                    std::uint32_t xi = ci / (kGrid * kGrid),
+                                  yi = (ci / kGrid) % kGrid,
+                                  zi = ci % kGrid;
+                    std::uint32_t xj = cj / (kGrid * kGrid),
+                                  yj = (cj / kGrid) % kGrid,
+                                  zj = cj % kGrid;
+                    auto near = [](std::uint32_t a, std::uint32_t b) {
+                        return a == b || a + 1 == b || b + 1 == a;
+                    };
+                    if (!near(xi, xj) || !near(yi, yj) ||
+                        !near(zi, zj))
+                        continue;
+                    interactions++;
+                    std::int64_t f0 = pairForce(
+                        pi0, t.get<std::int64_t>(pos3(j, 0)));
+                    std::int64_t f1 = pairForce(
+                        pi1, t.get<std::int64_t>(pos3(j, 1)));
+                    std::int64_t f2 = pairForce(
+                        pi2, t.get<std::int64_t>(pos3(j, 2)));
+                    my_potential += (f0 + f1 + f2) >> 5;
+                    t.put<std::int64_t>(
+                        ctr3(i, 0),
+                        t.get<std::int64_t>(ctr3(i, 0)) + f0);
+                    t.put<std::int64_t>(
+                        ctr3(i, 1),
+                        t.get<std::int64_t>(ctr3(i, 1)) + f1);
+                    t.put<std::int64_t>(
+                        ctr3(i, 2),
+                        t.get<std::int64_t>(ctr3(i, 2)) + f2);
+                    t.put<std::int64_t>(
+                        ctr3(j, 0),
+                        t.get<std::int64_t>(ctr3(j, 0)) - f0);
+                    t.put<std::int64_t>(
+                        ctr3(j, 1),
+                        t.get<std::int64_t>(ctr3(j, 1)) - f1);
+                    t.put<std::int64_t>(
+                        ctr3(j, 2),
+                        t.get<std::int64_t>(ctr3(j, 2)) - f2);
+                }
+                t.compute(st->cpi * (interactions + 1));
+            }
+            // Per-cell-lock accumulation into the shared force
+            // array: lock each touched cell once and flush every
+            // contribution to its molecules (SPLASH-2 structure).
+            for (std::uint32_t cell = 0; cell < kCells; ++cell) {
+                bool locked_cell = false;
+                for (std::uint32_t m = 0; m < n; ++m) {
+                    std::uint32_t cm = t.get<std::uint32_t>(cellAddr(*st, m));
+                    if (cm != cell)
+                        continue;
+                    std::int64_t c0 = t.get<std::int64_t>(ctr3(m, 0));
+                    std::int64_t c1 = t.get<std::int64_t>(ctr3(m, 1));
+                    std::int64_t c2 = t.get<std::int64_t>(ctr3(m, 2));
+                    if (c0 == 0 && c1 == 0 && c2 == 0)
+                        continue;
+                    if (!locked_cell) {
+                        t.lock(kCellLockBase + cell);
+                        locked_cell = true;
+                    }
+                    t.put<std::int64_t>(
+                        frc3(m, 0),
+                        t.get<std::int64_t>(frc3(m, 0)) + c0);
+                    t.put<std::int64_t>(
+                        frc3(m, 1),
+                        t.get<std::int64_t>(frc3(m, 1)) + c1);
+                    t.put<std::int64_t>(
+                        frc3(m, 2),
+                        t.get<std::int64_t>(frc3(m, 2)) + c2);
+                }
+                if (locked_cell)
+                    t.unlock(kCellLockBase + cell);
+            }
+            t.lock(kGlobalLock);
+            t.put<std::int64_t>(st->potential,
+                                t.get<std::int64_t>(st->potential) +
+                                    my_potential);
+            t.unlock(kGlobalLock);
+            t.barrier();
+
+            for (std::uint32_t i = lo; i < lo + chunk; ++i) {
+                for (unsigned a = 0; a < 3; ++a) {
+                    std::int64_t p = t.get<std::int64_t>(pos3(i, a));
+                    std::int64_t f = t.get<std::int64_t>(frc3(i, a));
+                    t.put<std::int64_t>(pos3(i, a), p + (f >> 7));
+                    t.put<std::int64_t>(frc3(i, a), 0);
+                }
+            }
+            t.compute(st->cpi * chunk);
+            t.barrier();
+        }
+    };
+
+    app.verify = [st](Cluster &cluster) -> AppResult {
+        const std::uint32_t n = st->n;
+        std::vector<std::int64_t> pos(n * 3), force(n * 3, 0);
+        std::vector<std::uint32_t> cell(n);
+        std::int64_t potential = 0;
+        for (std::uint32_t i = 0; i < n; ++i)
+            for (unsigned a = 0; a < 3; ++a)
+                pos[i * 3 + a] = initCoord(i, a, n);
+        auto near = [](std::uint32_t a, std::uint32_t b) {
+            return a == b || a + 1 == b || b + 1 == a;
+        };
+        for (std::uint32_t step = 0; step < st->steps; ++step) {
+            for (std::uint32_t i = 0; i < n; ++i)
+                cell[i] = cellOf(pos[i * 3], pos[i * 3 + 1],
+                                 pos[i * 3 + 2]);
+            for (std::uint32_t i = 0; i < n; ++i) {
+                std::uint32_t ci = cell[i];
+                std::uint32_t xi = ci / (kGrid * kGrid),
+                              yi = (ci / kGrid) % kGrid, zi = ci % kGrid;
+                for (std::uint32_t j = i + 1; j < n; ++j) {
+                    std::uint32_t cj = cell[j];
+                    std::uint32_t xj = cj / (kGrid * kGrid),
+                                  yj = (cj / kGrid) % kGrid,
+                                  zj = cj % kGrid;
+                    if (!near(xi, xj) || !near(yi, yj) ||
+                        !near(zi, zj))
+                        continue;
+                    std::int64_t f0 =
+                        pairForce(pos[i * 3], pos[j * 3]);
+                    std::int64_t f1 =
+                        pairForce(pos[i * 3 + 1], pos[j * 3 + 1]);
+                    std::int64_t f2 =
+                        pairForce(pos[i * 3 + 2], pos[j * 3 + 2]);
+                    potential += (f0 + f1 + f2) >> 5;
+                    force[i * 3] += f0;
+                    force[i * 3 + 1] += f1;
+                    force[i * 3 + 2] += f2;
+                    force[j * 3] -= f0;
+                    force[j * 3 + 1] -= f1;
+                    force[j * 3 + 2] -= f2;
+                }
+            }
+            for (std::uint32_t i = 0; i < n * 3; ++i) {
+                pos[i] += force[i] >> 7;
+                force[i] = 0;
+            }
+        }
+
+        std::vector<std::int64_t> got(n * 3);
+        for (std::uint32_t i = 0; i < n; ++i)
+            for (unsigned a = 0; a < 3; ++a)
+                cluster.debugRead(molAddr(*st, st->pos, i, a),
+                                  &got[i * 3 + a], 8);
+        std::int64_t got_potential = 0;
+        cluster.debugRead(st->potential, &got_potential, 8);
+
+        AppResult res;
+        res.ok = (got == pos) && (got_potential == potential);
+        if (res.ok) {
+            res.detail = "water-sp: positions and potential exact";
+        } else {
+            std::uint32_t bad = 0, first = n * 3;
+            for (std::uint32_t i = 0; i < n * 3; ++i) {
+                if (got[i] != pos[i]) {
+                    bad++;
+                    if (first == n * 3)
+                        first = i;
+                }
+            }
+            res.detail = "water-sp: " + std::to_string(bad) +
+                         " coord mismatches (first " +
+                         std::to_string(first) + "), potential " +
+                         std::to_string(got_potential) + " vs " +
+                         std::to_string(potential);
+        }
+        return res;
+    };
+
+    return app;
+}
+
+} // namespace apps
+} // namespace rsvm

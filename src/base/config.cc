@@ -1,0 +1,85 @@
+#include "base/config.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace rsvm {
+
+bool
+Config::applyOverride(const std::string &kv)
+{
+    std::size_t eq = kv.find('=');
+    if (eq == std::string::npos)
+        return false;
+    std::string key = kv.substr(0, eq);
+    std::string val = kv.substr(eq + 1);
+    auto as_u64 = [&] { return std::strtoull(val.c_str(), nullptr, 0); };
+    auto as_f = [&] { return std::strtod(val.c_str(), nullptr); };
+
+    if (key == "numNodes") numNodes = as_u64();
+    else if (key == "threadsPerNode") threadsPerNode = as_u64();
+    else if (key == "pageSize") pageSize = as_u64();
+    else if (key == "sharedBytes") sharedBytes = as_u64();
+    else if (key == "maxLocks") maxLocks = as_u64();
+    else if (key == "protocol")
+        protocol = (val == "base") ? ProtocolKind::Base
+                                   : ProtocolKind::FaultTolerant;
+    else if (key == "lockAlgo")
+        lockAlgo = (val == "queuing") ? LockAlgo::Queuing
+                                      : LockAlgo::CentralizedPolling;
+    else if (key == "sendOverhead") sendOverhead = as_u64();
+    else if (key == "recvOverhead") recvOverhead = as_u64();
+    else if (key == "wireLatency") wireLatency = as_u64();
+    else if (key == "bandwidthBytesPerSec") bandwidthBytesPerSec = as_f();
+    else if (key == "postCost") postCost = as_u64();
+    else if (key == "nicPostQueue") nicPostQueue = as_u64();
+    else if (key == "msgHeaderBytes") msgHeaderBytes = as_u64();
+    else if (key == "localLoopback") localLoopback = as_u64();
+    else if (key == "memCopyNsPerByte") memCopyNsPerByte = as_f();
+    else if (key == "diffScanNsPerByte") diffScanNsPerByte = as_f();
+    else if (key == "diffApplyNsPerByte") diffApplyNsPerByte = as_f();
+    else if (key == "pageFaultCost") pageFaultCost = as_u64();
+    else if (key == "invalidateCost") invalidateCost = as_u64();
+    else if (key == "twinSetupCost") twinSetupCost = as_u64();
+    else if (key == "commitPerPageCost") commitPerPageCost = as_u64();
+    else if (key == "syncOpCost") syncOpCost = as_u64();
+    else if (key == "batchDiffs") batchDiffs = (val == "1" ||
+                                                val == "true");
+    else if (key == "lockBackoffMin") lockBackoffMin = as_u64();
+    else if (key == "lockBackoffMax") lockBackoffMax = as_u64();
+    else if (key == "heartbeatTimeout") heartbeatTimeout = as_u64();
+    else if (key == "heartbeatProbeCost") heartbeatProbeCost = as_u64();
+    else if (key == "ckptStackReserve") ckptStackReserve = as_u64();
+    else if (key == "ckptCaptureCost") ckptCaptureCost = as_u64();
+    else if (key == "recoveryPerPageCost") recoveryPerPageCost = as_u64();
+    else if (key == "recoveryFixedCost") recoveryFixedCost = as_u64();
+    else if (key == "smpComputeInflation") smpComputeInflation = as_f();
+    else if (key == "seed") seed = as_u64();
+    else if (key == "paranoidChecks") paranoidChecks = (val == "1" ||
+                                                        val == "true");
+    else
+        return false;
+    return true;
+}
+
+std::string
+Config::toString() const
+{
+    std::ostringstream os;
+    os << "numNodes=" << numNodes
+       << " threadsPerNode=" << threadsPerNode
+       << " pageSize=" << pageSize
+       << " protocol="
+       << (protocol == ProtocolKind::Base ? "base" : "ft")
+       << " lockAlgo="
+       << (lockAlgo == LockAlgo::Queuing ? "queuing" : "polling")
+       << " sendOverhead=" << sendOverhead
+       << " recvOverhead=" << recvOverhead
+       << " wireLatency=" << wireLatency
+       << " bandwidth=" << bandwidthBytesPerSec
+       << " nicPostQueue=" << nicPostQueue
+       << " seed=" << seed;
+    return os.str();
+}
+
+} // namespace rsvm

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Central configuration for the simulated cluster, network timing
+ * model, SVM protocol options, and fault-tolerance knobs.
+ *
+ * Defaults are calibrated to the paper's testbed (section 3/5): an
+ * 8-node cluster of 2-way 400 MHz Pentium-II SMPs on Myrinet with the
+ * VMMC communication library (8 us one-way latency, ~100 MB/s).
+ * Benches sweep individual knobs; tests construct bespoke configs.
+ */
+
+#ifndef RSVM_BASE_CONFIG_HH
+#define RSVM_BASE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace rsvm {
+
+/** Which SVM protocol variant a cluster runs. */
+enum class ProtocolKind {
+    /** Base GeNIMA home-based LRC protocol (no fault tolerance). */
+    Base,
+    /** Extended protocol with dynamic data replication (the paper). */
+    FaultTolerant,
+};
+
+/** Lock synchronization algorithm (section 4.3). */
+enum class LockAlgo {
+    /** Distributed queuing lock (original GeNIMA scheme). */
+    Queuing,
+    /** Centralized polling lock (the paper's stateless scheme). */
+    CentralizedPolling,
+};
+
+/** All simulator knobs. Plain aggregate; copy freely. */
+struct Config
+{
+    // ---- Cluster shape ---------------------------------------------------
+    /** Number of physical nodes (the paper evaluates 8). */
+    std::uint32_t numNodes = 8;
+    /** Compute threads per node (paper: 1 and 2). */
+    std::uint32_t threadsPerNode = 1;
+    /** Shared page size in bytes. */
+    std::uint32_t pageSize = 4096;
+    /** Shared address space capacity in bytes. */
+    std::uint64_t sharedBytes = 256ull << 20;
+    /** Number of application lock identifiers available. */
+    std::uint32_t maxLocks = 8192;
+
+    // ---- Protocol selection ---------------------------------------------
+    ProtocolKind protocol = ProtocolKind::FaultTolerant;
+    LockAlgo lockAlgo = LockAlgo::CentralizedPolling;
+
+    // ---- Network timing (VMMC over Myrinet) ------------------------------
+    /** NIC-side processing charged to each send. */
+    SimTime sendOverhead = 2 * kMicrosecond;
+    /** NIC-side processing charged to each receive/deposit. */
+    SimTime recvOverhead = 2 * kMicrosecond;
+    /** Wire/switch propagation latency. */
+    SimTime wireLatency = 4 * kMicrosecond;
+    /** Network bandwidth in bytes per second. */
+    double bandwidthBytesPerSec = 100e6;
+    /** Host-side cost to post one asynchronous send. */
+    SimTime postCost = 300;
+    /** NIC post-queue capacity; full queue blocks the poster (§5.2). */
+    std::uint32_t nicPostQueue = 64;
+    /** Message protocol header bytes added to every payload on the wire. */
+    std::uint32_t msgHeaderBytes = 32;
+    /** Delivery delay for loopback ops (both endpoints on one host). */
+    SimTime localLoopback = 500;
+
+    // ---- Host timing ------------------------------------------------------
+    /** Local memory copy cost per byte (twin creation, page copies);
+     *  calibrated to a 400 MHz Pentium II (~300 MB/s copy). */
+    double memCopyNsPerByte = 3.0;
+    /** Diff scan cost per byte (word-compare of page vs twin). */
+    double diffScanNsPerByte = 2.0;
+    /** Diff apply cost per modified byte at the home. */
+    double diffApplyNsPerByte = 1.5;
+    /** Fixed cost of entering the page-fault handler (NT trap +
+     *  handler dispatch on the paper's testbed). */
+    SimTime pageFaultCost = 15 * kMicrosecond;
+    /** Cost of one page invalidation (mprotect-class). */
+    SimTime invalidateCost = 2 * kMicrosecond;
+    /** Fixed cost of twin creation beyond the copy itself. */
+    SimTime twinSetupCost = 2 * kMicrosecond;
+    /** Protocol bookkeeping cost per committed page at a release. */
+    SimTime commitPerPageCost = 150;
+    /** Fixed protocol cost per acquire/release/barrier operation. */
+    SimTime syncOpCost = 1 * kMicrosecond;
+
+    // ---- Protocol extensions (§6 future work) ---------------------------
+    /**
+     * Coalesce a release's diffs per destination into one message
+     * (the paper's "sending fewer and larger messages" optimization):
+     * fewer post-queue slots and per-message overheads at the cost of
+     * larger individual transfers.
+     */
+    bool batchDiffs = false;
+
+    // ---- Lock algorithm tuning -------------------------------------------
+    /** Initial backoff before re-polling a contended lock. */
+    SimTime lockBackoffMin = 20 * kMicrosecond;
+    /** Backoff cap (exponential with jitter in between). */
+    SimTime lockBackoffMax = 200 * kMicrosecond;
+
+    // ---- Fault tolerance ---------------------------------------------------
+    /** Heart-beat timeout while waiting on a remote response (§4.1). */
+    SimTime heartbeatTimeout = 1 * kMillisecond;
+    /** Round-trip allowance for one heart-beat probe. */
+    SimTime heartbeatProbeCost = 20 * kMicrosecond;
+    /** Thread stack bytes captured per checkpoint (paper: 2–2.8 KB). */
+    std::uint32_t ckptStackReserve = 64 * 1024;
+    /** Fixed cost of capturing one thread context. */
+    SimTime ckptCaptureCost = 2 * kMicrosecond;
+    /** Per-page cost during recovery reconfiguration. */
+    SimTime recoveryPerPageCost = 2 * kMicrosecond;
+    /** Fixed per-node cost of the recovery barrier/reconfiguration. */
+    SimTime recoveryFixedCost = 500 * kMicrosecond;
+
+    // ---- SMP contention model ---------------------------------------------
+    /**
+     * Fractional compute-time inflation per additional concurrently
+     * active local thread sharing the node memory bus (§5.2 observes
+     * compute time rising with threads/node and DMA traffic).
+     */
+    double smpComputeInflation = 0.06;
+
+    // ---- Misc ---------------------------------------------------------------
+    /** Master RNG seed (backoff jitter, app data). */
+    std::uint64_t seed = 1;
+    /** Run invariant self-checks inside the protocols (slower). */
+    bool paranoidChecks = false;
+
+    /** Total number of compute threads in the cluster. */
+    std::uint32_t totalThreads() const { return numNodes * threadsPerNode; }
+    /** Number of shared pages in the address space. */
+    PageId numPages() const
+    { return static_cast<PageId>(sharedBytes / pageSize); }
+
+    /** Transfer time of @p bytes at the configured bandwidth. */
+    SimTime
+    wireTime(std::uint64_t bytes) const
+    {
+        return static_cast<SimTime>(static_cast<double>(bytes) * 1e9 /
+                                    bandwidthBytesPerSec);
+    }
+
+    /** Parse "key=value" overrides; returns false on unknown key. */
+    bool applyOverride(const std::string &kv);
+    /** Human-readable dump of every knob. */
+    std::string toString() const;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_BASE_CONFIG_HH

@@ -1,0 +1,84 @@
+#include "base/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rsvm {
+
+namespace {
+
+const char *const kCompNames[] = {
+    "sim", "net", "mem", "svm", "lock", "barrier", "ft", "ckpt",
+    "recovery", "app",
+};
+
+static_assert(sizeof(kCompNames) / sizeof(kCompNames[0]) ==
+              static_cast<unsigned>(LogComp::NumComps));
+
+} // namespace
+
+const char *
+logCompName(LogComp comp)
+{
+    return kCompNames[static_cast<unsigned>(comp)];
+}
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+Logger::Logger()
+{
+    if (const char *spec = std::getenv("RSVM_TRACE"))
+        enableFromSpec(spec);
+}
+
+void
+Logger::enable(LogComp comp, bool on)
+{
+    if (on)
+        mask |= bit(comp);
+    else
+        mask &= ~bit(comp);
+}
+
+void
+Logger::enableFromSpec(const std::string &spec)
+{
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string name = spec.substr(pos, comma - pos);
+        if (name == "all") {
+            mask = ~0u;
+        } else {
+            for (unsigned i = 0;
+                 i < static_cast<unsigned>(LogComp::NumComps); ++i) {
+                if (name == kCompNames[i])
+                    mask |= 1u << i;
+            }
+        }
+        pos = comma + 1;
+    }
+}
+
+void
+Logger::log(LogComp comp, const char *fmt, ...)
+{
+    SimTime now = timeSrc ? timeSrc() : 0;
+    std::fprintf(stderr, "%12llu [%-8s] ",
+                 static_cast<unsigned long long>(now), logCompName(comp));
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+}
+
+} // namespace rsvm

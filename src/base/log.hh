@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Lightweight component-tagged trace logging.
+ *
+ * Tracing is off by default; tests and debugging sessions enable
+ * individual components via Logger::enable() or the RSVM_TRACE
+ * environment variable (comma-separated component names, or "all").
+ * Every record is prefixed with the current simulated time, which the
+ * simulation engine publishes through Logger::setTimeSource().
+ */
+
+#ifndef RSVM_BASE_LOG_HH
+#define RSVM_BASE_LOG_HH
+
+#include <cstdarg>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/types.hh"
+
+namespace rsvm {
+
+/** Trace components, one per subsystem. */
+enum class LogComp : unsigned {
+    Sim,
+    Net,
+    Mem,
+    Svm,
+    Lock,
+    Barrier,
+    Ft,
+    Ckpt,
+    Recovery,
+    App,
+    NumComps,
+};
+
+/** Singleton trace sink. */
+class Logger
+{
+  public:
+    static Logger &instance();
+
+    /** Enable/disable one component at runtime. */
+    void enable(LogComp comp, bool on = true);
+    /** True if records for @p comp are emitted. */
+    bool enabled(LogComp comp) const { return mask & bit(comp); }
+    /** Enable components from a comma-separated name list ("all" ok). */
+    void enableFromSpec(const std::string &spec);
+
+    /** Engine installs a callback returning the current simulated time. */
+    void setTimeSource(std::function<SimTime()> src) { timeSrc = std::move(src); }
+
+    /** printf-style trace record. */
+    void log(LogComp comp, const char *fmt, ...)
+        __attribute__((format(printf, 3, 4)));
+
+  private:
+    Logger();
+
+    static constexpr std::uint32_t bit(LogComp c)
+    { return 1u << static_cast<unsigned>(c); }
+
+    std::uint32_t mask = 0;
+    std::function<SimTime()> timeSrc;
+};
+
+/** Name of a trace component, for record prefixes and specs. */
+const char *logCompName(LogComp comp);
+
+} // namespace rsvm
+
+#define RSVM_LOG(comp, ...)                                                 \
+    do {                                                                    \
+        auto &logger_ = ::rsvm::Logger::instance();                         \
+        if (logger_.enabled(comp))                                          \
+            logger_.log(comp, __VA_ARGS__);                                 \
+    } while (0)
+
+#endif // RSVM_BASE_LOG_HH

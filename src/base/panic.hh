@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error-termination helpers, following the gem5 panic()/fatal() split:
+ * panic() flags an internal simulator bug (aborts, may dump core);
+ * fatal() flags a user/configuration error (clean exit with an error
+ * message). rsvm_assert() is an always-on invariant check that panics.
+ */
+
+#ifndef RSVM_BASE_PANIC_HH
+#define RSVM_BASE_PANIC_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace rsvm {
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+} // namespace rsvm
+
+#define rsvm_panic(msg) ::rsvm::panicImpl(__FILE__, __LINE__, (msg))
+#define rsvm_fatal(msg) ::rsvm::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Always-on invariant check; failure is a simulator bug. */
+#define rsvm_assert(cond)                                                   \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::rsvm::panicImpl(__FILE__, __LINE__,                           \
+                              "assertion failed: " #cond);                  \
+    } while (0)
+
+#define rsvm_assert_msg(cond, msg)                                          \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::rsvm::panicImpl(__FILE__, __LINE__,                           \
+                              std::string("assertion failed: " #cond        \
+                                          " — ") + (msg));                  \
+    } while (0)
+
+#endif // RSVM_BASE_PANIC_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomness in the simulator (backoff jitter, chaos workloads,
+ * synthetic data) flows through Rng instances seeded explicitly, so
+ * every run is reproducible. The core generator is SplitMix64, which is
+ * small, fast, and has no shared global state.
+ */
+
+#ifndef RSVM_BASE_RNG_HH
+#define RSVM_BASE_RNG_HH
+
+#include <cstdint>
+
+#include "base/panic.hh"
+
+namespace rsvm {
+
+/** SplitMix64 generator with convenience draws. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed)
+    {}
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform draw in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        rsvm_assert(bound > 0);
+        return next() % bound;
+    }
+
+    /** Uniform draw in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        rsvm_assert(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_BASE_RNG_HH

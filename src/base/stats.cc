@@ -1,0 +1,153 @@
+#include "base/stats.hh"
+
+#include <sstream>
+
+namespace rsvm {
+
+namespace {
+const char *const kCompNames[kNumComps] = {
+    "compute", "data", "lock", "barrier", "diff", "ckpt", "protocol",
+};
+} // namespace
+
+const char *
+compName(Comp c)
+{
+    return kCompNames[static_cast<unsigned>(c)];
+}
+
+SimTime
+TimeBreakdown::total() const
+{
+    SimTime t = 0;
+    for (const auto &b : buckets)
+        t += b[0] + b[1];
+    return t;
+}
+
+SimTime
+TimeBreakdown::get(Comp c) const
+{
+    const auto &b = buckets[static_cast<unsigned>(c)];
+    return b[0] + b[1];
+}
+
+SimTime
+TimeBreakdown::get(Comp c, bool in_barrier) const
+{
+    return buckets[static_cast<unsigned>(c)][in_barrier ? 1 : 0];
+}
+
+TimeBreakdown::FourComp
+TimeBreakdown::fourComp() const
+{
+    FourComp v{};
+    v.compute = get(Comp::Compute);
+    v.data = get(Comp::DataWait);
+    // Release-path overheads (diffs, checkpoints, protocol work) show up
+    // in the lock bar when incurred at a lock release and in the barrier
+    // bar when incurred during a barrier, matching the paper's format.
+    v.lock = get(Comp::LockWait) + get(Comp::Diff, false) +
+             get(Comp::Ckpt, false) + get(Comp::Protocol, false);
+    v.barrier = get(Comp::BarrierWait) + get(Comp::Diff, true) +
+                get(Comp::Ckpt, true) + get(Comp::Protocol, true);
+    return v;
+}
+
+TimeBreakdown::SixComp
+TimeBreakdown::sixComp() const
+{
+    SixComp v{};
+    v.compute = get(Comp::Compute);
+    v.data = get(Comp::DataWait);
+    v.sync = get(Comp::LockWait) + get(Comp::BarrierWait);
+    v.diffs = get(Comp::Diff);
+    v.protocol = get(Comp::Protocol);
+    v.ckpt = get(Comp::Ckpt);
+    return v;
+}
+
+TimeBreakdown &
+TimeBreakdown::operator+=(const TimeBreakdown &other)
+{
+    for (unsigned c = 0; c < kNumComps; ++c) {
+        buckets[c][0] += other.buckets[c][0];
+        buckets[c][1] += other.buckets[c][1];
+    }
+    return *this;
+}
+
+void
+TimeBreakdown::clear()
+{
+    for (auto &b : buckets)
+        b = {0, 0};
+}
+
+Counters &
+Counters::operator+=(const Counters &other)
+{
+    pageFaults += other.pageFaults;
+    remotePageFetches += other.remotePageFetches;
+    localPageFetches += other.localPageFetches;
+    twinsCreated += other.twinsCreated;
+    pagesDiffed += other.pagesDiffed;
+    homePagesDiffed += other.homePagesDiffed;
+    diffBytesSent += other.diffBytesSent;
+    diffMsgsSent += other.diffMsgsSent;
+    lockAcquires += other.lockAcquires;
+    lockRemoteAcquires += other.lockRemoteAcquires;
+    lockPollRounds += other.lockPollRounds;
+    barriers += other.barriers;
+    releases += other.releases;
+    intervalsCommitted += other.intervalsCommitted;
+    checkpointsTaken += other.checkpointsTaken;
+    checkpointBytes += other.checkpointBytes;
+    invalidations += other.invalidations;
+    messagesSent += other.messagesSent;
+    bytesSent += other.bytesSent;
+    postQueueStalls += other.postQueueStalls;
+    heartbeatsSent += other.heartbeatsSent;
+    failuresDetected += other.failuresDetected;
+    recoveries += other.recoveries;
+    pagesReReplicated += other.pagesReReplicated;
+    pagesRolledForward += other.pagesRolledForward;
+    pagesRolledBack += other.pagesRolledBack;
+    threadsRestored += other.threadsRestored;
+    return *this;
+}
+
+std::string
+Counters::toString() const
+{
+    std::ostringstream os;
+    os << "faults=" << pageFaults
+       << " remoteFetch=" << remotePageFetches
+       << " localFetch=" << localPageFetches
+       << " twins=" << twinsCreated
+       << " pagesDiffed=" << pagesDiffed
+       << " homePagesDiffed=" << homePagesDiffed
+       << " diffBytes=" << diffBytesSent
+       << " diffMsgs=" << diffMsgsSent
+       << " lockAcq=" << lockAcquires
+       << " lockRemoteAcq=" << lockRemoteAcquires
+       << " pollRounds=" << lockPollRounds
+       << " barriers=" << barriers
+       << " releases=" << releases
+       << " ckpts=" << checkpointsTaken
+       << " ckptBytes=" << checkpointBytes
+       << " invalidations=" << invalidations
+       << " msgs=" << messagesSent
+       << " bytes=" << bytesSent
+       << " postStalls=" << postQueueStalls
+       << " heartbeats=" << heartbeatsSent
+       << " failures=" << failuresDetected
+       << " recoveries=" << recoveries
+       << " reReplicated=" << pagesReReplicated
+       << " rolledFwd=" << pagesRolledForward
+       << " rolledBack=" << pagesRolledBack
+       << " restored=" << threadsRestored;
+    return os.str();
+}
+
+} // namespace rsvm

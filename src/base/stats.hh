@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Execution-time breakdown and event counters.
+ *
+ * The paper reports two breakdown formats for every run (§5.3):
+ * a four-component one (compute, data wait, lock, barrier — Figs. 7/9)
+ * and a six-component one (compute, data wait, synchronization, diffs,
+ * protocol processing, checkpointing — Figs. 8/10). We charge simulated
+ * time once into raw (component, in-barrier?) buckets and derive both
+ * presentation formats from them, so the two views always total the
+ * same execution time.
+ */
+
+#ifndef RSVM_BASE_STATS_HH
+#define RSVM_BASE_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace rsvm {
+
+/** Raw time-charging components. */
+enum class Comp : unsigned {
+    /** Application work (including modelled memory stalls). */
+    Compute,
+    /** Page-fault handling: fetch latency, version waits, local fetch. */
+    DataWait,
+    /** Waiting to acquire an application lock. */
+    LockWait,
+    /** Waiting at barrier rendezvous (inter- and intra-node). */
+    BarrierWait,
+    /** Twin creation, diff computation, propagation and apply waits. */
+    Diff,
+    /** Thread-state capture and transfer to the backup node. */
+    Ckpt,
+    /** Everything else: invalidations, commits, message posting. */
+    Protocol,
+    NumComps,
+};
+
+constexpr unsigned kNumComps = static_cast<unsigned>(Comp::NumComps);
+
+/** Name of a raw component. */
+const char *compName(Comp c);
+
+/** Per-thread (and aggregatable) time breakdown. */
+class TimeBreakdown
+{
+  public:
+    /** Charge @p ns to @p c; @p in_barrier tags barrier-phase charges. */
+    void
+    charge(Comp c, SimTime ns, bool in_barrier)
+    {
+        buckets[static_cast<unsigned>(c)][in_barrier ? 1 : 0] += ns;
+    }
+
+    /** Total charged time across all buckets. */
+    SimTime total() const;
+
+    /** Raw bucket value summed over the barrier tag. */
+    SimTime get(Comp c) const;
+    /** Raw bucket value for one barrier tag. */
+    SimTime get(Comp c, bool in_barrier) const;
+
+    /** Four-component view (Figs. 7/9): compute, data, lock, barrier. */
+    struct FourComp { SimTime compute, data, lock, barrier; };
+    FourComp fourComp() const;
+
+    /**
+     * Six-component view (Figs. 8/10): compute, data, synchronization,
+     * diffs, protocol processing, checkpointing.
+     */
+    struct SixComp
+    { SimTime compute, data, sync, diffs, protocol, ckpt; };
+    SixComp sixComp() const;
+
+    /** Element-wise accumulate (for cluster-wide aggregation). */
+    TimeBreakdown &operator+=(const TimeBreakdown &other);
+
+    /** Reset all buckets to zero. */
+    void clear();
+
+  private:
+    std::array<std::array<SimTime, 2>, kNumComps> buckets{};
+};
+
+/** Cluster-wide protocol event counters. */
+struct Counters
+{
+    std::uint64_t pageFaults = 0;
+    std::uint64_t remotePageFetches = 0;
+    std::uint64_t localPageFetches = 0;
+    std::uint64_t twinsCreated = 0;
+    std::uint64_t pagesDiffed = 0;
+    std::uint64_t homePagesDiffed = 0;
+    std::uint64_t diffBytesSent = 0;
+    std::uint64_t diffMsgsSent = 0;
+    std::uint64_t lockAcquires = 0;
+    std::uint64_t lockRemoteAcquires = 0;
+    std::uint64_t lockPollRounds = 0;
+    std::uint64_t barriers = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t intervalsCommitted = 0;
+    std::uint64_t checkpointsTaken = 0;
+    std::uint64_t checkpointBytes = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t messagesSent = 0;
+    std::uint64_t bytesSent = 0;
+    std::uint64_t postQueueStalls = 0;
+    std::uint64_t heartbeatsSent = 0;
+    std::uint64_t failuresDetected = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t pagesReReplicated = 0;
+    std::uint64_t pagesRolledForward = 0;
+    std::uint64_t pagesRolledBack = 0;
+    std::uint64_t threadsRestored = 0;
+
+    Counters &operator+=(const Counters &other);
+    std::string toString() const;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_BASE_STATS_HH

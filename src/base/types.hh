@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fundamental identifier and time types shared by every rsvm module.
+ *
+ * All simulated time is expressed in nanoseconds as a 64-bit unsigned
+ * integer. Identifiers are small integers; kInvalid sentinels mark the
+ * "no such entity" value throughout the code base.
+ */
+
+#ifndef RSVM_BASE_TYPES_HH
+#define RSVM_BASE_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace rsvm {
+
+/** Simulated time in nanoseconds. */
+using SimTime = std::uint64_t;
+
+/** Logical node identifier (a protocol instance). */
+using NodeId = std::uint32_t;
+
+/** Physical node identifier (a machine: memory + NIC + CPUs). */
+using PhysNodeId = std::uint32_t;
+
+/** Global compute-thread identifier (dense across the cluster). */
+using ThreadId = std::uint32_t;
+
+/** Shared page number within the global shared address space. */
+using PageId = std::uint32_t;
+
+/** Byte address within the global shared address space. */
+using Addr = std::uint64_t;
+
+/** Application-level lock identifier. */
+using LockId = std::uint32_t;
+
+/** Per-node release interval number (starts at 0, bumps per release). */
+using IntervalNum = std::uint32_t;
+
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+constexpr ThreadId kInvalidThread = std::numeric_limits<ThreadId>::max();
+constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
+constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::max();
+
+/** Convenience literals for simulated durations. */
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000;
+constexpr SimTime kMillisecond = 1000 * 1000;
+constexpr SimTime kSecond = 1000ull * 1000 * 1000;
+
+} // namespace rsvm
+
+#endif // RSVM_BASE_TYPES_HH

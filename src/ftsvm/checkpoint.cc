@@ -1,0 +1,2 @@
+// CkptStore is header-only; this translation unit anchors the module.
+#include "ftsvm/checkpoint.hh"

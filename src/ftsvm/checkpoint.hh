@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Checkpoint storage (§4.4).
+ *
+ * Each logical node has a designated *backup* node holding, in its
+ * volatile memory:
+ *
+ *  - two alternating checkpoint slots per protected thread (so a crash
+ *    while a checkpoint transfer is in progress always leaves the
+ *    previous one intact) — the slot for tag t is t mod 2;
+ *  - the protected node's last saved vector timestamp, interval
+ *    counter and barrier epoch (deposited at the end of phase 1 of
+ *    each release, Fig. 2);
+ *  - the page list of every saved interval, so the failed node's
+ *    interval table (write notices) can be rebuilt during recovery.
+ *
+ * Tags are the protected node's interval numbers: the point-A
+ * checkpoints of other threads and the point-B checkpoint of the
+ * releasing thread during the release of interval i all carry tag i.
+ * Recovery restores every thread from its checkpoint tagged with the
+ * node's saved interval (roll-forward uses the current release's
+ * checkpoints, roll-back the previous release's — §4.5.3).
+ */
+
+#ifndef RSVM_FTSVM_CHECKPOINT_HH
+#define RSVM_FTSVM_CHECKPOINT_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "mem/diff.hh"
+#include "sim/thread.hh"
+#include "svm/timestamp.hh"
+
+namespace rsvm {
+
+/** One stored thread checkpoint. */
+struct ThreadCkpt
+{
+    /** Interval tag; 0 means "restart from the beginning". */
+    IntervalNum tag = 0;
+    /** The thread had already finished at capture time. */
+    bool finished = false;
+    /** Valid image present (tag > 0 and not finished). */
+    bool valid = false;
+    SimThread::CkptImage image;
+};
+
+/** Everything a backup node holds for one protected node. */
+class CkptStore
+{
+  public:
+    /** Store a checkpoint into the slot for its tag (tag mod 2). */
+    void
+    save(ThreadId thread, ThreadCkpt ckpt)
+    {
+        slots[thread][ckpt.tag % 2] = std::move(ckpt);
+    }
+
+    /** Find the checkpoint with exactly tag @p tag, if present. */
+    const ThreadCkpt *
+    find(ThreadId thread, IntervalNum tag) const
+    {
+        auto it = slots.find(thread);
+        if (it == slots.end())
+            return nullptr;
+        const ThreadCkpt &c = it->second[tag % 2];
+        if ((c.valid || c.finished) && c.tag == tag)
+            return &c;
+        return nullptr;
+    }
+
+    /** Record the protected node's release-complete metadata. */
+    void
+    saveMeta(const VectorClock &ts, IntervalNum interval,
+             std::uint64_t barrier_epoch,
+             std::vector<PageId> interval_pages,
+             std::vector<Diff> self_secondary_diffs = {})
+    {
+        hasSaved = true;
+        savedTs = ts;
+        savedInterval = interval;
+        savedBarrierEpoch = barrier_epoch;
+        intervalPages[interval] = std::move(interval_pages);
+        // Diffs of pages whose secondary home is the protected node
+        // itself: their only off-committed replica (the tentative
+        // copy) lives in the protected node's own memory, so a
+        // roll-forward after its death must recover them from here.
+        // Only the last release matters (earlier phase 2s completed
+        // before the next release began).
+        savedDiffs = std::move(self_secondary_diffs);
+        savedDiffsInterval = interval;
+    }
+
+    std::vector<Diff> savedDiffs;
+    IntervalNum savedDiffsInterval = 0;
+
+    bool hasSaved = false;
+    VectorClock savedTs;
+    IntervalNum savedInterval = 0;
+    std::uint64_t savedBarrierEpoch = 0;
+    /** Page lists of saved intervals (rebuilds the interval table). */
+    std::unordered_map<IntervalNum, std::vector<PageId>> intervalPages;
+
+  private:
+    std::unordered_map<ThreadId, std::array<ThreadCkpt, 2>> slots;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_FTSVM_CHECKPOINT_HH

@@ -1,0 +1,980 @@
+#include "ftsvm/ft_protocol.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "base/log.hh"
+#include "base/panic.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+
+FtProtocolNode::FtProtocolNode(SvmContext &context, NodeId node_id)
+    : SvmNode(context, node_id)
+{
+}
+
+CkptStore *
+FtProtocolNode::findStoreFor(NodeId protected_node)
+{
+    auto it = backupStores.find(protected_node);
+    return it == backupStores.end() ? nullptr : &it->second;
+}
+
+std::byte *
+FtProtocolNode::committedData(PageId page)
+{
+    HomeInfo &hi = homeInfo(page);
+    if (!hi.committed) {
+        hi.committed.reset(new std::byte[ctx.cfg.pageSize]);
+        std::memset(hi.committed.get(), 0, ctx.cfg.pageSize);
+    }
+    return hi.committed.get();
+}
+
+std::byte *
+FtProtocolNode::tentativeData(PageId page)
+{
+    HomeInfo &hi = homeInfo(page);
+    if (!hi.tentative) {
+        hi.tentative.reset(new std::byte[ctx.cfg.pageSize]);
+        std::memset(hi.tentative.get(), 0, ctx.cfg.pageSize);
+    }
+    return hi.tentative.get();
+}
+
+
+
+// ------------------------------------------------------------- page fetch
+
+bool
+FtProtocolNode::stallOnLockedPage(SimThread &self, PageEntry &)
+{
+    // §4.2: fault handling / new writes on a locked page stall until
+    // the outstanding release completes (unlockPages wakes us).
+    pageLockWaiters.push_back({&self, self.generation()});
+    (void)self.parkFor(ctx.cfg.heartbeatTimeout, Comp::DataWait);
+    return true; // caller re-evaluates the page state
+}
+
+void
+FtProtocolNode::fetchPage(SimThread &self, PageId page)
+{
+    for (;;) {
+        NodeId prim = ctx.as.primaryHome(page);
+        PageEntry &e = pt.entry(page);
+        VectorClock req(ctx.cfg.numNodes);
+        for (NodeId n = 0; n < ctx.cfg.numNodes; ++n)
+            req[n] = e.reqVer[n];
+
+        if (prim == nodeId) {
+            // Local fetch at the primary home: copy the committed copy
+            // into the working copy, once it satisfies the required
+            // version (§4.2: "they now have to fetch the version
+            // needed from the local, committed copy").
+            HomeInfo &hi = homeInfo(page);
+            if (!hi.committedVer.dominates(req)) {
+                hi.localWaiters.push_back({&self, self.generation()});
+                WakeStatus ws = self.parkFor(ctx.cfg.heartbeatTimeout,
+                                             Comp::DataWait);
+                if (ws == WakeStatus::Timeout) {
+                    PhysNodeId dead;
+                    if (ctx.vmmc.sweepForFailures(self, &dead))
+                        parkUntilRecovered(self, Comp::DataWait);
+                }
+                continue; // re-evaluate (home may have changed)
+            }
+            PageEntry &e2 = pt.entry(page);
+            if (e2.state != PageState::Invalid) {
+                // Faulted in by another local thread meanwhile.
+                stats.localPageFetches++;
+                return;
+            }
+            std::byte *commit = committedData(page);
+            std::byte *work = pt.ensureData(e2);
+            std::memcpy(work, commit, ctx.cfg.pageSize);
+            applyPendingLocal(page, work);
+            self.charge(Comp::DataWait,
+                        static_cast<SimTime>(ctx.cfg.pageSize *
+                                             ctx.cfg.memCopyNsPerByte));
+            e2.state = PageState::ReadOnly;
+            stats.localPageFetches++;
+            return;
+        }
+
+        auto out = std::make_shared<std::vector<std::byte>>();
+        SvmNode *home_node = ctx.nodes[prim];
+        CommStatus st = ctx.vmmc.fetch(
+            self, nodeId, prim, 64 + 4 * ctx.cfg.numNodes,
+            [home_node, page, req, out](std::shared_ptr<Replier> rep) {
+                home_node->handleFetch(page, req, std::move(rep), out);
+            },
+            Comp::DataWait);
+        if (st == CommStatus::Ok) {
+            PageEntry &e2 = pt.entry(page);
+            if (e2.state != PageState::Invalid) {
+                // Another local thread faulted the page in while we
+                // waited; our copy may predate its writes. Discard.
+                stats.remotePageFetches++;
+                return;
+            }
+            // The required version may have advanced while the reply
+            // was in flight (a concurrent acquire applied new write
+            // notices): this copy is stale — refetch.
+            bool stale = false;
+            for (NodeId n = 0; n < ctx.cfg.numNodes; ++n) {
+                if (e2.reqVer[n] > req[n]) {
+                    stale = true;
+                    break;
+                }
+            }
+            if (stale)
+                continue;
+            std::byte *data = pt.ensureData(e2);
+            rsvm_assert(out->size() == ctx.cfg.pageSize);
+            std::memcpy(data, out->data(), ctx.cfg.pageSize);
+            applyPendingLocal(page, data);
+            e2.state = PageState::ReadOnly;
+            stats.remotePageFetches++;
+            return;
+        }
+        if (st == CommStatus::Error)
+            parkUntilRecovered(self, Comp::DataWait);
+        // Restarted / recovered: retry with the fresh home mapping.
+    }
+}
+
+void
+FtProtocolNode::replyWithCommitted(PageId page,
+                                   std::shared_ptr<Replier> rep,
+                                   std::shared_ptr<
+                                       std::vector<std::byte>> out)
+{
+    std::byte *data = committedData(page);
+    std::vector<std::byte> copy(data, data + ctx.cfg.pageSize);
+    rep->reply(ctx.cfg.pageSize,
+               [out, copy = std::move(copy)]() mutable {
+                   *out = std::move(copy);
+               });
+}
+
+void
+FtProtocolNode::handleFetch(PageId page, const VectorClock &req_ver,
+                            std::shared_ptr<Replier> rep,
+                            std::shared_ptr<std::vector<std::byte>> out)
+{
+    HomeInfo &hi = homeInfo(page);
+    if (hi.committedVer.dominates(req_ver)) {
+        replyWithCommitted(page, std::move(rep), std::move(out));
+        return;
+    }
+    RSVM_LOG(LogComp::Mem, "node %u defers fetch page=%u req=%s committed=%s",
+             nodeId, page, req_ver.toString().c_str(),
+             hi.committedVer.toString().c_str());
+    hi.waiters.push_back(
+        DeferredFetch{req_ver, std::move(rep), std::move(out)});
+}
+
+void
+FtProtocolNode::serviceFetchWaiters(PageId page)
+{
+    HomeInfo *hi = findHomeInfo(page);
+    if (!hi)
+        return;
+    if (!hi->waiters.empty()) {
+        std::vector<DeferredFetch> still;
+        for (auto &w : hi->waiters) {
+            if (hi->committedVer.dominates(w.reqVer))
+                replyWithCommitted(page, std::move(w.rep),
+                                   std::move(w.out));
+            else
+                still.push_back(std::move(w));
+        }
+        hi->waiters.swap(still);
+    }
+    // Local waiters re-check their own condition after the wake.
+    wakeWaiters(hi->localWaiters);
+}
+
+void
+FtProtocolNode::serviceAllWaiters()
+{
+    std::vector<PageId> pages;
+    pages.reserve(homePages.size());
+    for (auto &[page, hi] : homePages)
+        pages.push_back(page);
+    for (PageId p : pages)
+        serviceFetchWaiters(p);
+}
+
+void
+FtProtocolNode::applyIncomingDiff(const Diff &d, int phase)
+{
+    if (Logger::instance().enabled(LogComp::Mem)) {
+        std::uint64_t w0 = 0;
+        if (!d.runs.empty() && d.runs[0].bytes.size() >= 8)
+            std::memcpy(&w0, d.runs[0].bytes.data(), 8);
+        RSVM_LOG(LogComp::Mem,
+                 "node %u applies diff page=%u origin=%u interval=%u "
+                 "phase=%d bytes=%u runs=%zu off=%u w0=%llu",
+                 nodeId, d.page, d.origin, d.interval, phase,
+                 d.modifiedBytes(), d.runs.size(),
+                 d.runs.empty() ? 0 : d.runs[0].offset,
+                 static_cast<unsigned long long>(w0));
+    }
+    if (phase == 1) {
+        HomeInfo &hi = homeInfo(d.page);
+        applyDiffChain(
+            hi, hi.tentativeVer, 1, d, [this, &hi](const Diff &dd) {
+                std::byte *tent = tentativeData(dd.page);
+                // Record the undo (pre-application bytes of the same
+                // runs): if the page's primary home dies before this
+                // interval's timestamp save, the promotion of this
+                // tentative copy must cancel these updates (§4.5.2
+                // roll-back with a dead primary home).
+                Diff undo;
+                undo.page = dd.page;
+                undo.origin = dd.origin;
+                undo.interval = dd.interval;
+                for (const DiffRun &run : dd.runs) {
+                    DiffRun old;
+                    old.offset = run.offset;
+                    old.bytes.assign(tent + run.offset,
+                                     tent + run.offset +
+                                         run.bytes.size());
+                    undo.runs.push_back(std::move(old));
+                }
+                hi.tentUndo[dd.origin] = std::move(undo);
+                diff::apply(dd, tent, ctx.cfg.pageSize);
+            });
+        return;
+    }
+    rsvm_assert(phase == 2);
+    HomeInfo &hi = homeInfo(d.page);
+    applyDiffChain(
+        hi, hi.committedVer, 0, d, [this, &hi](const Diff &dd) {
+            std::byte *commit = committedData(dd.page);
+            diff::apply(dd, commit, ctx.cfg.pageSize);
+            // The interval is committed: its roll-back undo is
+            // obsolete.
+            auto undo_it = hi.tentUndo.find(dd.origin);
+            if (undo_it != hi.tentUndo.end() &&
+                undo_it->second.interval <= dd.interval)
+                hi.tentUndo.erase(undo_it);
+        });
+    serviceFetchWaiters(d.page);
+}
+
+const std::byte *
+FtProtocolNode::homeBytes(PageId page)
+{
+    HomeInfo *hi = findHomeInfo(page);
+    return hi ? hi->committed.get() : nullptr;
+}
+
+void
+FtProtocolNode::capOriginVersions(NodeId origin, IntervalNum limit)
+{
+    for (auto &[page, hi] : homePages) {
+        if (hi.committedVer.size() &&
+            hi.committedVer[origin] > limit)
+            hi.committedVer[origin] = limit;
+        if (hi.tentativeVer.size() &&
+            hi.tentativeVer[origin] > limit)
+            hi.tentativeVer[origin] = limit;
+        for (auto &w : hi.waiters) {
+            if (w.reqVer[origin] > limit)
+                w.reqVer[origin] = limit;
+        }
+        // Deferred diffs of cancelled intervals will never link up.
+        for (auto &bucket : hi.deferredDiffs) {
+            auto it = bucket.find(origin);
+            if (it == bucket.end())
+                continue;
+            auto &vec = it->second;
+            vec.erase(std::remove_if(vec.begin(), vec.end(),
+                                     [limit](const Diff &d) {
+                                         return d.interval > limit;
+                                     }),
+                      vec.end());
+        }
+    }
+    for (auto &[page, e] : pt) {
+        if (e.reqVer.size() > origin && e.reqVer[origin] > limit)
+            e.reqVer[origin] = limit;
+    }
+    if (ts[origin] > limit)
+        ts[origin] = limit;
+}
+
+// ------------------------------------------------------------------ release
+
+void
+FtProtocolNode::lockPages(const std::vector<PageId> &pages)
+{
+    for (PageId p : pages)
+        pt.entry(p).locked = true;
+}
+
+void
+FtProtocolNode::unlockPages(const std::vector<PageId> &pages)
+{
+    for (PageId p : pages) {
+        if (PageEntry *e = pt.find(p))
+            e->locked = false;
+    }
+    wakePageLockWaiters();
+}
+
+void
+FtProtocolNode::releaserWaitRecovery(SimThread &self)
+{
+    releasersWaitingRecovery++;
+    parkUntilRecovered(self, Comp::Diff);
+    releasersWaitingRecovery--;
+}
+
+CommStatus
+FtProtocolNode::propagateDiffs(SimThread &self,
+                               const std::vector<Diff> &diffs, int phase)
+{
+    CompletionBatch batch(self);
+    bool first = true;
+
+    if (ctx.cfg.batchDiffs) {
+        // §6 optimization: one coalesced message per destination.
+        std::unordered_map<NodeId, std::vector<Diff>> per_target;
+        for (const Diff &d : diffs) {
+            NodeId target = (phase == 1)
+                                ? ctx.as.secondaryHome(d.page)
+                                : ctx.as.primaryHome(d.page);
+            per_target[target].push_back(d);
+        }
+        for (auto &[target, group] : per_target) {
+            std::uint32_t bytes = 0;
+            for (const Diff &d : group)
+                bytes += d.wireBytes();
+            stats.diffMsgsSent++;
+            stats.diffBytesSent += bytes;
+            SvmNode *tnode = ctx.nodes[target];
+            CommStatus st = ctx.vmmc.depositAsync(
+                self, nodeId, target, bytes,
+                [tnode, group = std::move(group), phase] {
+                    for (const Diff &d : group)
+                        tnode->applyIncomingDiff(d, phase);
+                },
+                &batch, Comp::Diff);
+            if (st == CommStatus::Restarted)
+                return CommStatus::Restarted;
+            if (first) {
+                first = false;
+                failpoint(self, phase == 1 ? failpoints::kMidPhase1
+                                           : failpoints::kMidPhase2);
+            }
+        }
+        return batch.wait(Comp::Diff);
+    }
+
+    for (const Diff &d : diffs) {
+        NodeId target = (phase == 1) ? ctx.as.secondaryHome(d.page)
+                                     : ctx.as.primaryHome(d.page);
+        stats.diffMsgsSent++;
+        stats.diffBytesSent += d.wireBytes();
+        SvmNode *tnode = ctx.nodes[target];
+        CommStatus st = ctx.vmmc.depositAsync(
+            self, nodeId, target, d.wireBytes(),
+            [tnode, d, phase] { tnode->applyIncomingDiff(d, phase); },
+            &batch, Comp::Diff);
+        if (st == CommStatus::Restarted)
+            return CommStatus::Restarted;
+        if (first) {
+            first = false;
+            failpoint(self, phase == 1 ? failpoints::kMidPhase1
+                                       : failpoints::kMidPhase2);
+        }
+        // An Error here poisons the batch; keep going so the wait
+        // below reports it after the posted sends drain.
+        (void)st;
+    }
+    return batch.wait(Comp::Diff);
+}
+
+CommStatus
+FtProtocolNode::sendCkpt(SimThread &self, ThreadId thread,
+                         ThreadCkpt ckpt, CompletionBatch *batch)
+{
+    NodeId backup = ctx.ops->backupOf(nodeId);
+    auto *bnode = static_cast<FtProtocolNode *>(ctx.nodes[backup]);
+    std::uint32_t bytes = static_cast<std::uint32_t>(
+        ckpt.valid ? ckpt.image.bytes() : 64);
+    stats.checkpointsTaken++;
+    stats.checkpointBytes += bytes;
+    NodeId me = nodeId;
+    return ctx.vmmc.depositAsync(
+        self, nodeId, backup, bytes,
+        [bnode, me, thread, ckpt = std::move(ckpt)]() mutable {
+            bnode->storeFor(me).save(thread, std::move(ckpt));
+        },
+        batch, Comp::Ckpt);
+}
+
+CommStatus
+FtProtocolNode::checkpointOthers(SimThread &self, IntervalNum tag)
+{
+    CompletionBatch batch(self);
+    for (SimThread *t : ctx.ops->computeThreads(nodeId)) {
+        if (t == &self || t->state() == ThreadState::Dead)
+            continue;
+        self.charge(Comp::Ckpt, ctx.cfg.ckptCaptureCost);
+        ThreadCkpt ckpt;
+        ckpt.tag = tag;
+        ckpt.image = t->captureForCkpt();
+        if (ckpt.image.finished)
+            ckpt.finished = true;
+        else
+            ckpt.valid = true;
+        CommStatus st = sendCkpt(self, t->id(), std::move(ckpt),
+                                 &batch);
+        if (st == CommStatus::Restarted)
+            return st;
+    }
+    return batch.wait(Comp::Ckpt);
+}
+
+CommStatus
+FtProtocolNode::saveTimestamp(SimThread &self, IntervalNum interval,
+                              const std::vector<PageId> &pages)
+{
+    NodeId backup = ctx.ops->backupOf(nodeId);
+    auto *bnode = static_cast<FtProtocolNode *>(ctx.nodes[backup]);
+    VectorClock my_ts = ts;
+    std::uint64_t epoch = barrierEpoch;
+    NodeId me = nodeId;
+    std::vector<PageId> pages_copy = pages;
+    std::uint32_t bytes = 64 + 4 * ctx.cfg.numNodes +
+                          4 * static_cast<std::uint32_t>(pages.size());
+    // Pages whose SECONDARY home is this node have no off-node
+    // tentative replica: replicate their diffs with the timestamp so
+    // a roll-forward after our death can still complete the release.
+    std::vector<Diff> self_secondary;
+    if (activeRelease) {
+        for (const Diff &d : activeRelease->diffs) {
+            if (ctx.as.secondaryHome(d.page) == nodeId) {
+                self_secondary.push_back(d);
+                bytes += d.wireBytes();
+            }
+        }
+    }
+    return ctx.vmmc.deposit(
+        self, nodeId, backup, bytes,
+        [bnode, me, my_ts, interval, epoch,
+         pages_copy = std::move(pages_copy),
+         self_secondary = std::move(self_secondary)]() mutable {
+            bnode->storeFor(me).saveMeta(my_ts, interval, epoch,
+                                         std::move(pages_copy),
+                                         std::move(self_secondary));
+        },
+        Comp::Ckpt);
+}
+
+bool
+FtProtocolNode::checkpointSelf(SimThread &self, IntervalNum tag)
+{
+    self.charge(Comp::Ckpt, ctx.cfg.ckptCaptureCost);
+    // The snapshot lands in node-owned scratch storage: this frame may
+    // only hold PODs and raw pointers at the capture point, because it
+    // is part of the point-B image and will be resurrected on restore.
+    Fiber::Snapshot *scratch = &ckptScratch;
+    if (!self.captureSelf(*scratch)) {
+        // Restored path: recovery rolled the node forward/backward and
+        // resumed us here. The pending Restarted wake belongs to this
+        // resume; clear it so later parks behave.
+        self.clearPendingWake();
+        RSVM_LOG(LogComp::Ckpt, "node %u thread %u resumed at point B",
+                 nodeId, self.id());
+        return false;
+    }
+    ThreadCkpt ckpt;
+    ckpt.tag = tag;
+    ckpt.image.snap = std::move(ckptScratch);
+    ckpt.valid = true;
+    // Point-B images resume inside the thread's current restartable
+    // operation: record its closure so the restore can rebuild the
+    // thread's op bookkeeping (SimThread::restoreFromImage).
+    if (self.inRestartableOp())
+        ckpt.image.op = self.currentOp();
+    for (;;) {
+        CompletionBatch batch(self);
+        CommStatus st = sendCkpt(self, self.id(), ckpt, &batch);
+        if (st == CommStatus::Ok)
+            st = batch.wait(Comp::Ckpt);
+        if (st == CommStatus::Ok) {
+            RSVM_LOG(LogComp::Ckpt, "node %u point-B ckpt stored",
+                     nodeId);
+            return true;
+        }
+        RSVM_LOG(LogComp::Ckpt, "node %u point-B ckpt error, waiting",
+                 nodeId);
+        releaserWaitRecovery(self);
+    }
+}
+
+void
+FtProtocolNode::doRelease(SimThread &self, LockId lock, bool is_barrier)
+{
+    failpoint(self, failpoints::kBeforeRelease);
+
+    // Serialize releases within the node (§4.4: checkpoints performed
+    // by different threads must not overlap).
+    while (releaseMutexBusy) {
+        releaseMutexWaiters.push_back({&self, self.generation()});
+        (void)self.park(Comp::Protocol);
+        // Restarted or woken: re-evaluate (recovery clears the flag).
+    }
+    releaseMutexBusy = true;
+    releasesActive++;
+    RSVM_LOG(LogComp::Ft, "node %u release begins (barrier=%d)",
+             nodeId, is_barrier ? 1 : 0);
+
+    // The release state is node-owned: the point-B stack image must
+    // not own heap allocations (see SimThread::CkptImage).
+    activeRelease = std::make_unique<CommitResult>(commitInterval(&self));
+    CommitResult *cr = activeRelease.get();
+    failpoint(self, failpoints::kAfterCommit);
+
+    if (!cr->any) {
+        // Nothing to propagate: the release degenerates to the lock
+        // handoff (timestamp unchanged, no checkpoints needed — no
+        // local update can leak because none exists).
+        if (!is_barrier) {
+            for (;;) {
+                CommStatus st = globalRelease(self, lock);
+                if (st == CommStatus::Ok)
+                    break;
+                releaserWaitRecovery(self);
+            }
+        }
+        releasesActive--;
+        releaseMutexBusy = false;
+        activeRelease.reset();
+        wakeWaiters(releaseMutexWaiters);
+        return;
+    }
+
+    // §4.2: lock the committed pages; faults and new local writes on
+    // them stall until this release completes.
+    lockPages(cr->pages);
+
+    // Phases up to the timestamp save retry as a unit across
+    // failures of peer nodes (diff re-application is idempotent and
+    // version merges are monotonic).
+    for (;;) {
+        // Point A: capture all other local threads at the moment the
+        // interval ends (§4.4).
+        CommStatus st = checkpointOthers(self, cr->interval);
+        if (st != CommStatus::Ok) {
+            releaserWaitRecovery(self);
+            continue;
+        }
+        failpoint(self, failpoints::kAfterPointA);
+
+        // Phase 1: diffs to the tentative copies at secondary homes.
+        st = propagateDiffs(self, cr->diffs, 1);
+        if (st != CommStatus::Ok) {
+            releaserWaitRecovery(self);
+            continue;
+        }
+        failpoint(self, failpoints::kAfterPhase1);
+        break;
+    }
+    RSVM_LOG(LogComp::Ft, "node %u phase1 done (interval %u)", nodeId,
+             cr->interval);
+
+    // Point B: checkpoint ourselves, BEFORE saving the timestamp. The
+    // order matters: the saved timestamp declares the release complete
+    // (roll-forward), so the point-B image it rolls forward to must
+    // already exist. A death during the checkpoint itself rolls back
+    // to the previous release (§4.5.3), whose images are intact in the
+    // other slot of the two-slot alternation.
+    //
+    // On the restored path recovery has already rolled the pages
+    // forward (tentative -> committed), so the timestamp save, phase 2
+    // and the page unlock are skipped; the lock handoff is re-executed
+    // (idempotent: slot clear + monotonic ts merge).
+    bool normal_path = checkpointSelf(self, cr->interval);
+    if (normal_path) {
+        failpoint(self, failpoints::kAfterPointB);
+        for (;;) {
+            CommStatus st = saveTimestamp(self, cr->interval,
+                                          cr->pages);
+            if (st == CommStatus::Ok)
+                break;
+            releaserWaitRecovery(self);
+        }
+        failpoint(self, failpoints::kAfterTsSave);
+    }
+
+    if (!is_barrier) {
+        for (;;) {
+            CommStatus st = globalRelease(self, lock);
+            if (st == CommStatus::Ok)
+                break;
+            RSVM_LOG(LogComp::Ft, "node %u handoff error, waiting",
+                     nodeId);
+            releaserWaitRecovery(self);
+        }
+    }
+    RSVM_LOG(LogComp::Ft, "node %u handoff done", nodeId);
+
+    if (normal_path) {
+        // Phase 2: the same diffs to the committed copies at primary
+        // homes (fetches of these pages unblock here).
+        for (;;) {
+            CommStatus st = propagateDiffs(self, cr->diffs, 2);
+            if (st == CommStatus::Ok)
+                break;
+            releaserWaitRecovery(self);
+        }
+        unlockPages(cr->pages);
+        releasesActive--;
+        releaseMutexBusy = false;
+        activeRelease.reset();
+        wakeWaiters(releaseMutexWaiters);
+    }
+    // Restored path: recovery already reset the release bookkeeping
+    // (and there are no locked pages after the page-table reset).
+    failpoint(self, failpoints::kAfterRelease);
+}
+
+// --------------------------------------------------------------------- locks
+
+CommStatus
+FtProtocolNode::writeLockSlots(SimThread &self, LockId lock,
+                               std::uint8_t value)
+{
+    // Secondary first, then primary — same serialization rule as page
+    // updates: the copy that fetches read is updated last.
+    NodeId homes[2] = {ctx.locks.secondaryHome(lock),
+                       ctx.locks.primaryHome(lock)};
+    NodeId me = nodeId;
+    for (NodeId h : homes) {
+        SvmNode *hnode = ctx.nodes[h];
+        CommStatus st = ctx.vmmc.deposit(
+            self, nodeId, h, 16,
+            [hnode, lock, me, value] {
+                hnode->pollHome(lock).slots[me] = value;
+            },
+            Comp::LockWait);
+        if (st != CommStatus::Ok)
+            return st;
+    }
+    return CommStatus::Ok;
+}
+
+void
+FtProtocolNode::mirrorQueueHome(LockId lock)
+{
+    // Runs at the PRIMARY lock home (engine context): ship the full
+    // home state to the secondary. Mutations are serialized by the
+    // primary's event order and the FIFO channel preserves it.
+    QueueLockHome snapshot = queueHome(lock);
+    NodeId sec = ctx.locks.secondaryHome(lock);
+    SvmNode *snode = ctx.nodes[sec];
+    ctx.vmmc.depositFromEvent(
+        nodeId, sec, 16 + 4 * ctx.cfg.numNodes,
+        [snode, lock, snapshot = std::move(snapshot)] {
+            snode->queueHome(lock) = snapshot;
+        });
+}
+
+CommStatus
+FtProtocolNode::ftQueueAcquire(SimThread &self, LockId lock,
+                               VectorClock &out_ts)
+{
+    NodeId home = ctx.locks.primaryHome(lock);
+    auto *home_node = static_cast<FtProtocolNode *>(ctx.nodes[home]);
+    NodeId me = nodeId;
+    grantWaits[lock] = GrantWait{};
+
+    auto granted = std::make_shared<bool>(false);
+    auto gts = std::make_shared<VectorClock>();
+    CommStatus st = ctx.vmmc.fetch(
+        self, nodeId, home, 32,
+        [this, home_node, lock, me, granted, gts]
+        (std::shared_ptr<Replier> rep) {
+            QueueLockHome &q = home_node->queueHome(lock);
+            std::uint32_t n = ctx.cfg.numNodes;
+            if (!q.held) {
+                q.held = true;
+                q.tail = me;
+                home_node->mirrorQueueHome(lock);
+                VectorClock t = q.ts;
+                rep->reply(16 + 4 * n,
+                           [granted, gts, t = std::move(t)]() mutable {
+                               *granted = true;
+                               *gts = std::move(t);
+                           });
+            } else {
+                NodeId old_tail = q.tail;
+                q.tail = me;
+                home_node->mirrorQueueHome(lock);
+                rep->reply(16, [granted] { *granted = false; });
+                SvmNode *old_node = ctx.nodes[old_tail];
+                ctx.vmmc.depositFromEvent(
+                    home_node->id(), old_tail, 16,
+                    [old_node, lock, me] {
+                        old_node->setPendingNext(lock, me);
+                    });
+            }
+        },
+        Comp::LockWait);
+    if (st != CommStatus::Ok)
+        return st;
+    if (*granted) {
+        out_ts = *gts;
+        return CommStatus::Ok;
+    }
+    for (;;) {
+        GrantWait &gw = grantWaits[lock];
+        if (gw.granted) {
+            out_ts = gw.ts;
+            grantWaits.erase(lock);
+            return CommStatus::Ok;
+        }
+        gw.waiter = &self;
+        gw.gen = self.generation();
+        WakeStatus ws =
+            self.parkFor(ctx.cfg.heartbeatTimeout, Comp::LockWait);
+        if (ws == WakeStatus::Restarted)
+            return CommStatus::Restarted;
+        if (ws == WakeStatus::Timeout) {
+            PhysNodeId dead;
+            if (ctx.vmmc.sweepForFailures(self, &dead))
+                return CommStatus::Error;
+        }
+    }
+}
+
+CommStatus
+FtProtocolNode::ftQueueRelease(SimThread &self, LockId lock)
+{
+    NodeId me = nodeId;
+    for (;;) {
+        NodeLockState &ls = nodeLocks[lock];
+        if (ls.pendingNext != kInvalidNode) {
+            NodeId next = ls.pendingNext;
+            ls.pendingNext = kInvalidNode;
+            SvmNode *next_node = ctx.nodes[next];
+            VectorClock my_ts = ts;
+            return ctx.vmmc.deposit(
+                self, nodeId, next, 16 + 4 * ctx.cfg.numNodes,
+                [next_node, lock, my_ts] {
+                    next_node->receiveGrant(lock, my_ts);
+                },
+                Comp::LockWait);
+        }
+        NodeId home = ctx.locks.primaryHome(lock);
+        auto *home_node =
+            static_cast<FtProtocolNode *>(ctx.nodes[home]);
+        auto freed = std::make_shared<bool>(false);
+        VectorClock my_ts = ts;
+        CommStatus st = ctx.vmmc.fetch(
+            self, nodeId, home, 16 + 4 * ctx.cfg.numNodes,
+            [home_node, lock, me, my_ts, freed]
+            (std::shared_ptr<Replier> rep) {
+                QueueLockHome &q = home_node->queueHome(lock);
+                if (q.tail == me) {
+                    q.held = false;
+                    q.tail = kInvalidNode;
+                    q.ts.maxWith(my_ts);
+                    home_node->mirrorQueueHome(lock);
+                    rep->reply(16, [freed] { *freed = true; });
+                } else {
+                    rep->reply(16, [freed] { *freed = false; });
+                }
+            },
+            Comp::LockWait);
+        if (st != CommStatus::Ok)
+            return st;
+        if (*freed)
+            return CommStatus::Ok;
+        for (;;) {
+            NodeLockState &ls2 = nodeLocks[lock];
+            if (ls2.pendingNext != kInvalidNode)
+                break;
+            releaseWaits[lock] = {&self, self.generation()};
+            WakeStatus ws = self.parkFor(ctx.cfg.heartbeatTimeout,
+                                         Comp::LockWait);
+            if (ws == WakeStatus::Restarted)
+                return CommStatus::Restarted;
+            if (ws == WakeStatus::Timeout) {
+                PhysNodeId dead;
+                if (ctx.vmmc.sweepForFailures(self, &dead))
+                    return CommStatus::Error;
+            }
+        }
+    }
+}
+
+CommStatus
+FtProtocolNode::globalAcquire(SimThread &self, LockId lock,
+                              VectorClock &out_ts)
+{
+    if (ctx.cfg.lockAlgo == LockAlgo::Queuing)
+        return ftQueueAcquire(self, lock, out_ts);
+    SimTime backoff = ctx.cfg.lockBackoffMin;
+    for (;;) {
+        failpoint(self, failpoints::kInAcquire);
+        CommStatus st = writeLockSlots(self, lock, 1);
+        if (st != CommStatus::Ok) {
+            RSVM_LOG(LogComp::Lock, "acquire by=%u set-slots st=%d",
+                     nodeId, static_cast<int>(st));
+            return st;
+        }
+
+        NodeId prim = ctx.locks.primaryHome(lock);
+        SvmNode *pnode = ctx.nodes[prim];
+        NodeId me = nodeId;
+        std::uint32_t n = ctx.cfg.numNodes;
+        auto sole = std::make_shared<bool>(false);
+        auto got = std::make_shared<VectorClock>();
+        st = ctx.vmmc.fetch(
+            self, nodeId, prim, 16,
+            [pnode, lock, me, sole, got, n]
+            (std::shared_ptr<Replier> rep) {
+                PollLockHome &pl = pnode->pollHome(lock);
+                if (Logger::instance().enabled(LogComp::Lock)) {
+                    std::string s;
+                    for (NodeId i = 0; i < n; ++i)
+                        s += pl.slots[i] ? '1' : '0';
+                    RSVM_LOG(LogComp::Lock,
+                             "poll lock=%u at home=%u by=%u slots=%s",
+                             lock, pnode->id(), me, s.c_str());
+                }
+                // Own slot must be present: a lock-home remap may have
+                // lost our in-flight slot write (we then just retry).
+                bool s = pl.slots[me] != 0;
+                for (NodeId i = 0; s && i < n; ++i) {
+                    if (i != me && pl.slots[i])
+                        s = false;
+                }
+                VectorClock t = pl.ts;
+                rep->reply(n + 4 * n,
+                           [sole, got, s, t = std::move(t)]() mutable {
+                               *sole = s;
+                               *got = std::move(t);
+                           });
+            },
+            Comp::LockWait);
+        if (st != CommStatus::Ok) {
+            RSVM_LOG(LogComp::Lock, "acquire by=%u poll-fetch st=%d",
+                     nodeId, static_cast<int>(st));
+            return st;
+        }
+        stats.lockPollRounds++;
+        if (*sole) {
+            RSVM_LOG(LogComp::Lock, "acquire by=%u wins lock=%u",
+                     nodeId, lock);
+            out_ts = *got;
+            return CommStatus::Ok;
+        }
+        st = writeLockSlots(self, lock, 0);
+        if (st != CommStatus::Ok) {
+            RSVM_LOG(LogComp::Lock, "acquire by=%u clear-slots st=%d",
+                     nodeId, static_cast<int>(st));
+            return st;
+        }
+        // §4.1: heart-beat while contending — the blocking slot may
+        // belong to a dead node whose failure nobody else will detect.
+        PhysNodeId dead;
+        if (ctx.vmmc.sweepForFailures(self, &dead))
+            return CommStatus::Error;
+        SimTime jitter =
+            backoff / 2 + ctx.eng.rng().below(backoff / 2 + 1);
+        WakeStatus ws = self.delay(jitter, Comp::LockWait);
+        if (ws == WakeStatus::Restarted)
+            return CommStatus::Restarted;
+        backoff = std::min<SimTime>(backoff * 2,
+                                    ctx.cfg.lockBackoffMax);
+    }
+}
+
+CommStatus
+FtProtocolNode::globalRelease(SimThread &self, LockId lock)
+{
+    if (ctx.cfg.lockAlgo == LockAlgo::Queuing)
+        return ftQueueRelease(self, lock);
+    // Write the release timestamp and clear our slot at both homes,
+    // secondary first. The max-merge keeps timestamps monotonic even
+    // when a restored thread re-executes the handoff (§4.5).
+    NodeId homes[2] = {ctx.locks.secondaryHome(lock),
+                       ctx.locks.primaryHome(lock)};
+    NodeId me = nodeId;
+    VectorClock my_ts = ts;
+    for (NodeId h : homes) {
+        SvmNode *hnode = ctx.nodes[h];
+        RSVM_LOG(LogComp::Lock,
+                 "node %u releasing lock %u at home %u ts=%s", me,
+                 lock, h, my_ts.toString().c_str());
+        CommStatus st = ctx.vmmc.deposit(
+            self, nodeId, h, 16 + 4 * ctx.cfg.numNodes,
+            [hnode, lock, me, my_ts] {
+                PollLockHome &pl = hnode->pollHome(lock);
+                pl.ts.maxWith(my_ts);
+                pl.slots[me] = 0;
+            },
+            Comp::LockWait);
+        RSVM_LOG(LogComp::Lock, "node %u release at home %u st=%d", me,
+                 h, static_cast<int>(st));
+        if (st != CommStatus::Ok)
+            return st;
+    }
+    return CommStatus::Ok;
+}
+
+// ------------------------------------------------------------------ recovery
+
+void
+FtProtocolNode::resetForRehost(
+    const VectorClock &saved_ts, IntervalNum saved_interval,
+    std::uint64_t saved_barrier_epoch,
+    const std::unordered_map<IntervalNum, std::vector<PageId>> &pages)
+{
+    pt.reset();
+    ts = saved_ts.size() ? saved_ts : VectorClock(ctx.cfg.numNodes);
+    intervalCtr = saved_interval;
+    intervalTable.clear();
+    for (IntervalNum i = 1; i <= saved_interval; ++i) {
+        auto it = pages.find(i);
+        if (it != pages.end())
+            intervalTable.push_back(IntervalRecord{i, it->second});
+    }
+    curUpdateList.clear();
+    pendingDiffs.clear();
+    // Rebuild each page's own-chain knowledge (Diff::prevInterval of
+    // our future releases must link to the last interval that diffed
+    // the page before the failure, or homes would defer them forever).
+    for (const IntervalRecord &rec : intervalTable) {
+        for (PageId p : rec.pages) {
+            PageEntry &e = pt.entry(p);
+            if (e.reqVer[nodeId] < rec.interval)
+                e.reqVer[nodeId] = rec.interval;
+        }
+    }
+    homePages.clear();
+    pollLocks.clear();
+    queueLocks.clear();
+    resetNodeLockState();
+    barrierEpoch = saved_barrier_epoch;
+    barrierGoEpoch = saved_barrier_epoch;
+    barrierGoTs = VectorClock(ctx.cfg.numNodes);
+    barrierHome = BarrierHome{};
+    releaseMutexBusy = false;
+    releaseMutexWaiters.clear();
+    releasersWaitingRecovery = 0;
+    // Backup stores this node held for others died with its memory.
+    backupStores.clear();
+}
+
+} // namespace rsvm

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The extended, fault-tolerant SVM protocol (§4) — the paper's core
+ * contribution.
+ *
+ * Differences from the base protocol, all implemented here:
+ *
+ *  - every shared page has a primary and a secondary home; the primary
+ *    keeps a *committed* copy (what fetches return), the secondary a
+ *    *tentative* copy (§4.2);
+ *  - releases propagate diffs in two phases: tentative copies first,
+ *    then — after the releaser's timestamp has been saved at its
+ *    backup — committed copies (Fig. 2), making each release atomic
+ *    with respect to a releaser crash;
+ *  - homes create twins and diff their own pages; local updates go to
+ *    the working copy only, so a home node never mixes its uncommitted
+ *    writes into the replicated copies (the Fig. 3 hazard);
+ *  - pages committed by an in-flight release are locked: page faults
+ *    and new local writes on them stall until the release completes
+ *    (the Fig. 4 hazard); releases on one node are serialized;
+ *  - thread checkpoints: at each release the releaser captures the
+ *    other local threads when it commits the interval (point A) and
+ *    itself once phase 1 and the timestamp save are done (point B),
+ *    shipping context+stack to the backup node (§4.4);
+ *  - locks use the centralized polling algorithm with both lock homes
+ *    updated on every acquire/release, secondary first (§4.3).
+ *
+ * Release ordering note: the lock is handed to the next requester
+ * after point B (when the release is "conceptually complete", §4.4),
+ * not immediately after the commit as in the base protocol — a
+ * roll-back can then never strand a peer that observed the handoff.
+ */
+
+#ifndef RSVM_FTSVM_FT_PROTOCOL_HH
+#define RSVM_FTSVM_FT_PROTOCOL_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ftsvm/checkpoint.hh"
+#include "svm/protocol.hh"
+
+namespace rsvm {
+
+/** One logical node running the extended protocol. */
+class FtProtocolNode : public SvmNode
+{
+  public:
+    FtProtocolNode(SvmContext &context, NodeId node_id);
+
+    void handleFetch(PageId page, const VectorClock &req_ver,
+                     std::shared_ptr<Replier> rep,
+                     std::shared_ptr<std::vector<std::byte>> out)
+        override;
+    void applyIncomingDiff(const Diff &d, int phase) override;
+    const std::byte *homeBytes(PageId page) override;
+
+    /** Backup storage this node keeps for @p protected_node. */
+    CkptStore &storeFor(NodeId protected_node)
+    { return backupStores[protected_node]; }
+    CkptStore *findStoreFor(NodeId protected_node);
+
+    // ---- Recovery-manager interface -------------------------------------
+
+    /**
+     * Reset all volatile protocol state after this (failed) node is
+     * re-hosted, rolling it back to its last saved release.
+     */
+    void resetForRehost(const VectorClock &saved_ts,
+                        IntervalNum saved_interval,
+                        std::uint64_t saved_barrier_epoch,
+                        const std::unordered_map<
+                            IntervalNum, std::vector<PageId>> &pages);
+
+    /** Drop the backup store kept for @p protected_node. */
+    void dropStoreFor(NodeId protected_node)
+    { backupStores.erase(protected_node); }
+
+    /** Re-check deferred/local waiters of every homed page. */
+    void serviceAllWaiters();
+
+    /** Cap every known version entry for @p origin at @p limit
+     *  (discards write notices of cancelled intervals, §4.5). */
+    void capOriginVersions(NodeId origin, IntervalNum limit);
+
+    /** Committed page bytes (created zero-filled on demand). */
+    std::byte *committedData(PageId page);
+    /** Tentative page bytes (created zero-filled on demand). */
+    std::byte *tentativeData(PageId page);
+
+  protected:
+    void fetchPage(SimThread &self, PageId page) override;
+    bool writeNeedsTwin(PageId) const override { return true; }
+    bool skipInvalidate(PageId) const override { return false; }
+    bool stallOnLockedPage(SimThread &self, PageEntry &entry) override;
+    void doRelease(SimThread &self, LockId lock, bool is_barrier)
+        override;
+    CommStatus globalAcquire(SimThread &self, LockId lock,
+                             VectorClock &out_ts) override;
+    CommStatus globalRelease(SimThread &self, LockId lock) override;
+
+  private:
+    /** Serve deferred remote fetches and local waiters of one page. */
+    void serviceFetchWaiters(PageId page);
+    void replyWithCommitted(PageId page, std::shared_ptr<Replier> rep,
+                            std::shared_ptr<std::vector<std::byte>> out);
+
+    /** Phase-1/2 diff propagation; waits for all completions. */
+    CommStatus propagateDiffs(SimThread &self,
+                              const std::vector<Diff> &diffs, int phase);
+    /** Point-A checkpoints of the other local threads. */
+    CommStatus checkpointOthers(SimThread &self, IntervalNum tag);
+    /** Timestamp + interval-pages save at the backup (end of phase 1). */
+    CommStatus saveTimestamp(SimThread &self, IntervalNum interval,
+                             const std::vector<PageId> &pages);
+    /** Point-B self checkpoint; false on the restored path. */
+    bool checkpointSelf(SimThread &self, IntervalNum tag);
+    /** Ship one checkpoint slot to the backup node. */
+    CommStatus sendCkpt(SimThread &self, ThreadId thread,
+                        ThreadCkpt ckpt, CompletionBatch *batch);
+
+    /** Park until the current recovery finishes, as a releaser. */
+    void releaserWaitRecovery(SimThread &self);
+
+    void lockPages(const std::vector<PageId> &pages);
+    void unlockPages(const std::vector<PageId> &pages);
+
+    /** Replicated slot write at both lock homes (secondary first). */
+    CommStatus writeLockSlots(SimThread &self, LockId lock,
+                              std::uint8_t value);
+
+    // ---- Replicated queuing lock (§4.3) ---------------------------------
+    // The variant the paper designed, implemented, evaluated — and
+    // abandoned: home state (held flag, queue tail, timestamp) is
+    // mirrored to the secondary lock home on every mutation. Provided
+    // for the failure-free performance comparison of §4.3; recovery
+    // with queuing locks is unsupported (the paper's conclusion).
+    CommStatus ftQueueAcquire(SimThread &self, LockId lock,
+                              VectorClock &out_ts);
+    CommStatus ftQueueRelease(SimThread &self, LockId lock);
+    /** Mirror a queue-lock home's state to the secondary home. */
+    void mirrorQueueHome(LockId lock);
+
+    // ---- Release serialization (§4.4) ------------------------------------
+    bool releaseMutexBusy = false;
+    std::vector<std::pair<SimThread *, std::uint64_t>>
+        releaseMutexWaiters;
+
+    /**
+     * State of the in-flight release. Heap-stable (the point-B stack
+     * image may only reference it through a raw pointer, never own
+     * it): this is the paper's "diffs saved locally for the second
+     * phase" (§5.2).
+     */
+    std::unique_ptr<CommitResult> activeRelease;
+    /** Scratch for point-B self snapshots (same stability argument). */
+    Fiber::Snapshot ckptScratch;
+
+    /** Checkpoints and saved state of nodes this node backs up. */
+    std::unordered_map<NodeId, CkptStore> backupStores;
+
+    friend class RecoveryManager;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_FTSVM_FT_PROTOCOL_HH

@@ -1,0 +1,404 @@
+#include "ftsvm/recovery.hh"
+
+#include <cstring>
+
+#include "base/log.hh"
+#include "base/panic.hh"
+#include "ftsvm/ft_protocol.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+
+RecoveryManager::RecoveryManager(SvmContext &context)
+    : ctx(context)
+{
+}
+
+FtProtocolNode *
+RecoveryManager::ft(NodeId n) const
+{
+    return static_cast<FtProtocolNode *>(ctx.nodes[n]);
+}
+
+void
+RecoveryManager::onPhysFailure(PhysNodeId phys)
+{
+    RSVM_LOG(LogComp::Recovery, "failure of phys node %u detected",
+             phys);
+    stats.failuresDetected++;
+    pending.push_back(phys);
+    ctx.pendingRecovery = true;
+    if (!running) {
+        running = true;
+        // Defer to engine context: the detection hook may fire from
+        // inside a fiber mid-operation, and recovery performs state
+        // surgery (including thread captures) that requires no fiber
+        // to be running.
+        ctx.eng.schedule(0, [this] { pollQuiesce(); });
+    }
+}
+
+bool
+RecoveryManager::quiesced() const
+{
+    for (NodeId n = 0; n < ctx.numNodes(); ++n) {
+        if (!ctx.ops->physAlive(ctx.ops->hostOf(n)))
+            continue; // dead nodes don't participate
+        SvmNode *node = ctx.nodes[n];
+        if (node->releaseInProgress() &&
+            node->releasesActive != node->releasersWaitingRecovery)
+            return false;
+    }
+    return true;
+}
+
+void
+RecoveryManager::pollQuiesce()
+{
+    if (!quiesced()) {
+        if (Logger::instance().enabled(LogComp::Recovery)) {
+            for (NodeId n = 0; n < ctx.numNodes(); ++n) {
+                SvmNode *node = ctx.nodes[n];
+                if (node->releaseInProgress()) {
+                    RSVM_LOG(LogComp::Recovery,
+                             "quiesce wait: node %u active=%d "
+                             "waiting=%d",
+                             n, node->releasesActive,
+                             node->releasersWaitingRecovery);
+                }
+            }
+        }
+        ctx.eng.schedule(50 * kMicrosecond, [this] { pollQuiesce(); });
+        return;
+    }
+    performRecovery();
+}
+
+void
+RecoveryManager::performRecovery()
+{
+    rsvm_assert(!pending.empty());
+    PhysNodeId phys = pending.front();
+    pending.pop_front();
+
+    SimTime start = ctx.eng.now();
+    accumCost = ctx.cfg.recoveryFixedCost;
+
+    // Snapshot the hosted list first: rehosting changes it.
+    std::vector<NodeId> failed = ctx.ops->logicalNodesOn(phys);
+    for (NodeId f : failed)
+        recoverNode(f);
+
+    lastDuration = accumCost;
+    stats.recoveries++;
+
+    // Model the elapsed reconfiguration time, then release the cluster.
+    ctx.eng.schedule(accumCost, [this, start] {
+        (void)start;
+        if (pending.empty()) {
+            ctx.pendingRecovery = false;
+            ctx.recoveryEpoch++;
+            running = false;
+            wakeWaiters(ctx.recoveryWaiters);
+            RSVM_LOG(LogComp::Recovery, "recovery complete at %llu",
+                     static_cast<unsigned long long>(ctx.eng.now()));
+        } else {
+            // Another failure queued meanwhile: recover it too.
+            wakeWaiters(ctx.recoveryWaiters);
+            pollQuiesce();
+        }
+    });
+}
+
+void
+RecoveryManager::recoverNode(NodeId failed)
+{
+    rsvm_assert_msg(
+        ctx.cfg.lockAlgo == LockAlgo::CentralizedPolling,
+        "recovery with the queuing lock is unsupported: the paper "
+        "abandoned it for its recovery complexity (§4.3); use the "
+        "centralized polling lock for fault tolerance");
+    RSVM_LOG(LogComp::Recovery, "recovering logical node %u", failed);
+    const std::uint32_t num_nodes = ctx.cfg.numNodes;
+    NodeId backup = ctx.ops->backupOf(failed);
+    rsvm_assert_msg(ctx.ops->physAlive(ctx.ops->hostOf(backup)),
+                    "backup died with the protected node "
+                    "(simultaneous failures are not tolerated)");
+    FtProtocolNode *bnode = ft(backup);
+    CkptStore *cs = bnode->findStoreFor(failed);
+
+    VectorClock saved_ts(num_nodes);
+    IntervalNum saved_interval = 0;
+    std::uint64_t saved_epoch = 0;
+    if (cs && cs->hasSaved) {
+        saved_ts = cs->savedTs;
+        saved_interval = cs->savedInterval;
+        saved_epoch = cs->savedBarrierEpoch;
+    }
+    IntervalNum limit = saved_ts[failed];
+
+    // ---- Step 1: restore page consistency (§4.5.2) -------------------
+    // For pages homed away from the failed node, reconcile the two
+    // replicas using the saved timestamp: roll the failed node's last
+    // release forward or backward.
+    PageId num_pages = ctx.as.numPages();
+    std::vector<NodeId> old_prim(num_pages), old_sec(num_pages);
+    for (PageId p = 0; p < num_pages; ++p) {
+        old_prim[p] = ctx.as.primaryHome(p);
+        old_sec[p] = ctx.as.secondaryHome(p);
+    }
+
+    for (PageId p = 0; p < num_pages; ++p) {
+        if (old_prim[p] == failed || old_sec[p] == failed)
+            continue;
+        FtProtocolNode *pn = ft(old_prim[p]);
+        FtProtocolNode *sn = ft(old_sec[p]);
+        HomeInfo *phi = pn->findHomeInfo(p);
+        HomeInfo *shi = sn->findHomeInfo(p);
+        IntervalNum tv = shi ? shi->tentativeVer[failed] : 0;
+        IntervalNum cv = phi ? phi->committedVer[failed] : 0;
+        if (tv <= cv)
+            continue;
+        accumCost += ctx.cfg.recoveryPerPageCost;
+        if (tv <= limit) {
+            // Roll forward: the release completed its first phase and
+            // saved its timestamp; the tentative copy is the truth.
+            std::memcpy(pn->committedData(p), sn->tentativeData(p),
+                        ctx.cfg.pageSize);
+            phi = pn->findHomeInfo(p);
+            shi = sn->findHomeInfo(p);
+            phi->committedVer.maxWith(shi->tentativeVer);
+            stats.pagesRolledForward++;
+        } else {
+            // Roll back: cancel the partially propagated updates.
+            std::memcpy(sn->tentativeData(p), pn->committedData(p),
+                        ctx.cfg.pageSize);
+            phi = pn->findHomeInfo(p);
+            shi = sn->findHomeInfo(p);
+            shi->tentativeVer = phi->committedVer;
+            stats.pagesRolledBack++;
+        }
+    }
+
+    // ---- Step 2: remap and re-replicate page homes (§4.5.1) --------------
+    auto eligible = [this](NodeId cand, NodeId other) {
+        return ctx.ops->physAlive(ctx.ops->hostOf(cand)) &&
+               ctx.ops->hostOf(cand) != ctx.ops->hostOf(other);
+    };
+    std::vector<PageId> moved;
+    ctx.as.remapHomes(failed, eligible,
+                      [&moved](PageId p, NodeId) { moved.push_back(p); });
+    for (PageId p : moved) {
+        // Untouched pages (no home state anywhere) need no data
+        // movement: fresh zero-filled copies materialize lazily.
+        {
+            NodeId survivor_home =
+                (old_prim[p] == failed) ? old_sec[p] : old_prim[p];
+            if (!ft(survivor_home)->findHomeInfo(p))
+                continue;
+        }
+        accumCost += ctx.cfg.recoveryPerPageCost +
+                     ctx.cfg.wireTime(ctx.cfg.pageSize);
+        NodeId new_prim = ctx.as.primaryHome(p);
+        NodeId new_sec = ctx.as.secondaryHome(p);
+        FtProtocolNode *np = ft(new_prim);
+        FtProtocolNode *ns = ft(new_sec);
+
+        // Locate the surviving authoritative copy.
+        std::byte *bytes = nullptr;
+        VectorClock ver(num_nodes);
+        if (old_prim[p] == failed) {
+            // Promote the old secondary's tentative copy. If the
+            // failed node's last release was cancelled (its phase-1
+            // updates reached this tentative copy but the timestamp
+            // was never saved), apply the recorded phase-1 undo so the
+            // cancelled writes do not leak into the promoted copy
+            // (guarantee 3 of §4; a replayed read-modify-write would
+            // otherwise double-apply).
+            FtProtocolNode *survivor = ft(old_sec[p]);
+            bytes = survivor->tentativeData(p);
+            HomeInfo &shi = survivor->homeInfo(p);
+            ver = shi.tentativeVer;
+            if (ver[failed] > limit) {
+                auto undo_it = shi.tentUndo.find(failed);
+                if (undo_it != shi.tentUndo.end() &&
+                    undo_it->second.interval == ver[failed]) {
+                    diff::apply(undo_it->second, bytes,
+                                ctx.cfg.pageSize);
+                    shi.tentUndo.erase(undo_it);
+                }
+                stats.pagesRolledBack++;
+            }
+        } else {
+            FtProtocolNode *survivor = ft(old_prim[p]);
+            bytes = survivor->committedData(p);
+            ver = survivor->homeInfo(p).committedVer;
+        }
+        if (ver[failed] > limit)
+            ver[failed] = limit;
+
+        std::memcpy(np->committedData(p), bytes, ctx.cfg.pageSize);
+        np->homeInfo(p).committedVer = ver;
+        std::memcpy(ns->tentativeData(p), bytes, ctx.cfg.pageSize);
+        ns->homeInfo(p).tentativeVer = ver;
+        stats.pagesReReplicated++;
+    }
+
+    // The failed node was its own SECONDARY home for some pages: the
+    // tentative copies of its last release died with it. If that
+    // release rolled forward (timestamp saved), complete it from the
+    // diffs replicated alongside the timestamp at the backup.
+    if (cs && cs->hasSaved && cs->savedDiffsInterval == saved_interval) {
+        for (const Diff &d : cs->savedDiffs) {
+            rsvm_assert(d.origin == failed);
+            if (d.interval > limit)
+                continue; // cancelled release: roll back instead
+            ft(ctx.as.primaryHome(d.page))->applyIncomingDiff(d, 2);
+            ft(ctx.as.secondaryHome(d.page))->applyIncomingDiff(d, 1);
+            accumCost += ctx.cfg.recoveryPerPageCost;
+            stats.pagesRolledForward++;
+        }
+    }
+
+    // ---- Step 3: remap and re-replicate lock homes (§4.5.1) -----------
+    std::uint32_t num_locks = ctx.locks.numLocks();
+    std::vector<NodeId> old_lprim(num_locks), old_lsec(num_locks);
+    for (LockId l = 0; l < num_locks; ++l) {
+        old_lprim[l] = ctx.locks.primaryHome(l);
+        old_lsec[l] = ctx.locks.secondaryHome(l);
+    }
+    std::vector<LockId> moved_locks;
+    ctx.locks.remapHomes(failed, eligible,
+                         [&moved_locks](LockId l, NodeId) {
+                             moved_locks.push_back(l);
+                         });
+    for (LockId l : moved_locks) {
+        accumCost += 2 * ctx.cfg.wireLatency;
+        NodeId survivor_node =
+            (old_lprim[l] == failed) ? old_lsec[l] : old_lprim[l];
+        PollLockHome copy = ft(survivor_node)->pollHome(l);
+        // The failed node's slot is preserved (§4.3: the stateless
+        // algorithm makes this safe — its replayed thread either still
+        // logically holds the lock or re-contends normally).
+        ft(ctx.locks.primaryHome(l))->pollHome(l) = copy;
+        ft(ctx.locks.secondaryHome(l))->pollHome(l) = copy;
+    }
+
+    // ---- Step 4: discard cancelled write notices/versions (§4.5.2) ---
+    for (NodeId n = 0; n < num_nodes; ++n) {
+        if (n == failed)
+            continue;
+        FtProtocolNode *node = ft(n);
+        node->capOriginVersions(failed, limit);
+        for (auto &[lock, pl] : node->pollLocks) {
+            if (pl.ts.size() && pl.ts[failed] > limit)
+                pl.ts[failed] = limit;
+        }
+    }
+
+    // ---- Step 5: re-host and reset the failed node (§4.5.3) ------------
+    PhysNodeId new_host = ctx.ops->hostOf(backup);
+    ctx.ops->rehost(failed, new_host);
+    static const std::unordered_map<IntervalNum, std::vector<PageId>>
+        kNoPages;
+    ft(failed)->resetForRehost(saved_ts, saved_interval, saved_epoch,
+                               cs ? cs->intervalPages : kNoPages);
+
+    // Restore the threads from the checkpoints tagged with the saved
+    // interval (roll-forward uses the current release's checkpoints,
+    // roll-back the previous release's).
+    for (SimThread *t : ctx.ops->computeThreads(failed)) {
+        const ThreadCkpt *ck =
+            (cs && saved_interval > 0) ? cs->find(t->id(), saved_interval)
+                                       : nullptr;
+        accumCost += ctx.cfg.ckptCaptureCost;
+        if (!ck) {
+            // No checkpoint yet: restart the thread from the top.
+            rsvm_assert_msg(static_cast<bool>(restartHook),
+                            "no restart hook installed");
+            restartHook(t->id());
+            stats.threadsRestored++;
+        } else if (ck->finished) {
+            // The thread had already finished at the restore point.
+        } else {
+            t->restoreFromImage(ck->image);
+            stats.threadsRestored++;
+        }
+    }
+
+    // ---- Step 6: re-protect (fresh backups and checkpoints) -----------
+    // The restored node's new host is its old backup's host, so its
+    // checkpoints must move to a different physical node.
+    for (std::uint32_t step = 1; step <= num_nodes; ++step) {
+        NodeId cand = (failed + step) % num_nodes;
+        if (cand != failed && eligible(cand, failed)) {
+            ctx.ops->setBackupOf(failed, cand);
+            break;
+        }
+    }
+    bnode->dropStoreFor(failed);
+    recoveryCheckpoint(failed);
+
+    // Nodes whose checkpoint storage lived on the failed node need a
+    // new backup and a fresh consistent checkpoint.
+    for (NodeId g = 0; g < num_nodes; ++g) {
+        if (g == failed || ctx.ops->backupOf(g) != failed)
+            continue;
+        for (std::uint32_t step = 1; step <= num_nodes; ++step) {
+            NodeId cand = (g + step) % num_nodes;
+            if (cand != g && eligible(cand, g)) {
+                ctx.ops->setBackupOf(g, cand);
+                break;
+            }
+        }
+        recoveryCheckpoint(g);
+    }
+
+    // Deferred fetches can now be satisfiable (or were capped): nudge
+    // every home.
+    for (NodeId n = 0; n < num_nodes; ++n)
+        ft(n)->serviceAllWaiters();
+}
+
+void
+RecoveryManager::recoveryCheckpoint(NodeId g)
+{
+    FtProtocolNode *gn = ft(g);
+    if (gn->releasesActive > 0) {
+        // A parked releaser will redo its phases (including the
+        // checkpoints) against the new backup once recovery finishes.
+        return;
+    }
+    // Force a commit point so the captured images replay everything
+    // that follows them (no un-propagated execution precedes them).
+    CommitResult cr = gn->commitInterval(nullptr);
+    if (cr.any) {
+        for (const Diff &d : cr.diffs) {
+            ft(ctx.as.secondaryHome(d.page))->applyIncomingDiff(d, 1);
+            ft(ctx.as.primaryHome(d.page))->applyIncomingDiff(d, 2);
+        }
+        accumCost += ctx.cfg.recoveryPerPageCost * cr.pages.size();
+    }
+    NodeId b = ctx.ops->backupOf(g);
+    CkptStore &store = ft(b)->storeFor(g);
+    store.hasSaved = true;
+    store.savedTs = gn->ts;
+    store.savedInterval = gn->intervalCtr;
+    store.savedBarrierEpoch = gn->barrierEpoch;
+    store.intervalPages.clear();
+    for (const auto &rec : gn->intervalTable)
+        store.intervalPages[rec.interval] = rec.pages;
+    for (SimThread *t : ctx.ops->computeThreads(g)) {
+        if (t->state() == ThreadState::Dead)
+            continue;
+        ThreadCkpt ck;
+        ck.tag = gn->intervalCtr;
+        ck.image = t->captureForCkpt();
+        ck.finished = ck.image.finished;
+        ck.valid = !ck.finished;
+        accumCost += ctx.cfg.ckptCaptureCost;
+        store.save(t->id(), std::move(ck));
+    }
+}
+
+} // namespace rsvm

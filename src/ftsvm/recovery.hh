@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The recovery manager (§4.5).
+ *
+ * When any communication operation detects a dead physical node, the
+ * Vmmc peer-death hook lands here. Recovery then:
+ *
+ *  1. waits for the cluster to quiesce — every live node has either no
+ *     release in flight or its releaser parked waiting for recovery
+ *     (the paper's precondition that no updates are being propagated
+ *     by any node other than the failed one, §4.5.2);
+ *  2. restores page consistency: for every page carrying the failed
+ *     node's partially propagated last release, rolls forward
+ *     (tentative -> committed) if the failed node's remotely saved
+ *     timestamp covers that release, otherwise rolls back
+ *     (committed -> tentative);
+ *  3. re-assigns primary/secondary homes for all pages and locks the
+ *     failed node homed, re-replicating from the surviving copy so
+ *     both replicas again live on distinct physical nodes (§4.5.1);
+ *  4. discards write notices and version entries of the failed node's
+ *     cancelled intervals everywhere;
+ *  5. re-hosts the failed logical node on its backup's physical node,
+ *     resets its volatile state to the saved timestamp, and resumes
+ *     its threads from the checkpoints tagged with the saved interval
+ *     (§4.5.3);
+ *  6. re-protects: nodes whose checkpoint storage died with the failed
+ *     node get a new backup and a fresh, engine-side consistent
+ *     checkpoint (a forced commit point, so no un-replayable execution
+ *     precedes the new images).
+ *
+ * All state surgery happens atomically at one simulated instant (the
+ * cluster is quiesced); the modelled elapsed recovery time is charged
+ * before the cluster is released.
+ */
+
+#ifndef RSVM_FTSVM_RECOVERY_HH
+#define RSVM_FTSVM_RECOVERY_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "base/stats.hh"
+#include "svm/protocol.hh"
+
+namespace rsvm {
+
+class FtProtocolNode;
+
+/** Orchestrates failure recovery for the extended protocol. */
+class RecoveryManager
+{
+  public:
+    explicit RecoveryManager(SvmContext &context);
+
+    /** Hook for restarting a thread from the beginning (tag 0). */
+    void setRestartHook(std::function<void(ThreadId)> hook)
+    { restartHook = std::move(hook); }
+
+    /** Entry point: install as the Vmmc peer-death hook. */
+    void onPhysFailure(PhysNodeId phys);
+
+    /** Counters accumulated across recoveries. */
+    const Counters &counters() const { return stats; }
+
+    /** Simulated duration of the last recovery. */
+    SimTime lastRecoveryTime() const { return lastDuration; }
+
+  private:
+    void pollQuiesce();
+    bool quiesced() const;
+    void performRecovery();
+    void recoverNode(NodeId failed);
+    /** Engine-side forced commit + propagation + fresh checkpoints. */
+    void recoveryCheckpoint(NodeId node);
+
+    FtProtocolNode *ft(NodeId n) const;
+
+    SvmContext &ctx;
+    std::function<void(ThreadId)> restartHook;
+    std::deque<PhysNodeId> pending;
+    bool running = false;
+    SimTime accumCost = 0;
+    SimTime lastDuration = 0;
+    Counters stats;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_FTSVM_RECOVERY_HH

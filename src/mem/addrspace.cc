@@ -1,0 +1,118 @@
+#include "mem/addrspace.hh"
+
+#include "base/panic.hh"
+
+namespace rsvm {
+
+AddressSpace::AddressSpace(const Config &config, std::uint32_t num_nodes)
+    : pageBytes(config.pageSize), pages(config.numPages()),
+      nodes(num_nodes), capacity(config.sharedBytes)
+{
+    rsvm_assert(nodes >= 1);
+    primary.resize(pages);
+    secondary.resize(pages);
+    for (PageId p = 0; p < pages; ++p) {
+        primary[p] = p % nodes;
+        secondary[p] = (primary[p] + 1) % nodes;
+    }
+}
+
+Addr
+AddressSpace::alloc(std::uint64_t bytes, std::uint64_t align)
+{
+    rsvm_assert(align > 0 && (align & (align - 1)) == 0);
+    bumpPtr = (bumpPtr + align - 1) & ~(align - 1);
+    Addr a = bumpPtr;
+    bumpPtr += bytes;
+    rsvm_assert_msg(bumpPtr <= capacity,
+                    "shared address space exhausted");
+    return a;
+}
+
+Addr
+AddressSpace::allocPageAligned(std::uint64_t bytes)
+{
+    return alloc(bytes, pageBytes);
+}
+
+void
+AddressSpace::setPrimaryHome(PageId page, NodeId home)
+{
+    rsvm_assert(page < pages && home < nodes);
+    primary[page] = home;
+    if (nodes > 1 && secondary[page] == home)
+        secondary[page] = (home + 1) % nodes;
+}
+
+void
+AddressSpace::setPrimaryHomeRange(Addr addr, std::uint64_t len,
+                                  NodeId home)
+{
+    if (len == 0)
+        return;
+    PageId first = pageOf(addr);
+    PageId last = pageOf(addr + len - 1);
+    for (PageId p = first; p <= last; ++p)
+        setPrimaryHome(p, home);
+}
+
+NodeId
+AddressSpace::primaryHome(PageId page) const
+{
+    rsvm_assert(page < pages);
+    return primary[page];
+}
+
+NodeId
+AddressSpace::secondaryHome(PageId page) const
+{
+    rsvm_assert(page < pages);
+    return secondary[page];
+}
+
+NodeId
+AddressSpace::nextEligible(
+    NodeId after, NodeId other,
+    const std::function<bool(NodeId, NodeId)> &eligible) const
+{
+    for (std::uint32_t step = 1; step <= nodes; ++step) {
+        NodeId cand = (after + step) % nodes;
+        if (cand != other && eligible(cand, other))
+            return cand;
+    }
+    rsvm_panic("no eligible home candidate left (too many failures)");
+}
+
+void
+AddressSpace::remapHomes(
+    NodeId failed,
+    const std::function<bool(NodeId, NodeId)> &eligible,
+    const std::function<void(PageId, NodeId)> &moved)
+{
+    for (PageId p = 0; p < pages; ++p) {
+        bool changed = false;
+        if (primary[p] == failed) {
+            // The secondary holds the only surviving replica: promote
+            // it (its tentative copy becomes the committed one) and
+            // pick a fresh secondary.
+            primary[p] = secondary[p];
+            secondary[p] = nextEligible(primary[p], primary[p],
+                                        eligible);
+            changed = true;
+        } else if (secondary[p] == failed) {
+            secondary[p] = nextEligible(primary[p], primary[p],
+                                        eligible);
+            changed = true;
+        } else if (!eligible(secondary[p], primary[p])) {
+            // Replicas ended up co-hosted (e.g. one was re-hosted onto
+            // the other's physical node by an earlier recovery).
+            secondary[p] = nextEligible(secondary[p], primary[p],
+                                        eligible);
+            changed = true;
+        }
+        if (changed)
+            moved(p, primary[p]);
+    }
+}
+
+} // namespace rsvm

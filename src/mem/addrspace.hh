@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The global shared address space: allocation and home assignment.
+ *
+ * Every shared page has a *primary* home; under the fault-tolerant
+ * protocol it additionally has a *secondary* home (§4.2). The initial
+ * secondary is the node immediately following the primary in node
+ * order. Applications set primary homes explicitly (the paper assigns
+ * homes "in a way that maximizes parallelism"); pages without explicit
+ * assignment default to a round-robin distribution.
+ *
+ * After a failure, the recovery manager rewrites homes so both
+ * replicas of every page stay on distinct *physical* nodes.
+ */
+
+#ifndef RSVM_MEM_ADDRSPACE_HH
+#define RSVM_MEM_ADDRSPACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/config.hh"
+#include "base/types.hh"
+
+namespace rsvm {
+
+/** Shared address space metadata (one per cluster). */
+class AddressSpace
+{
+  public:
+    AddressSpace(const Config &config, std::uint32_t num_nodes);
+
+    // ---- Geometry --------------------------------------------------------
+    std::uint32_t pageSize() const { return pageBytes; }
+    PageId numPages() const { return pages; }
+    PageId pageOf(Addr a) const
+    { return static_cast<PageId>(a / pageBytes); }
+    std::uint32_t pageOffset(Addr a) const
+    { return static_cast<std::uint32_t>(a % pageBytes); }
+    Addr pageBase(PageId p) const
+    { return static_cast<Addr>(p) * pageBytes; }
+
+    // ---- Allocation --------------------------------------------------------
+    /** Bump-allocate @p bytes with @p align alignment. */
+    Addr alloc(std::uint64_t bytes, std::uint64_t align = 8);
+    /** Bump-allocate starting at a fresh page boundary. */
+    Addr allocPageAligned(std::uint64_t bytes);
+    /** Bytes allocated so far. */
+    std::uint64_t used() const { return bumpPtr; }
+
+    // ---- Home assignment ------------------------------------------------
+    void setPrimaryHome(PageId page, NodeId home);
+    /** Assign every page overlapping [addr, addr+len) to @p home. */
+    void setPrimaryHomeRange(Addr addr, std::uint64_t len, NodeId home);
+    NodeId primaryHome(PageId page) const;
+    NodeId secondaryHome(PageId page) const;
+
+    /**
+     * Recompute both homes for every page after logical node
+     * @p failed lost its memory. @p eligible says whether a logical
+     * node may serve as a home (its physical host is alive and it is
+     * not co-hosted with the other replica). Calls @p moved for every
+     * page whose home set changed, with the surviving source home.
+     */
+    void remapHomes(
+        NodeId failed,
+        const std::function<bool(NodeId candidate, NodeId other)> &eligible,
+        const std::function<void(PageId page, NodeId survivor)> &moved);
+
+  private:
+    NodeId nextEligible(NodeId after, NodeId other,
+                        const std::function<bool(NodeId, NodeId)> &
+                            eligible) const;
+
+    std::uint32_t pageBytes;
+    PageId pages;
+    std::uint32_t nodes;
+    std::uint64_t bumpPtr = 0;
+    std::uint64_t capacity;
+    std::vector<NodeId> primary;
+    std::vector<NodeId> secondary;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_MEM_ADDRSPACE_HH

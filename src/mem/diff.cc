@@ -1,0 +1,75 @@
+#include "mem/diff.hh"
+
+#include <cstring>
+
+#include "base/panic.hh"
+
+namespace rsvm {
+
+std::uint32_t
+Diff::modifiedBytes() const
+{
+    std::uint32_t n = 0;
+    for (const auto &r : runs)
+        n += static_cast<std::uint32_t>(r.bytes.size());
+    return n;
+}
+
+std::uint32_t
+Diff::wireBytes() const
+{
+    // 8 bytes of (offset, length) header per run plus a 16-byte diff
+    // header (page id, origin, interval, run count).
+    return modifiedBytes() +
+           static_cast<std::uint32_t>(runs.size()) * 8 + 16;
+}
+
+namespace diff {
+
+Diff
+compute(PageId page, NodeId origin, IntervalNum interval,
+        std::span<const std::byte> current,
+        std::span<const std::byte> twin)
+{
+    rsvm_assert(current.size() == twin.size());
+    rsvm_assert(current.size() % kWord == 0);
+
+    Diff d;
+    d.page = page;
+    d.origin = origin;
+    d.interval = interval;
+
+    const std::size_t words = current.size() / kWord;
+    std::size_t w = 0;
+    while (w < words) {
+        if (std::memcmp(current.data() + w * kWord,
+                        twin.data() + w * kWord, kWord) == 0) {
+            ++w;
+            continue;
+        }
+        std::size_t start = w;
+        while (w < words &&
+               std::memcmp(current.data() + w * kWord,
+                           twin.data() + w * kWord, kWord) != 0) {
+            ++w;
+        }
+        DiffRun run;
+        run.offset = static_cast<std::uint32_t>(start * kWord);
+        run.bytes.assign(current.begin() + start * kWord,
+                         current.begin() + w * kWord);
+        d.runs.push_back(std::move(run));
+    }
+    return d;
+}
+
+void
+apply(const Diff &d, std::byte *target, std::size_t page_size)
+{
+    for (const auto &r : d.runs) {
+        rsvm_assert(r.offset + r.bytes.size() <= page_size);
+        std::memcpy(target + r.offset, r.bytes.data(), r.bytes.size());
+    }
+}
+
+} // namespace diff
+} // namespace rsvm

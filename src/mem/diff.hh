@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Page diffs: the unit of update propagation in HLRC (§3.2).
+ *
+ * A diff is computed by comparing a page's working copy against its
+ * twin (the copy made on the first write of an interval) at word
+ * granularity, coalescing adjacent modified words into runs. Diffs are
+ * what make the protocol multi-writer: two nodes can modify disjoint
+ * parts of the same page (false sharing) and their diffs merge at the
+ * home without interfering.
+ */
+
+#ifndef RSVM_MEM_DIFF_HH
+#define RSVM_MEM_DIFF_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace rsvm {
+
+/** One contiguous modified byte range within a page. */
+struct DiffRun
+{
+    std::uint32_t offset = 0;
+    std::vector<std::byte> bytes;
+};
+
+/** All modifications one node made to one page during one interval. */
+struct Diff
+{
+    PageId page = kInvalidPage;
+    NodeId origin = kInvalidNode;
+    IntervalNum interval = 0;
+    /**
+     * The origin's previous interval that diffed this page (0 if
+     * none): homes apply a page's per-origin diffs as a chain in this
+     * order, because parallel releases on an SMP node can legitimately
+     * emit them out of order and a later interval's diff does NOT
+     * subsume an earlier one's words.
+     */
+    IntervalNum prevInterval = 0;
+    std::vector<DiffRun> runs;
+
+    bool empty() const { return runs.empty(); }
+    /** Total modified payload bytes. */
+    std::uint32_t modifiedBytes() const;
+    /** Bytes this diff occupies on the wire (payload + run headers). */
+    std::uint32_t wireBytes() const;
+};
+
+/** Diff computation and application. */
+namespace diff {
+
+/**
+ * Word size used for comparison: 32 bits, matching the paper's x86
+ * testbed. Anything finer-grained than this that two nodes write
+ * concurrently is a data race (a neighbor's stale bytes within the
+ * same word would clobber the other writer's value at the home).
+ */
+constexpr std::size_t kWord = sizeof(std::uint32_t);
+
+/**
+ * Compare @p current against @p twin (same size, word multiple) and
+ * return the coalesced modified runs.
+ */
+Diff compute(PageId page, NodeId origin, IntervalNum interval,
+             std::span<const std::byte> current,
+             std::span<const std::byte> twin);
+
+/** Apply @p d onto @p target (a full page buffer). */
+void apply(const Diff &d, std::byte *target, std::size_t page_size);
+
+} // namespace diff
+
+} // namespace rsvm
+
+#endif // RSVM_MEM_DIFF_HH

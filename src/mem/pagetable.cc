@@ -1,0 +1,68 @@
+#include "mem/pagetable.hh"
+
+#include <cstring>
+
+#include "base/panic.hh"
+
+namespace rsvm {
+
+PageTable::PageTable(const Config &config, std::uint32_t num_nodes)
+    : pageBytes(config.pageSize), nodes(num_nodes)
+{
+}
+
+PageEntry &
+PageTable::entry(PageId page)
+{
+    auto [it, inserted] = entries.try_emplace(page);
+    if (inserted)
+        it->second.reqVer.assign(nodes, 0);
+    return it->second;
+}
+
+PageEntry *
+PageTable::find(PageId page)
+{
+    auto it = entries.find(page);
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+const PageEntry *
+PageTable::find(PageId page) const
+{
+    auto it = entries.find(page);
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+std::byte *
+PageTable::ensureData(PageEntry &e)
+{
+    if (!e.data) {
+        e.data.reset(new std::byte[pageBytes]);
+        std::memset(e.data.get(), 0, pageBytes);
+    }
+    return e.data.get();
+}
+
+void
+PageTable::makeTwin(PageEntry &e)
+{
+    rsvm_assert(e.data);
+    if (!e.twin)
+        e.twin.reset(new std::byte[pageBytes]);
+    std::memcpy(e.twin.get(), e.data.get(), pageBytes);
+}
+
+void
+PageTable::dropTwin(PageEntry &e)
+{
+    e.twin.reset();
+}
+
+void
+PageTable::reset()
+{
+    entries.clear();
+}
+
+} // namespace rsvm

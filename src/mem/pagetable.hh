@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Per-logical-node software page table.
+ *
+ * The real system uses the OS virtual-memory protection hardware
+ * (invalid / read-only / read-write mappings, twins created on write
+ * faults). We reproduce the same states in software; the runtime's
+ * shared-access API consults the table on every access and raises the
+ * corresponding protocol fault.
+ */
+
+#ifndef RSVM_MEM_PAGETABLE_HH
+#define RSVM_MEM_PAGETABLE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/config.hh"
+#include "base/types.hh"
+
+namespace rsvm {
+
+/** Access state of a shared page at one node. */
+enum class PageState : std::uint8_t {
+    /** No valid local copy; any access faults. */
+    Invalid,
+    /** Valid for reading; a write faults (twin creation). */
+    ReadOnly,
+    /** Valid for reading and writing (twin exists, page is dirty). */
+    ReadWrite,
+};
+
+/** One node's view of one shared page. */
+struct PageEntry
+{
+    PageState state = PageState::Invalid;
+    /** Working copy; allocated on first use. */
+    std::unique_ptr<std::byte[]> data;
+    /** Twin (pre-first-write copy); present while dirty. */
+    std::unique_ptr<std::byte[]> twin;
+    /**
+     * Page lock (§4.2, extended protocol): set while the page belongs
+     * to an interval whose release is still propagating; faults and
+     * new writes on the page stall until cleared.
+     */
+    bool locked = false;
+    /** Page is recorded in the current interval's update list. */
+    bool inUpdateList = false;
+    /**
+     * Required version: for each origin node, the highest interval of
+     * that origin for which a write notice naming this page has been
+     * seen. A fetched copy must include all such updates.
+     */
+    std::vector<IntervalNum> reqVer;
+};
+
+/** Software page table for one logical node. */
+class PageTable
+{
+  public:
+    PageTable(const Config &config, std::uint32_t num_nodes);
+
+    /** Look up, creating an Invalid entry on first touch. */
+    PageEntry &entry(PageId page);
+
+    /** Look up without creating; nullptr if never touched. */
+    PageEntry *find(PageId page);
+    const PageEntry *find(PageId page) const;
+
+    /** Allocate (or reuse) the working-copy buffer of @p e. */
+    std::byte *ensureData(PageEntry &e);
+
+    /** Create the twin from the current working copy. */
+    void makeTwin(PageEntry &e);
+
+    /** Drop the twin (after diffs were computed and propagated). */
+    void dropTwin(PageEntry &e);
+
+    /**
+     * Forget every page (node re-hosted after a failure: its memory
+     * content is lost; required versions are rebuilt by recovery).
+     */
+    void reset();
+
+    /** Number of touched pages. */
+    std::size_t size() const { return entries.size(); }
+
+    std::uint32_t pageSize() const { return pageBytes; }
+
+    /** Iteration over touched pages. */
+    auto begin() { return entries.begin(); }
+    auto end() { return entries.end(); }
+    auto begin() const { return entries.begin(); }
+    auto end() const { return entries.end(); }
+
+  private:
+    std::uint32_t pageBytes;
+    std::uint32_t nodes;
+    std::unordered_map<PageId, PageEntry> entries;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_MEM_PAGETABLE_HH

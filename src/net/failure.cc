@@ -1,0 +1,63 @@
+#include "net/failure.hh"
+
+#include <algorithm>
+
+#include "base/log.hh"
+#include "base/panic.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+
+FailureInjector::FailureInjector(Engine &engine)
+    : eng(engine)
+{
+}
+
+void
+FailureInjector::killAt(PhysNodeId node, SimTime when)
+{
+    timedKills++;
+    eng.at(when, [this, node] {
+        timedKills--;
+        killNow(node);
+    });
+}
+
+void
+FailureInjector::armFailpoint(PhysNodeId node, std::string name,
+                              std::uint64_t occurrence)
+{
+    rsvm_assert(occurrence >= 1);
+    armed.push_back(Armed{node, std::move(name), occurrence});
+}
+
+bool
+FailureInjector::failpoint(PhysNodeId node, const char *name)
+{
+    for (auto it = armed.begin(); it != armed.end(); ++it) {
+        if (it->node != node || it->name != name)
+            continue;
+        if (--it->remaining > 0)
+            return false;
+        armed.erase(it);
+        RSVM_LOG(LogComp::Ft, "failpoint '%s' fires on node %u", name,
+                 node);
+        killNow(node);
+        return true;
+    }
+    return false;
+}
+
+void
+FailureInjector::killNow(PhysNodeId node)
+{
+    if (std::find(killedNodes.begin(), killedNodes.end(), node) !=
+        killedNodes.end())
+        return;
+    killedNodes.push_back(node);
+    rsvm_assert_msg(static_cast<bool>(killAction),
+                    "no kill action installed");
+    killAction(node);
+}
+
+} // namespace rsvm

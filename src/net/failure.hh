@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fail-stop failure injection (§4.1).
+ *
+ * Failures are injected either at an absolute simulated time or at a
+ * named *failpoint* — a protocol location such as "release:phase1" —
+ * optionally on its n-th occurrence at a given node. The actual
+ * tear-down (killing the NIC, fibers, and memory of a physical node)
+ * is supplied by the runtime through setKillAction(), keeping this
+ * class free of upward dependencies.
+ */
+
+#ifndef RSVM_NET_FAILURE_HH
+#define RSVM_NET_FAILURE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace rsvm {
+
+class Engine;
+
+/** Well-known failpoint names used by the extended protocol. */
+namespace failpoints {
+inline constexpr const char *kBeforeRelease = "release:before";
+inline constexpr const char *kAfterCommit = "release:after-commit";
+inline constexpr const char *kAfterPointA = "release:after-point-a";
+inline constexpr const char *kMidPhase1 = "release:mid-phase1";
+inline constexpr const char *kAfterPhase1 = "release:after-phase1";
+inline constexpr const char *kAfterTsSave = "release:after-ts-save";
+inline constexpr const char *kAfterPointB = "release:after-point-b";
+inline constexpr const char *kMidPhase2 = "release:mid-phase2";
+inline constexpr const char *kAfterRelease = "release:after";
+inline constexpr const char *kInBarrier = "barrier:inside";
+inline constexpr const char *kInCompute = "compute";
+inline constexpr const char *kInAcquire = "acquire:inside";
+} // namespace failpoints
+
+/** Schedules and triggers fail-stop node failures. */
+class FailureInjector
+{
+  public:
+    explicit FailureInjector(Engine &engine);
+
+    /** Install the runtime's node tear-down procedure. */
+    void setKillAction(std::function<void(PhysNodeId)> action)
+    { killAction = std::move(action); }
+
+    /** Kill @p node at absolute simulated time @p when. */
+    void killAt(PhysNodeId node, SimTime when);
+
+    /**
+     * Kill @p node at the @p occurrence-th hit of failpoint @p name on
+     * that node (1-based).
+     */
+    void armFailpoint(PhysNodeId node, std::string name,
+                      std::uint64_t occurrence = 1);
+
+    /**
+     * Protocol-side hook. Returns true if this call just killed
+     * @p node — the caller, if running on that node, must killSelf().
+     */
+    bool failpoint(PhysNodeId node, const char *name);
+
+    /** Kill a node immediately (engine context or foreign fiber). */
+    void killNow(PhysNodeId node);
+
+    /** True if any time- or failpoint-based kill is armed. */
+    bool anyArmed() const { return !armed.empty() || timedKills > 0; }
+
+    /** Nodes killed so far, in order. */
+    const std::vector<PhysNodeId> &killed() const { return killedNodes; }
+
+  private:
+    struct Armed
+    {
+        PhysNodeId node;
+        std::string name;
+        std::uint64_t remaining;
+    };
+
+    Engine &eng;
+    std::function<void(PhysNodeId)> killAction;
+    std::vector<Armed> armed;
+    std::vector<PhysNodeId> killedNodes;
+    int timedKills = 0;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_NET_FAILURE_HH

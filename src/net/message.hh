@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The unit of communication between physical nodes.
+ *
+ * Because the whole cluster lives in one process, a message does not
+ * serialize bytes: it carries a payload *size* (for wire timing) and a
+ * closure that performs the remote-memory effect at delivery time.
+ * This models VMMC remote deposit/fetch exactly: data lands in the
+ * destination's memory without involving the destination processor.
+ */
+
+#ifndef RSVM_NET_MESSAGE_HH
+#define RSVM_NET_MESSAGE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "base/types.hh"
+
+namespace rsvm {
+
+/** One network message (always physical-node addressed). */
+struct Message
+{
+    PhysNodeId src = 0;
+    PhysNodeId dst = 0;
+    /** Payload bytes; header bytes are added by the wire model. */
+    std::uint32_t payloadBytes = 0;
+    /**
+     * Remote effect, executed at the destination at delivery time
+     * (NIC/DMA context: must not block).
+     */
+    std::function<void()> deliver;
+    /**
+     * Sender-side completion notification: true once the message has
+     * been performed remotely, false if the destination is dead
+     * (VMMC retransmission gave up). May be empty.
+     */
+    std::function<void(bool ok)> onComplete;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_NET_MESSAGE_HH

@@ -1,0 +1,49 @@
+#include "net/network.hh"
+
+#include "base/panic.hh"
+#include "net/nic.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+
+Network::Network(Engine &engine, const Config &config,
+                 std::uint32_t num_nodes)
+    : eng(engine), cfg(config)
+{
+    nics.reserve(num_nodes);
+    for (std::uint32_t i = 0; i < num_nodes; ++i)
+        nics.push_back(std::make_unique<Nic>(engine, *this, i, cfg));
+}
+
+Network::~Network() = default;
+
+Nic &
+Network::nic(PhysNodeId id)
+{
+    rsvm_assert(id < nics.size());
+    return *nics[id];
+}
+
+const Nic &
+Network::nic(PhysNodeId id) const
+{
+    rsvm_assert(id < nics.size());
+    return *nics[id];
+}
+
+bool
+Network::nodeAlive(PhysNodeId id) const
+{
+    return id < nics.size() && nics[id]->alive();
+}
+
+void
+Network::transmit(Message msg)
+{
+    rsvm_assert(msg.dst < nics.size());
+    eng.schedule(cfg.wireLatency, [this, m = std::move(msg)]() mutable {
+        nics[m.dst]->arrive(std::move(m));
+    });
+}
+
+} // namespace rsvm

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The cluster interconnect: a full crossbar of NICs (the paper's eight
+ * nodes hang off one 8-way Myrinet switch, so there is no switch-level
+ * contention to model — per-NIC serialization dominates).
+ */
+
+#ifndef RSVM_NET_NETWORK_HH
+#define RSVM_NET_NETWORK_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/config.hh"
+#include "base/types.hh"
+#include "net/message.hh"
+
+namespace rsvm {
+
+class Engine;
+class Nic;
+
+/** Wire + switch model connecting all NICs. */
+class Network
+{
+  public:
+    Network(Engine &engine, const Config &config,
+            std::uint32_t num_nodes);
+    ~Network();
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    Nic &nic(PhysNodeId id);
+    const Nic &nic(PhysNodeId id) const;
+    std::uint32_t numNodes() const
+    { return static_cast<std::uint32_t>(nics.size()); }
+
+    /**
+     * Called by the source NIC at message departure time: propagate
+     * across the wire and hand to the destination NIC — or, if the
+     * destination is dead, notify the sender of the error after the
+     * retransmission layer gives up.
+     */
+    void transmit(Message msg);
+
+    /** True if the physical node's NIC is alive. */
+    bool nodeAlive(PhysNodeId id) const;
+
+  private:
+    Engine &eng;
+    const Config &cfg;
+    std::vector<std::unique_ptr<Nic>> nics;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_NET_NETWORK_HH

@@ -1,0 +1,168 @@
+#include "net/nic.hh"
+
+#include "base/log.hh"
+#include "base/panic.hh"
+#include "net/network.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+
+Nic::Nic(Engine &engine, Network &network, PhysNodeId id,
+         const Config &config)
+    : eng(engine), net(network), nodeId(id), cfg(config)
+{
+}
+
+WakeStatus
+Nic::post(SimThread &poster, Message msg, Comp comp)
+{
+    rsvm_assert(msg.src == nodeId);
+    while (sendQueue.size() >= cfg.nicPostQueue) {
+        if (!isAlive)
+            return WakeStatus::Error;
+        stats.postQueueStalls++;
+        posterWaiters.emplace_back(&poster, poster.generation());
+        WakeStatus ws = poster.park(comp);
+        if (ws == WakeStatus::Restarted || ws == WakeStatus::Error)
+            return ws;
+        // Normal wake: space may be available now; re-check the queue.
+    }
+    if (!isAlive)
+        return WakeStatus::Error;
+    poster.charge(comp, cfg.postCost);
+    stats.messagesSent++;
+    stats.bytesSent += msg.payloadBytes + cfg.msgHeaderBytes;
+    sendQueue.push_back(std::move(msg));
+    pumpSend();
+    return WakeStatus::Normal;
+}
+
+void
+Nic::postAsync(Message msg)
+{
+    rsvm_assert(msg.src == nodeId);
+    if (!isAlive) {
+        if (msg.onComplete)
+            eng.schedule(0, [cb = std::move(msg.onComplete)] {
+                cb(false);
+            });
+        return;
+    }
+    stats.messagesSent++;
+    stats.bytesSent += msg.payloadBytes + cfg.msgHeaderBytes;
+    sendQueue.push_back(std::move(msg));
+    pumpSend();
+}
+
+void
+Nic::pumpSend()
+{
+    if (sendBusy || sendQueue.empty() || !isAlive)
+        return;
+    sendBusy = true;
+    Message msg = std::move(sendQueue.front());
+    sendQueue.pop_front();
+    wakeOnePoster();
+    SimTime occupancy =
+        cfg.sendOverhead +
+        cfg.wireTime(msg.payloadBytes + cfg.msgHeaderBytes);
+    eng.schedule(occupancy, [this, m = std::move(msg)]() mutable {
+        sendBusy = false;
+        // The message departed before any failure that happens later;
+        // hand it to the wire even if this NIC dies in the meantime
+        // (kill() only drops *queued* messages).
+        net.transmit(std::move(m));
+        pumpSend();
+    });
+}
+
+void
+Nic::wakeOnePoster()
+{
+    while (!posterWaiters.empty()) {
+        auto [thread, gen] = posterWaiters.front();
+        posterWaiters.pop_front();
+        if (thread->generation() == gen &&
+            thread->state() == ThreadState::Parked) {
+            thread->wake(WakeStatus::Normal);
+            return;
+        }
+    }
+}
+
+void
+Nic::arrive(Message msg)
+{
+    if (!isAlive) {
+        // Arrived at a dead node: the retransmission layer at the
+        // sender eventually reports the error.
+        if (msg.onComplete) {
+            eng.schedule(2 * cfg.wireLatency,
+                         [cb = std::move(msg.onComplete)] { cb(false); });
+        }
+        return;
+    }
+    recvQueue.push_back(std::move(msg));
+    pumpRecv();
+}
+
+void
+Nic::pumpRecv()
+{
+    if (recvBusy || recvQueue.empty() || !isAlive)
+        return;
+    recvBusy = true;
+    eng.schedule(cfg.recvOverhead, [this] {
+        recvBusy = false;
+        if (!isAlive || recvQueue.empty())
+            return;
+        Message msg = std::move(recvQueue.front());
+        recvQueue.pop_front();
+        if (msg.deliver)
+            msg.deliver();
+        if (msg.onComplete) {
+            // Completion notification travels back to the sender.
+            eng.schedule(cfg.wireLatency,
+                         [cb = std::move(msg.onComplete)] { cb(true); });
+        }
+        pumpRecv();
+    });
+}
+
+void
+Nic::probe(PhysNodeId dst, std::function<void(bool)> cb)
+{
+    stats.heartbeatsSent++;
+    // Tiny control message: round trip without queueing.
+    eng.schedule(2 * cfg.wireLatency + cfg.heartbeatProbeCost,
+                 [this, dst, cb = std::move(cb)] {
+                     cb(net.nodeAlive(dst));
+                 });
+}
+
+void
+Nic::kill()
+{
+    if (!isAlive)
+        return;
+    isAlive = false;
+    // Queued-but-not-departed messages are lost with the node. Their
+    // completions never fire (the sender is dead too).
+    sendQueue.clear();
+    // Received-but-undelivered messages came from LIVE senders: their
+    // reliability layer must learn the delivery failed, or a sender
+    // blocked on the completion would wait forever.
+    for (auto &m : recvQueue) {
+        if (m.onComplete) {
+            eng.schedule(2 * cfg.wireLatency,
+                         [cb = std::move(m.onComplete)] { cb(false); });
+        }
+    }
+    recvQueue.clear();
+    // Posters blocked on the queue belong to the dead node; they are
+    // killed by the node-failure path, not woken here.
+    posterWaiters.clear();
+    RSVM_LOG(LogComp::Net, "nic %u failed", nodeId);
+}
+
+} // namespace rsvm

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Network interface model with a finite asynchronous post queue.
+ *
+ * The paper (§5.2 "Diffs") stresses that diff messages cluster at
+ * releases: when the post queue fills, the sending processor blocks
+ * until the NIC drains it. We model exactly that: post() from a fiber
+ * blocks while the queue is at capacity; the NIC serializes departures
+ * at sendOverhead + bytes/bandwidth per message, and the receive side
+ * serializes deliveries at recvOverhead per message.
+ */
+
+#ifndef RSVM_NET_NIC_HH
+#define RSVM_NET_NIC_HH
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "base/config.hh"
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "net/message.hh"
+#include "sim/thread.hh"
+
+namespace rsvm {
+
+class Engine;
+class Network;
+
+/** One physical node's network interface. */
+class Nic
+{
+  public:
+    Nic(Engine &engine, Network &network, PhysNodeId id,
+        const Config &config);
+
+    Nic(const Nic &) = delete;
+    Nic &operator=(const Nic &) = delete;
+
+    PhysNodeId id() const { return nodeId; }
+    bool alive() const { return isAlive; }
+
+    /**
+     * Post a message from a fiber. Blocks (parks the poster, charging
+     * Comp::Protocol) while the post queue is full. Returns the park
+     * status that ended the wait: Normal means posted; Restarted means
+     * the poster was checkpoint-restored and must abort the operation;
+     * Error means this NIC died while waiting.
+     */
+    WakeStatus post(SimThread &poster, Message msg,
+                    Comp comp = Comp::Protocol);
+
+    /**
+     * Post from engine context (control traffic, deferred replies).
+     * Never blocks; the queue may transiently exceed capacity.
+     */
+    void postAsync(Message msg);
+
+    /**
+     * Reliability probe: report whether @p dst is reachable, after a
+     * round-trip delay. Used by the heart-beat failure detector.
+     */
+    void probe(PhysNodeId dst, std::function<void(bool alive)> cb);
+
+    /** Receive-side entry, called by the Network at wire arrival. */
+    void arrive(Message msg);
+
+    /**
+     * Fail-stop this NIC. Queued (not yet departed) messages are
+     * dropped; in-flight messages still deliver (they left before the
+     * failure). Subsequent posts/arrivals are discarded.
+     */
+    void kill();
+
+    /** Bring a killed NIC back (a repaired node rejoining as spare). */
+    void revive() { isAlive = true; }
+
+    /** Current send-queue depth (for contention modelling/tests). */
+    std::size_t sendQueueDepth() const { return sendQueue.size(); }
+
+    Counters &counters() { return stats; }
+    const Counters &counters() const { return stats; }
+
+  private:
+    void pumpSend();
+    void pumpRecv();
+    void wakeOnePoster();
+
+    Engine &eng;
+    Network &net;
+    PhysNodeId nodeId;
+    const Config &cfg;
+    bool isAlive = true;
+
+    std::deque<Message> sendQueue;
+    bool sendBusy = false;
+    std::deque<Message> recvQueue;
+    bool recvBusy = false;
+
+    /** Fibers blocked on a full post queue: (thread, generation). */
+    std::deque<std::pair<SimThread *, std::uint64_t>> posterWaiters;
+
+    Counters stats;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_NET_NIC_HH

@@ -1,0 +1,364 @@
+#include "net/vmmc.hh"
+
+#include "base/log.hh"
+#include "base/panic.hh"
+#include "net/nic.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+
+// ---------------------------------------------------------------- Replier
+
+Replier::Replier(Engine &engine, Network &network, const Config &config,
+                 PhysNodeId reply_src, PhysNodeId reply_dst,
+                 SimThread *requester, std::uint64_t requester_gen,
+                 std::shared_ptr<bool> op_active)
+    : eng(engine), net(network), cfg(config), srcPhys(reply_src),
+      dstPhys(reply_dst), reqThread(requester), reqGen(requester_gen),
+      opActive(std::move(op_active))
+{
+}
+
+void
+Replier::reply(std::uint32_t bytes, std::function<void()> apply)
+{
+    if (done)
+        return;
+    done = true;
+    SimThread *t = reqThread;
+    std::uint64_t gen = reqGen;
+    auto deliver = [t, gen, guard = opActive, hook = deliveredHook,
+                    apply = std::move(apply)] {
+        // Skip stale replies: the requester died, was restored, or
+        // abandoned the fetch; it re-issues the operation itself. The
+        // guard matters for *deferred* replies whose fetch timed out:
+        // their apply closures reference stack state that is gone.
+        if (t->generation() != gen || (guard && !*guard))
+            return;
+        if (apply)
+            apply();
+        if (hook)
+            hook();
+        t->wake(WakeStatus::Normal);
+    };
+    if (srcPhys == dstPhys) {
+        // Loopback: the replying node hosts the requester (possible
+        // after re-hosting); skip the wire.
+        eng.schedule(cfg.localLoopback, std::move(deliver));
+        return;
+    }
+    Message msg;
+    msg.src = srcPhys;
+    msg.dst = dstPhys;
+    msg.payloadBytes = bytes;
+    msg.deliver = std::move(deliver);
+    net.nic(srcPhys).postAsync(std::move(msg));
+}
+
+// ---------------------------------------------------------- CompletionBatch
+
+CompletionBatch::CompletionBatch(SimThread &owner)
+    : st(std::make_shared<State>())
+{
+    st->owner = &owner;
+    st->gen = owner.generation();
+}
+
+std::function<void(bool)>
+CompletionBatch::slot()
+{
+    st->outstanding++;
+    auto state = st;
+    return [state](bool ok) {
+        state->outstanding--;
+        if (!ok)
+            state->error = true;
+        if (state->waiting &&
+            (state->outstanding == 0 || state->error) &&
+            state->owner->generation() == state->gen) {
+            state->waiting = false;
+            state->owner->wake(ok ? WakeStatus::Normal
+                                  : WakeStatus::Error);
+        }
+    };
+}
+
+CommStatus
+CompletionBatch::wait(Comp comp)
+{
+    while (st->outstanding > 0 && !st->error) {
+        st->waiting = true;
+        WakeStatus ws = st->owner->park(comp);
+        st->waiting = false;
+        if (ws == WakeStatus::Restarted)
+            return CommStatus::Restarted;
+        if (ws == WakeStatus::Error)
+            break;
+    }
+    return st->error ? CommStatus::Error : CommStatus::Ok;
+}
+
+// ------------------------------------------------------------------- Vmmc
+
+Vmmc::Vmmc(Engine &engine, Network &network, const Config &config)
+    : eng(engine), net(network), cfg(config)
+{
+    hostMap.resize(network.numNodes());
+    for (PhysNodeId i = 0; i < network.numNodes(); ++i)
+        hostMap[i] = i;
+    deathNotified.assign(network.numNodes(), false);
+}
+
+void
+Vmmc::setHost(NodeId logical, PhysNodeId phys)
+{
+    rsvm_assert(logical < hostMap.size());
+    hostMap[logical] = phys;
+}
+
+PhysNodeId
+Vmmc::host(NodeId logical) const
+{
+    rsvm_assert(logical < hostMap.size());
+    return hostMap[logical];
+}
+
+bool
+Vmmc::reachable(NodeId logical) const
+{
+    return net.nodeAlive(host(logical));
+}
+
+bool
+Vmmc::anyNodeDead() const
+{
+    for (PhysNodeId p = 0; p < net.numNodes(); ++p) {
+        if (!net.nodeAlive(p))
+            return true;
+    }
+    return false;
+}
+
+void
+Vmmc::notifyDeath(PhysNodeId phys)
+{
+    if (phys < deathNotified.size() && !deathNotified[phys]) {
+        deathNotified[phys] = true;
+        if (peerDeath)
+            peerDeath(phys);
+    }
+}
+
+bool
+Vmmc::sweepForFailures(SimThread &self, PhysNodeId *dead_out)
+{
+    self.charge(Comp::Protocol, cfg.heartbeatProbeCost);
+    for (PhysNodeId p = 0; p < net.numNodes(); ++p) {
+        if (net.nodeAlive(p))
+            continue;
+        if (p < deathNotified.size() && deathNotified[p]) {
+            // Already-handled carcass: only relevant while its
+            // recovery is still in progress.
+            if (recoveryPending && recoveryPending()) {
+                if (dead_out)
+                    *dead_out = p;
+                return true;
+            }
+            continue;
+        }
+        if (dead_out)
+            *dead_out = p;
+        notifyDeath(p);
+        return true;
+    }
+    return false;
+}
+
+CommStatus
+Vmmc::deposit(SimThread &self, NodeId src, NodeId dst,
+              std::uint32_t bytes, std::function<void()> apply,
+              Comp comp)
+{
+    CompletionBatch batch(self);
+    CommStatus post = depositAsync(self, src, dst, bytes,
+                                   std::move(apply), &batch, comp);
+    if (post != CommStatus::Ok)
+        return post;
+    return batch.wait(comp);
+}
+
+CommStatus
+Vmmc::depositAsync(SimThread &self, NodeId src, NodeId dst,
+                   std::uint32_t bytes, std::function<void()> apply,
+                   CompletionBatch *batch, Comp comp)
+{
+    PhysNodeId src_phys = host(src);
+    PhysNodeId dst_phys = host(dst);
+    auto on_complete = batch ? batch->slot()
+                             : std::function<void(bool)>();
+
+    if (src_phys == dst_phys) {
+        self.charge(comp, cfg.postCost);
+        eng.schedule(cfg.localLoopback,
+                     [apply = std::move(apply),
+                      on_complete = std::move(on_complete)] {
+                         if (apply)
+                             apply();
+                         if (on_complete)
+                             on_complete(true);
+                     });
+        return CommStatus::Ok;
+    }
+
+    if (!net.nodeAlive(dst_phys)) {
+        notifyDeath(dst_phys);
+        if (on_complete)
+            eng.schedule(0, [cb = std::move(on_complete)] { cb(false); });
+        return CommStatus::Error;
+    }
+
+    Message msg;
+    msg.src = src_phys;
+    msg.dst = dst_phys;
+    msg.payloadBytes = bytes;
+    msg.deliver = std::move(apply);
+    msg.onComplete = std::move(on_complete);
+    WakeStatus ws = net.nic(src_phys).post(self, std::move(msg), comp);
+    switch (ws) {
+      case WakeStatus::Normal:
+        return CommStatus::Ok;
+      case WakeStatus::Restarted:
+        return CommStatus::Restarted;
+      default:
+        return CommStatus::Error;
+    }
+}
+
+CommStatus
+Vmmc::fetch(SimThread &self, NodeId src, NodeId dst,
+            std::uint32_t req_bytes, FetchHandler handler, Comp comp)
+{
+    PhysNodeId src_phys = host(src);
+    PhysNodeId dst_phys = host(dst);
+
+    // Per-operation guard: a deferred reply from an *abandoned* fetch
+    // (same thread, same generation) must not be applied to, or wake,
+    // a later operation. The flag is cleared on every return path.
+    auto active = std::make_shared<bool>(true);
+    std::uint64_t my_gen = self.generation();
+
+    auto replier = std::make_shared<Replier>(
+        eng, net, cfg, dst_phys, src_phys, &self, my_gen, active);
+    // Validate Normal wakes: only the reply's delivery sets 'done', so
+    // spurious wakes (stale lock handoffs etc.) keep us parked.
+    auto done = std::make_shared<bool>(false);
+    replier->setDeliveredHook([done] { *done = true; });
+
+    // Wrap the requester-side wake in the active-guard by interposing
+    // at delivery: the Replier checks the generation, and we addition-
+    // ally gate on 'active' via a wrapper handler closure.
+    auto guarded_handler = [handler = std::move(handler), active,
+                            replier] {
+        if (!*active) {
+            // Requester abandoned the fetch before the request even
+            // executed; still run the handler so destination-side
+            // bookkeeping (none today) stays uniform, but mute the
+            // reply by marking the Replier done.
+            return;
+        }
+        handler(replier);
+    };
+
+    if (src_phys == dst_phys) {
+        self.charge(Comp::Protocol, cfg.postCost);
+        eng.schedule(cfg.localLoopback, guarded_handler);
+    } else {
+        if (!net.nodeAlive(dst_phys)) {
+            notifyDeath(dst_phys);
+            return CommStatus::Error;
+        }
+        Message msg;
+        msg.src = src_phys;
+        msg.dst = dst_phys;
+        msg.payloadBytes = req_bytes;
+        msg.deliver = guarded_handler;
+        msg.onComplete = [active, &self, my_gen](bool ok) {
+            if (!ok && *active && self.generation() == my_gen) {
+                self.wake(WakeStatus::Error);
+            }
+        };
+        WakeStatus post = net.nic(src_phys).post(self, std::move(msg));
+        if (post == WakeStatus::Restarted) {
+            *active = false;
+            return CommStatus::Restarted;
+        }
+        if (post == WakeStatus::Error) {
+            *active = false;
+            return CommStatus::Error;
+        }
+    }
+
+    // Wait for the reply's wake. The Replier skips stale generations;
+    // any Normal wake with 'active' set means our reply was applied.
+    // A fetch whose deferred reply was lost (its holder's state was
+    // cleared by a recovery) is abandoned after a few clean heartbeat
+    // rounds — fetches are idempotent, so the caller simply re-issues.
+    int clean_timeouts = 0;
+    for (;;) {
+        WakeStatus ws = self.parkFor(cfg.heartbeatTimeout, comp);
+        switch (ws) {
+          case WakeStatus::Normal:
+            if (!*done)
+                continue; // spurious wake: keep waiting for the reply
+            *active = false;
+            return CommStatus::Ok;
+          case WakeStatus::Restarted:
+            *active = false;
+            return CommStatus::Restarted;
+          case WakeStatus::Error:
+            *active = false;
+            return CommStatus::Error;
+          case WakeStatus::Timeout: {
+            if (*done) {
+                *active = false;
+                return CommStatus::Ok;
+            }
+            PhysNodeId dead;
+            if (sweepForFailures(self, &dead)) {
+                *active = false;
+                return CommStatus::Error;
+            }
+            if (++clean_timeouts >= 3) {
+                *active = false;
+                return CommStatus::Error;
+            }
+            break;
+          }
+        }
+    }
+}
+
+void
+Vmmc::depositFromEvent(NodeId src, NodeId dst, std::uint32_t bytes,
+                       std::function<void()> apply)
+{
+    PhysNodeId src_phys = host(src);
+    PhysNodeId dst_phys = host(dst);
+    if (src_phys == dst_phys) {
+        eng.schedule(cfg.localLoopback,
+                     [apply = std::move(apply)] { apply(); });
+        return;
+    }
+    if (!net.nodeAlive(dst_phys)) {
+        notifyDeath(dst_phys);
+        return;
+    }
+    Message msg;
+    msg.src = src_phys;
+    msg.dst = dst_phys;
+    msg.payloadBytes = bytes;
+    msg.deliver = std::move(apply);
+    net.nic(src_phys).postAsync(std::move(msg));
+}
+
+} // namespace rsvm

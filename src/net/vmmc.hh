@@ -1,0 +1,217 @@
+/**
+ * @file
+ * VMMC-style one-sided communication, logical-node addressed.
+ *
+ * The SVM protocols talk to *logical* nodes; the Vmmc object resolves
+ * them to physical nodes through a host map that the recovery manager
+ * rewrites when a failed logical node is re-hosted on its backup.
+ *
+ * Operations mirror the paper's communication layer (§3.1/§4.1):
+ *  - remote deposit: data lands in the destination's memory without
+ *    interrupting the destination processor;
+ *  - remote fetch: the destination side produces a reply, possibly
+ *    deferred (e.g. a home delaying a page reply until the required
+ *    version has been applied);
+ *  - reliable FIFO delivery per channel; completion notifications;
+ *  - errors returned when the destination node is unreachable;
+ *  - heart-beats with a timeout while waiting for remote responses.
+ *
+ * Every blocking call returns a Status and is safe to re-issue, which
+ * is the foundation of the checkpoint/restore retry discipline.
+ */
+
+#ifndef RSVM_NET_VMMC_HH
+#define RSVM_NET_VMMC_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/config.hh"
+#include "base/types.hh"
+#include "net/network.hh"
+#include "sim/thread.hh"
+
+namespace rsvm {
+
+class Engine;
+
+/** Outcome of a blocking communication call. */
+enum class CommStatus {
+    /** Operation performed remotely. */
+    Ok,
+    /** A peer failure was detected; the caller must enter recovery. */
+    Error,
+    /** Caller was checkpoint-restored; re-issue the whole operation. */
+    Restarted,
+};
+
+/**
+ * Reply handle given to a fetch handler at the destination. The
+ * handler may reply immediately or stash the Replier and reply later
+ * (deferred replies implement the home's page-version wait).
+ */
+class Replier
+{
+  public:
+    Replier(Engine &engine, Network &network, const Config &config,
+            PhysNodeId reply_src, PhysNodeId reply_dst,
+            SimThread *requester, std::uint64_t requester_gen,
+            std::shared_ptr<bool> op_active);
+
+    /**
+     * Send the reply: @p bytes sized payload whose effect at the
+     * requester is @p apply. apply is skipped if the requester was
+     * killed or restored in the meantime. Idempotent (second call is
+     * ignored).
+     */
+    void reply(std::uint32_t bytes, std::function<void()> apply);
+
+    /** True once reply() has been called. */
+    bool replied() const { return done; }
+
+    /** Invoked at the requester just before the wake (fetch uses this
+     *  to validate Normal wakes against spurious ones). */
+    void setDeliveredHook(std::function<void()> hook)
+    { deliveredHook = std::move(hook); }
+
+  private:
+    Engine &eng;
+    Network &net;
+    const Config &cfg;
+    PhysNodeId srcPhys;
+    PhysNodeId dstPhys;
+    SimThread *reqThread;
+    std::uint64_t reqGen;
+    /** Cleared by the requester when it abandons the fetch. */
+    std::shared_ptr<bool> opActive;
+    std::function<void()> deliveredHook;
+    bool done = false;
+};
+
+/**
+ * Tracks a batch of asynchronous deposits so a fiber can overlap many
+ * sends and then wait for all completions (eager diff propagation).
+ */
+class CompletionBatch
+{
+  public:
+    explicit CompletionBatch(SimThread &owner);
+
+    /** Reserve one completion slot; pass the result as onComplete. */
+    std::function<void(bool ok)> slot();
+
+    /**
+     * Park until every slot has completed. Error if any completion
+     * failed; Restarted if the owner was checkpoint-restored.
+     */
+    CommStatus wait(Comp comp);
+
+    /** True if any completed slot reported failure so far. */
+    bool anyError() const { return st->error; }
+    /** Completions still outstanding. */
+    int outstanding() const { return st->outstanding; }
+
+  private:
+    struct State
+    {
+        SimThread *owner;
+        std::uint64_t gen;
+        int outstanding = 0;
+        bool error = false;
+        bool waiting = false;
+    };
+    std::shared_ptr<State> st;
+};
+
+/** The communication layer bound to a host map. */
+class Vmmc
+{
+  public:
+    /** Destination-side fetch logic; runs at delivery (must not block). */
+    using FetchHandler = std::function<void(std::shared_ptr<Replier>)>;
+
+    Vmmc(Engine &engine, Network &network, const Config &config);
+
+    // ---- Logical-to-physical mapping -----------------------------------
+    void setHost(NodeId logical, PhysNodeId phys);
+    PhysNodeId host(NodeId logical) const;
+    /** True if the logical node's current host is alive. */
+    bool reachable(NodeId logical) const;
+
+    /** True if any physical node is currently dead. */
+    bool anyNodeDead() const;
+
+    /** Hook invoked (once per dead node) when an op detects a death. */
+    void setPeerDeathHook(std::function<void(PhysNodeId)> hook)
+    { peerDeath = std::move(hook); }
+
+    /**
+     * Hook telling the failure sweep whether a recovery is still in
+     * progress. Once a dead node has been recovered (its logical state
+     * re-hosted elsewhere), its carcass must no longer trip sweeps.
+     */
+    void setRecoveryPendingCheck(std::function<bool()> check)
+    { recoveryPending = std::move(check); }
+
+    // ---- Blocking operations (call from fibers) --------------------------
+
+    /**
+     * Remote deposit of @p bytes with destination effect @p apply;
+     * blocks until the completion notification arrives.
+     */
+    CommStatus deposit(SimThread &self, NodeId src, NodeId dst,
+                       std::uint32_t bytes, std::function<void()> apply,
+                       Comp comp);
+
+    /**
+     * Asynchronous remote deposit; completion is recorded in @p batch
+     * (if non-null). Returns Ok once posted (may block briefly on a
+     * full post queue).
+     */
+    CommStatus depositAsync(SimThread &self, NodeId src, NodeId dst,
+                            std::uint32_t bytes,
+                            std::function<void()> apply,
+                            CompletionBatch *batch,
+                            Comp comp = Comp::Protocol);
+
+    /**
+     * Remote fetch: runs @p handler at the destination; blocks until
+     * the handler's reply has been applied locally.
+     */
+    CommStatus fetch(SimThread &self, NodeId src, NodeId dst,
+                     std::uint32_t req_bytes, FetchHandler handler,
+                     Comp comp);
+
+    /**
+     * Remote deposit from engine context (home-side forwarding,
+     * barrier go broadcasts). Never blocks; no completion tracking.
+     */
+    void depositFromEvent(NodeId src, NodeId dst, std::uint32_t bytes,
+                          std::function<void()> apply);
+
+    /**
+     * Heart-beat sweep (§4.1): probe every physical node; report the
+     * first dead one found, charging the probe cost to @p self.
+     * Invokes the peer-death hook for newly discovered deaths.
+     */
+    bool sweepForFailures(SimThread &self, PhysNodeId *dead_out);
+
+    Network &network() { return net; }
+
+  private:
+    void notifyDeath(PhysNodeId phys);
+
+    Engine &eng;
+    Network &net;
+    const Config &cfg;
+    std::vector<PhysNodeId> hostMap;
+    std::vector<bool> deathNotified;
+    std::function<void(PhysNodeId)> peerDeath;
+    std::function<bool()> recoveryPending;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_NET_VMMC_HH

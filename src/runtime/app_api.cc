@@ -1,0 +1,89 @@
+#include "runtime/app_api.hh"
+
+#include "runtime/cluster.hh"
+#include "svm/protocol.hh"
+
+namespace rsvm {
+
+AppThread::AppThread(Cluster &cluster, SimThread &sim_thread,
+                     NodeId node, std::uint32_t local_index,
+                     ThreadId global_id)
+    : cl(cluster), st(sim_thread), nid(node), local(local_index),
+      gid(global_id),
+      privateRng(cluster.config().seed * 7919 + global_id)
+{
+}
+
+SvmNode &
+AppThread::protocolNode()
+{
+    return cl.node(nid);
+}
+
+std::uint32_t
+AppThread::clusterThreads() const
+{
+    return cl.numThreads();
+}
+
+void
+AppThread::read(Addr addr, void *dst, std::uint64_t len)
+{
+    SvmNode &node = protocolNode();
+    if (node.tryFastRead(addr, dst, len))
+        return;
+    // Slow path: the fault may block, so make the whole (idempotent)
+    // read a restartable operation for checkpoint safety.
+    st.runRestartableOp([&node, this, addr, dst, len] {
+        node.readBytes(st, addr, dst, len);
+    });
+}
+
+void
+AppThread::write(Addr addr, const void *src, std::uint64_t len)
+{
+    SvmNode &node = protocolNode();
+    if (node.tryFastWrite(addr, src, len))
+        return;
+    st.runRestartableOp([&node, this, addr, src, len] {
+        node.writeBytes(st, addr, src, len);
+    });
+}
+
+Addr
+AppThread::alloc(std::uint64_t bytes, std::uint64_t align)
+{
+    return cl.mem().alloc(bytes, align);
+}
+
+void
+AppThread::lock(LockId l)
+{
+    SvmNode *node = &protocolNode();
+    st.runRestartableOp([node, this, l] { node->acquire(st, l); });
+}
+
+void
+AppThread::unlock(LockId l)
+{
+    SvmNode *node = &protocolNode();
+    st.runRestartableOp([node, this, l] { node->release(st, l); });
+}
+
+void
+AppThread::barrier()
+{
+    SvmNode *node = &protocolNode();
+    st.runRestartableOp([node, this] { node->barrier(st); });
+}
+
+void
+AppThread::compute(SimTime ns)
+{
+    double factor = cl.computeInflation(nid);
+    SimTime inflated = static_cast<SimTime>(
+        static_cast<double>(ns) * factor);
+    (void)st.delay(inflated, Comp::Compute);
+}
+
+} // namespace rsvm

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The application-facing API: what a SPLASH-2-style program sees.
+ *
+ * An AppThread corresponds to one compute thread of the cluster. All
+ * shared-memory traffic goes through read()/write() (the software
+ * equivalent of loads/stores to SVM pages); synchronization uses
+ * lock()/unlock()/barrier(); modelled computation time is charged with
+ * compute().
+ *
+ * Programming rules (the same ones the paper's testbed imposes, §4.4):
+ *
+ *  - all shared data lives in the shared address space (allocate with
+ *    Cluster::mem().alloc() or AppThread::alloc());
+ *  - stack locals that survive across a synchronization operation or a
+ *    potential page fault must be PODs (scalars, Addr, raw pointers
+ *    into the thread's own stack) — never owning containers. Restored
+ *    checkpoints resurrect old stack frames, and owning objects on
+ *    them would double-free. This mirrors the real system, where a
+ *    migrated thread's private heap simply does not exist on the
+ *    backup node.
+ */
+
+#ifndef RSVM_RUNTIME_APP_API_HH
+#define RSVM_RUNTIME_APP_API_HH
+
+#include <cstdint>
+
+#include "base/rng.hh"
+#include "base/types.hh"
+#include "sim/thread.hh"
+
+namespace rsvm {
+
+class Cluster;
+class SvmNode;
+
+/** One compute thread's handle onto the cluster. */
+class AppThread
+{
+  public:
+    AppThread(Cluster &cluster, SimThread &sim_thread, NodeId node,
+              std::uint32_t local_index, ThreadId global_id);
+
+    AppThread(const AppThread &) = delete;
+    AppThread &operator=(const AppThread &) = delete;
+
+    // ---- Identity ---------------------------------------------------------
+    ThreadId id() const { return gid; }
+    NodeId node() const { return nid; }
+    std::uint32_t localIndex() const { return local; }
+    /** Total compute threads in the cluster. */
+    std::uint32_t clusterThreads() const;
+
+    // ---- Shared memory ----------------------------------------------------
+    void read(Addr addr, void *dst, std::uint64_t len);
+    void write(Addr addr, const void *src, std::uint64_t len);
+
+    template <typename T>
+    T
+    get(Addr addr)
+    {
+        T v;
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    put(Addr addr, const T &v)
+    {
+        write(addr, &v, sizeof(T));
+    }
+
+    /** Shared allocation (forwarded to the global allocator). */
+    Addr alloc(std::uint64_t bytes, std::uint64_t align = 8);
+
+    // ---- Synchronization ------------------------------------------------
+    void lock(LockId l);
+    void unlock(LockId l);
+    void barrier();
+
+    // ---- Time -------------------------------------------------------------
+    /**
+     * Charge @p ns of application computation. The value is inflated
+     * by the SMP memory-contention model when multiple threads share
+     * the physical node (§5.2).
+     */
+    void compute(SimTime ns);
+
+    SimThread &sim() { return st; }
+    Cluster &cluster() { return cl; }
+    Rng &rng() { return privateRng; }
+
+  private:
+    SvmNode &protocolNode();
+
+    Cluster &cl;
+    SimThread &st;
+    NodeId nid;
+    std::uint32_t local;
+    ThreadId gid;
+    Rng privateRng;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_RUNTIME_APP_API_HH

@@ -1,0 +1,295 @@
+#include "runtime/cluster.hh"
+
+#include <cstring>
+
+#include "base/log.hh"
+#include "base/panic.hh"
+#include "ftsvm/ft_protocol.hh"
+#include "net/nic.hh"
+#include "svm/base_protocol.hh"
+
+namespace rsvm {
+
+Cluster::Cluster(const Config &config)
+    : cfg(config), eng(cfg), net(eng, cfg, cfg.numNodes),
+      vm(eng, net, cfg), as(cfg, cfg.numNodes),
+      lockDir(cfg.maxLocks, cfg.numNodes),
+      ctx(eng, cfg, as, vm, lockDir), inj(eng)
+{
+    if (cfg.protocol == ProtocolKind::FaultTolerant &&
+        cfg.numNodes < 2)
+        rsvm_fatal("the fault-tolerant protocol needs >= 2 nodes");
+
+    ctx.ops = this;
+    ctx.injector = &inj;
+
+    hostMap.resize(cfg.numNodes);
+    backupMap.resize(cfg.numNodes);
+    for (NodeId n = 0; n < cfg.numNodes; ++n) {
+        hostMap[n] = n;
+        backupMap[n] = (n + 1) % cfg.numNodes;
+    }
+
+    nodes.reserve(cfg.numNodes);
+    for (NodeId n = 0; n < cfg.numNodes; ++n) {
+        if (cfg.protocol == ProtocolKind::FaultTolerant)
+            nodes.push_back(std::make_unique<FtProtocolNode>(ctx, n));
+        else
+            nodes.push_back(std::make_unique<BaseProtocolNode>(ctx, n));
+        ctx.nodes.push_back(nodes.back().get());
+    }
+
+    inj.setKillAction([this](PhysNodeId p) { killPhysNode(p); });
+
+    if (cfg.protocol == ProtocolKind::FaultTolerant) {
+        recov = std::make_unique<RecoveryManager>(ctx);
+        recov->setRestartHook(
+            [this](ThreadId tid) { restartThreadFromTop(tid); });
+        vm.setPeerDeathHook(
+            [this](PhysNodeId p) { recov->onPhysFailure(p); });
+        vm.setRecoveryPendingCheck([this] { return ctx.pendingRecovery; });
+    }
+}
+
+Cluster::~Cluster() = default;
+
+std::function<void()>
+Cluster::bodyFor(ThreadId tid)
+{
+    return [this, tid] { appFn(*threads[tid]); };
+}
+
+void
+Cluster::spawn(AppFn fn)
+{
+    rsvm_assert_msg(threads.empty(), "spawn() may only be called once");
+    rsvm_assert_msg(static_cast<bool>(fn), "empty application");
+    appFn = std::move(fn);
+    for (NodeId n = 0; n < cfg.numNodes; ++n) {
+        for (std::uint32_t l = 0; l < cfg.threadsPerNode; ++l) {
+            ThreadId tid = n * cfg.threadsPerNode + l;
+            SimThread &st = eng.createThread(
+                "n" + std::to_string(n) + ".t" + std::to_string(l));
+            threads.push_back(
+                std::make_unique<AppThread>(*this, st, n, l, tid));
+        }
+    }
+    for (ThreadId tid = 0; tid < threads.size(); ++tid)
+        threads[tid]->sim().start(bodyFor(tid));
+}
+
+void
+Cluster::run()
+{
+    eng.run();
+}
+
+void
+Cluster::restartThreadFromTop(ThreadId tid)
+{
+    threads[tid]->sim().start(bodyFor(tid));
+}
+
+void
+Cluster::killPhysNode(PhysNodeId phys)
+{
+    RSVM_LOG(LogComp::Ft, "killing physical node %u", phys);
+    net.nic(phys).kill();
+    for (NodeId n : logicalNodesOn(phys)) {
+        for (SimThread *t : computeThreads(n)) {
+            if (eng.current() == t)
+                continue; // the caller kills itself via killSelf()
+            if (t->state() != ThreadState::Finished &&
+                t->state() != ThreadState::Dead)
+                t->kill();
+        }
+    }
+}
+
+Counters
+Cluster::totalCounters() const
+{
+    Counters total;
+    for (const auto &n : nodes)
+        total += n->counters();
+    for (PhysNodeId p = 0; p < cfg.numNodes; ++p)
+        total += net.nic(p).counters();
+    if (recov)
+        total += recov->counters();
+    return total;
+}
+
+TimeBreakdown
+Cluster::totalBreakdown() const
+{
+    TimeBreakdown total;
+    for (const auto &t : threads)
+        total += t->sim().times();
+    return total;
+}
+
+TimeBreakdown
+Cluster::avgBreakdown() const
+{
+    // Average = total scaled by 1/threads; keep integer math by
+    // dividing each bucket. Implemented via the raw interface.
+    TimeBreakdown total = totalBreakdown();
+    if (threads.empty())
+        return total;
+    TimeBreakdown avg;
+    for (unsigned c = 0; c < kNumComps; ++c) {
+        for (int b = 0; b < 2; ++b) {
+            avg.charge(static_cast<Comp>(c),
+                       total.get(static_cast<Comp>(c), b != 0) /
+                           threads.size(),
+                       b != 0);
+        }
+    }
+    return avg;
+}
+
+void
+Cluster::debugRead(Addr addr, void *dst, std::uint64_t len)
+{
+    auto *out = static_cast<std::byte *>(dst);
+    while (len > 0) {
+        PageId page = as.pageOf(addr);
+        std::uint32_t off = as.pageOffset(addr);
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(len, cfg.pageSize - off);
+        SvmNode *home = nodes[as.primaryHome(page)].get();
+        const std::byte *bytes = home->homeBytes(page);
+        if (bytes)
+            std::memcpy(out, bytes + off, chunk);
+        else
+            std::memset(out, 0, chunk);
+        out += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+std::uint64_t
+Cluster::checkReplicaConsistency() const
+{
+    if (cfg.protocol != ProtocolKind::FaultTolerant)
+        return 0;
+    std::uint64_t bad = 0;
+    for (PageId p = 0; p < as.numPages(); ++p) {
+        auto *prim = static_cast<FtProtocolNode *>(
+            nodes[as.primaryHome(p)].get());
+        auto *sec = static_cast<FtProtocolNode *>(
+            nodes[as.secondaryHome(p)].get());
+        HomeInfo *phi = prim->findHomeInfo(p);
+        HomeInfo *shi = sec->findHomeInfo(p);
+        if (!phi && !shi)
+            continue; // untouched page
+        bool committed = phi && phi->committed != nullptr;
+        bool tentative = shi && shi->tentative != nullptr;
+        if (committed != tentative) {
+            bad++;
+            continue;
+        }
+        if (!committed)
+            continue;
+        if (!(phi->committedVer == shi->tentativeVer) ||
+            std::memcmp(phi->committed.get(), shi->tentative.get(),
+                        cfg.pageSize) != 0) {
+            bad++;
+        }
+    }
+    return bad;
+}
+
+double
+Cluster::computeInflation(NodeId n) const
+{
+    PhysNodeId phys = hostMap[n];
+    std::uint32_t active = 0;
+    for (NodeId m = 0; m < cfg.numNodes; ++m) {
+        if (hostMap[m] != phys)
+            continue;
+        for (SimThread *t : computeThreads(m)) {
+            if (t->state() != ThreadState::Finished &&
+                t->state() != ThreadState::Dead)
+                active++;
+        }
+    }
+    if (active <= 1)
+        return 1.0;
+    return 1.0 + cfg.smpComputeInflation * (active - 1);
+}
+
+// ------------------------------------------------------------- ClusterOps
+
+std::vector<NodeId>
+Cluster::logicalNodesOn(PhysNodeId phys) const
+{
+    std::vector<NodeId> out;
+    for (NodeId n = 0; n < cfg.numNodes; ++n) {
+        if (hostMap[n] == phys)
+            out.push_back(n);
+    }
+    return out;
+}
+
+std::vector<SimThread *>
+Cluster::computeThreads(NodeId node) const
+{
+    std::vector<SimThread *> out;
+    for (const auto &t : threads) {
+        if (t->node() == node)
+            out.push_back(&t->sim());
+    }
+    return out;
+}
+
+void
+Cluster::rehost(NodeId node, PhysNodeId phys)
+{
+    hostMap[node] = phys;
+    vm.setHost(node, phys);
+    RSVM_LOG(LogComp::Recovery, "logical node %u re-hosted on phys %u",
+             node, phys);
+}
+
+PhysNodeId
+Cluster::hostOf(NodeId node) const
+{
+    return hostMap[node];
+}
+
+bool
+Cluster::physAlive(PhysNodeId phys) const
+{
+    return net.nodeAlive(phys);
+}
+
+NodeId
+Cluster::backupOf(NodeId node) const
+{
+    return backupMap[node];
+}
+
+void
+Cluster::setBackupOf(NodeId node, NodeId backup)
+{
+    backupMap[node] = backup;
+}
+
+void
+Cluster::paranoidCheck()
+{
+    // Replicas may legitimately diverge while a release is mid-flight
+    // on another node; only check when fully quiescent.
+    for (const auto &n : nodes) {
+        if (n->releaseInProgress())
+            return;
+    }
+    std::uint64_t bad = checkReplicaConsistency();
+    rsvm_assert_msg(bad == 0,
+                    "paranoid: " + std::to_string(bad) +
+                        " pages with inconsistent replicas");
+}
+
+} // namespace rsvm

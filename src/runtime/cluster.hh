@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The Cluster: top-level runtime object wiring together the engine,
+ * network, VMMC, shared address space, protocol nodes, compute
+ * threads, failure injection and recovery.
+ *
+ * Typical use:
+ *
+ * @code
+ *   Config cfg;                      // 8 nodes, FT protocol, ...
+ *   Cluster cluster(cfg);
+ *   Addr data = cluster.mem().allocPageAligned(bytes);
+ *   cluster.spawn([&](AppThread &t) { ... parallel program ... });
+ *   cluster.run();
+ * @endcode
+ *
+ * Thread/node geometry: thread g runs on logical node g / threadsPerNode;
+ * logical node n initially lives on physical node n with backup n+1.
+ */
+
+#ifndef RSVM_RUNTIME_CLUSTER_HH
+#define RSVM_RUNTIME_CLUSTER_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/config.hh"
+#include "base/stats.hh"
+#include "ftsvm/recovery.hh"
+#include "mem/addrspace.hh"
+#include "net/failure.hh"
+#include "net/network.hh"
+#include "net/vmmc.hh"
+#include "runtime/app_api.hh"
+#include "sim/engine.hh"
+#include "svm/locks.hh"
+#include "svm/protocol.hh"
+
+namespace rsvm {
+
+/** A complete simulated SVM cluster. */
+class Cluster : public ClusterOps
+{
+  public:
+    using AppFn = std::function<void(AppThread &)>;
+
+    explicit Cluster(const Config &config);
+    ~Cluster() override;
+
+    /** Create and start every compute thread running @p fn. */
+    void spawn(AppFn fn);
+
+    /** Run the simulation to completion. */
+    void run();
+
+    // ---- Accessors -----------------------------------------------------------
+    Engine &engine() { return eng; }
+    AddressSpace &mem() { return as; }
+    Vmmc &vmmc() { return vm; }
+    Network &network() { return net; }
+    FailureInjector &injector() { return inj; }
+    RecoveryManager *recovery() { return recov.get(); }
+    const Config &config() const { return cfg; }
+    SvmNode &node(NodeId n) { return *nodes[n]; }
+    AppThread &appThread(ThreadId t) { return *threads[t]; }
+    std::uint32_t numThreads() const
+    { return static_cast<std::uint32_t>(threads.size()); }
+
+    /** Cluster-wide protocol counters (nodes + recovery). */
+    Counters totalCounters() const;
+    /** Sum of all threads' time breakdowns. */
+    TimeBreakdown totalBreakdown() const;
+    /** Per-thread average breakdown (the paper's bar heights). */
+    TimeBreakdown avgBreakdown() const;
+    /** Simulated completion time. */
+    SimTime wallTime() const { return eng.now(); }
+
+    /** Compute-time inflation factor for a thread on node @p n. */
+    double computeInflation(NodeId n) const;
+
+    /**
+     * Engine-side read of the authoritative (home) copy of shared
+     * memory, for result verification after the run. Only meaningful
+     * once the application has passed its final barrier.
+     */
+    void debugRead(Addr addr, void *dst, std::uint64_t len);
+
+    /**
+     * Quiescence invariant of the extended protocol (§4.5.2): with no
+     * release in flight, every page's committed copy (primary home)
+     * and tentative copy (secondary home) hold identical bytes and
+     * versions. Returns the number of violating pages (0 when
+     * consistent). Base-protocol clusters trivially return 0.
+     */
+    std::uint64_t checkReplicaConsistency() const;
+
+    // ---- ClusterOps ---------------------------------------------------------
+    std::vector<NodeId> logicalNodesOn(PhysNodeId phys) const override;
+    std::vector<SimThread *> computeThreads(NodeId node) const override;
+    void rehost(NodeId node, PhysNodeId phys) override;
+    PhysNodeId hostOf(NodeId node) const override;
+    bool physAlive(PhysNodeId phys) const override;
+    NodeId backupOf(NodeId node) const override;
+    void setBackupOf(NodeId node, NodeId backup) override;
+    void paranoidCheck() override;
+
+  private:
+    void killPhysNode(PhysNodeId phys);
+    void restartThreadFromTop(ThreadId tid);
+    std::function<void()> bodyFor(ThreadId tid);
+
+    Config cfg;
+    Engine eng;
+    Network net;
+    Vmmc vm;
+    AddressSpace as;
+    LockDirectory lockDir;
+    SvmContext ctx;
+    FailureInjector inj;
+    std::unique_ptr<RecoveryManager> recov;
+    std::vector<std::unique_ptr<SvmNode>> nodes;
+    std::vector<std::unique_ptr<AppThread>> threads;
+    std::vector<PhysNodeId> hostMap;
+    std::vector<NodeId> backupMap;
+    AppFn appFn;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_RUNTIME_CLUSTER_HH

@@ -1,0 +1,125 @@
+#include "sim/engine.hh"
+
+#include "base/log.hh"
+#include "base/panic.hh"
+
+namespace rsvm {
+
+Engine::Engine(const Config &config)
+    : cfg(config), engineRng(config.seed)
+{
+    Logger::instance().setTimeSource([this] { return currentTime; });
+}
+
+Engine::~Engine()
+{
+    Logger::instance().setTimeSource(nullptr);
+}
+
+void
+Engine::schedule(SimTime delta, std::function<void()> fn)
+{
+    at(currentTime + delta, std::move(fn));
+}
+
+void
+Engine::at(SimTime when, std::function<void()> fn)
+{
+    rsvm_assert(when >= currentTime);
+    events.push(Event{when, nextSeq++, std::move(fn)});
+}
+
+SimThread &
+Engine::createThread(std::string name, std::size_t stack_size)
+{
+    if (stack_size == 0)
+        stack_size = cfg.ckptStackReserve;
+    threadPool.push_back(std::make_unique<SimThread>(
+        *this, nextTid++, std::move(name), stack_size));
+    return *threadPool.back();
+}
+
+void
+Engine::scheduleResume(SimThread &thread)
+{
+    SimThread *t = &thread;
+    std::uint64_t gen = thread.generation();
+    schedule(0, [this, t, gen] {
+        if (t->generation() != gen || t->state() != ThreadState::Runnable)
+            return;
+        t->st = ThreadState::Running;
+        running = t;
+        t->fib.resume(engineCtx);
+        running = nullptr;
+    });
+}
+
+void
+Engine::yieldFrom(SimThread &thread)
+{
+    thread.fib.yieldTo(engineCtx);
+}
+
+void
+Engine::dispatch(Event &ev)
+{
+    currentTime = ev.when;
+    ++dispatchCount;
+    if ((dispatchCount & 0xfffff) == 0) {
+        RSVM_LOG(LogComp::Sim,
+                 "dispatched %llu events, now=%llu, queued=%zu",
+                 static_cast<unsigned long long>(dispatchCount),
+                 static_cast<unsigned long long>(currentTime),
+                 events.size());
+        for (const auto &t : threadPool) {
+            RSVM_LOG(LogComp::Sim, "  thread %s state=%d comp=%d",
+                     t->name().c_str(), static_cast<int>(t->state()),
+                     static_cast<int>(t->parkComp));
+        }
+    }
+    ev.fn();
+}
+
+void
+Engine::run(bool tolerate_parked)
+{
+    while (!events.empty()) {
+        Event ev = std::move(const_cast<Event &>(events.top()));
+        events.pop();
+        dispatch(ev);
+    }
+    if (!tolerate_parked) {
+        for (const auto &t : threadPool) {
+            if (t->state() == ThreadState::Parked) {
+                rsvm_panic("deadlock: thread '" + t->name() +
+                           "' still parked after event queue drained");
+            }
+        }
+    }
+}
+
+bool
+Engine::runUntil(SimTime deadline)
+{
+    while (!events.empty()) {
+        if (events.top().when > deadline) {
+            currentTime = deadline;
+            return false;
+        }
+        Event ev = std::move(const_cast<Event &>(events.top()));
+        events.pop();
+        dispatch(ev);
+    }
+    return true;
+}
+
+std::size_t
+Engine::countThreads(ThreadState state) const
+{
+    std::size_t n = 0;
+    for (const auto &t : threadPool)
+        n += (t->state() == state) ? 1 : 0;
+    return n;
+}
+
+} // namespace rsvm

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The discrete-event simulation engine.
+ *
+ * A single min-heap of (time, sequence) ordered events drives the whole
+ * cluster: NIC send/deliver events, timer wakes, and thread resumes.
+ * Sequence numbers make the order of same-time events deterministic, so
+ * every simulation run is exactly reproducible for a given Config.
+ */
+
+#ifndef RSVM_SIM_ENGINE_HH
+#define RSVM_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "base/config.hh"
+#include "base/rng.hh"
+#include "base/types.hh"
+#include "sim/thread.hh"
+
+namespace rsvm {
+
+/** Event-driven simulation kernel. */
+class Engine
+{
+  public:
+    explicit Engine(const Config &config);
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Current simulated time. */
+    SimTime now() const { return currentTime; }
+
+    /** Schedule @p fn to run @p delta from now. */
+    void schedule(SimTime delta, std::function<void()> fn);
+
+    /** Schedule @p fn at absolute time @p when (>= now). */
+    void at(SimTime when, std::function<void()> fn);
+
+    /** Create a thread owned by the engine (not yet started). */
+    SimThread &createThread(std::string name,
+                            std::size_t stack_size = 0);
+
+    /**
+     * Run until the event queue drains. Panics if parked threads
+     * remain afterwards (protocol deadlock), unless
+     * @p tolerate_parked is set.
+     */
+    void run(bool tolerate_parked = false);
+
+    /** Run until @p deadline or queue drain; true if queue drained. */
+    bool runUntil(SimTime deadline);
+
+    /** Thread currently executing on a fiber, or nullptr. */
+    SimThread *current() { return running; }
+
+    /** The engine's shared RNG (jitter, synthetic data). */
+    Rng &rng() { return engineRng; }
+
+    const Config &config() const { return cfg; }
+
+    /** All threads ever created (engine owns them). */
+    const std::vector<std::unique_ptr<SimThread>> &threads() const
+    { return threadPool; }
+
+    /** Count of threads in the given state. */
+    std::size_t countThreads(ThreadState state) const;
+
+  private:
+    friend class SimThread;
+
+    struct Event
+    {
+        SimTime when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+        bool operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    /** Queue a resume event for a runnable thread. */
+    void scheduleResume(SimThread &thread);
+
+    /** Engine-side half of park(): swap back to the engine context. */
+    void yieldFrom(SimThread &thread);
+
+    void dispatch(Event &ev);
+
+    Config cfg;
+    SimTime currentTime = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t dispatchCount = 0;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+    std::vector<std::unique_ptr<SimThread>> threadPool;
+    SimThread *running = nullptr;
+    ucontext_t engineCtx{};
+    Rng engineRng;
+    ThreadId nextTid = 0;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_SIM_ENGINE_HH

@@ -1,0 +1,141 @@
+#include "sim/fiber.hh"
+
+#include <cstring>
+
+#include "base/panic.hh"
+
+namespace rsvm {
+
+namespace {
+/** Target of the next trampoline invocation (single-threaded engine). */
+Fiber *g_starting = nullptr;
+} // namespace
+
+Fiber::Fiber(std::size_t stack_size)
+    : stack(new std::byte[stack_size]), size(stack_size)
+{
+    rsvm_assert(stack_size >= 16 * 1024);
+}
+
+Fiber::~Fiber() = default;
+
+void
+Fiber::trampoline()
+{
+    Fiber *self = g_starting;
+    g_starting = nullptr;
+    rsvm_assert(self && self->entry);
+    // Move the closure onto the fiber stack before invoking it: the
+    // Fiber object may be re-prepared while this body runs, and the
+    // closure must stay alive for as long as it executes.
+    std::function<void()> fn = std::move(self->entry);
+    self->entry = nullptr;
+    fn();
+    // A fiber entry function must never return: the engine-facing
+    // wrapper parks the thread in a terminal state instead.
+    rsvm_panic("fiber entry returned");
+}
+
+void
+Fiber::prepare(std::function<void()> fn)
+{
+    entry = std::move(fn);
+    restoredFlag = false;
+    rsvm_assert(getcontext(&ctx) == 0);
+    ctx.uc_stack.ss_sp = stack.get();
+    ctx.uc_stack.ss_size = size;
+    ctx.uc_link = nullptr;
+    makecontext(&ctx, &Fiber::trampoline, 0);
+}
+
+void
+Fiber::resume(ucontext_t &from)
+{
+    if (entry)
+        g_starting = this;
+    rsvm_assert(swapcontext(&from, &ctx) == 0);
+}
+
+void
+Fiber::yieldTo(ucontext_t &to)
+{
+    rsvm_assert(swapcontext(&ctx, &to) == 0);
+}
+
+std::uintptr_t
+Fiber::contextSp(const ucontext_t &c)
+{
+#if defined(__x86_64__)
+    return static_cast<std::uintptr_t>(c.uc_mcontext.gregs[REG_RSP]);
+#elif defined(__aarch64__)
+    return static_cast<std::uintptr_t>(c.uc_mcontext.sp);
+#else
+#error "unsupported architecture for fiber snapshots"
+#endif
+}
+
+Fiber::Snapshot
+Fiber::captureFrom(const ucontext_t &c) const
+{
+    Snapshot snap;
+    snap.ctx = c;
+    snap.sp = contextSp(c);
+    auto base = reinterpret_cast<std::uintptr_t>(stack.get());
+    rsvm_assert_msg(snap.sp > base && snap.sp <= base + size,
+                    "context stack pointer outside fiber stack");
+    std::size_t live = base + size - snap.sp;
+    snap.stack.resize(live);
+    std::memcpy(snap.stack.data(), reinterpret_cast<void *>(snap.sp),
+                live);
+    return snap;
+}
+
+Fiber::Snapshot
+Fiber::capture() const
+{
+    return captureFrom(ctx);
+}
+
+bool
+Fiber::captureSelf(Snapshot &snap)
+{
+    ucontext_t here{};
+    rsvm_assert(getcontext(&here) == 0);
+    if (restoredFlag) {
+        // Second return: we are being resumed from a restored snapshot.
+        restoredFlag = false;
+        return false;
+    }
+    snap = captureFrom(here);
+    snap.selfCapture = true;
+    return true;
+}
+
+void
+Fiber::restore(const Snapshot &snap)
+{
+    rsvm_assert(snap.valid());
+    auto base = reinterpret_cast<std::uintptr_t>(stack.get());
+    rsvm_assert(snap.sp > base && snap.sp <= base + size);
+    rsvm_assert(snap.sp + snap.stack.size() == base + size);
+    std::memcpy(reinterpret_cast<void *>(snap.sp), snap.stack.data(),
+                snap.stack.size());
+    ctx = snap.ctx;
+    entry = nullptr;
+    // Parked-thread snapshots resume through the normal yield path and
+    // learn about the restore from their wake status; only self-captured
+    // snapshots re-enter through captureSelf() and need the flag.
+    restoredFlag = snap.selfCapture;
+}
+
+std::size_t
+Fiber::liveStackBytes() const
+{
+    std::uintptr_t sp = contextSp(ctx);
+    auto base = reinterpret_cast<std::uintptr_t>(stack.get());
+    if (sp <= base || sp > base + size)
+        return 0;
+    return base + size - sp;
+}
+
+} // namespace rsvm

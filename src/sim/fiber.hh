@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Cooperative fibers (ucontext-based) with stack snapshot/restore.
+ *
+ * Every simulated compute thread runs on a Fiber. The discrete-event
+ * engine swaps between its own (native) context and fiber contexts;
+ * only one fiber ever runs at a time, so the whole simulation is
+ * single-threaded and deterministic.
+ *
+ * Fibers support capturing a Snapshot — the saved machine context plus
+ * the live portion of the stack — and restoring it later into the SAME
+ * stack buffer. This is exactly the paper's thread-migration mechanism
+ * (§4.4): shadow threads on the backup node reserve an identical
+ * virtual address range for the stack, so a restored stack needs no
+ * pointer fixup. In our single-process emulation the "identical
+ * address" property holds trivially because the restore target is the
+ * original buffer.
+ */
+
+#ifndef RSVM_SIM_FIBER_HH
+#define RSVM_SIM_FIBER_HH
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace rsvm {
+
+/** One cooperative execution context with a private stack. */
+class Fiber
+{
+  public:
+    /** A restorable image of a fiber: context + live stack bytes. */
+    struct Snapshot
+    {
+        ucontext_t ctx{};
+        /** Live stack contents, from the saved stack pointer upward. */
+        std::vector<std::byte> stack;
+        /** Value of the saved stack pointer (start of live region). */
+        std::uintptr_t sp = 0;
+        /**
+         * True when captured via captureSelf(): a restore must make the
+         * in-fiber captureSelf() call return false ("restored" path).
+         */
+        bool selfCapture = false;
+        /** Total bytes a transfer of this snapshot moves. */
+        std::size_t bytes() const { return stack.size() + sizeof(ctx); }
+        bool valid() const { return sp != 0; }
+    };
+
+    explicit Fiber(std::size_t stack_size);
+    ~Fiber();
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /**
+     * Arm the fiber to execute @p entry on its next resume. Resets any
+     * previous execution state.
+     */
+    void prepare(std::function<void()> entry);
+
+    /**
+     * Switch from the caller's context (saved into @p from) into this
+     * fiber. Returns when the fiber switches back.
+     */
+    void resume(ucontext_t &from);
+
+    /**
+     * Called from inside the fiber: save into the fiber context and
+     * switch to @p to (normally the engine context).
+     */
+    void yieldTo(ucontext_t &to);
+
+    /**
+     * Capture a snapshot of a fiber that is currently *parked* (its
+     * state was saved by yieldTo). Must not be called on the running
+     * fiber — use captureSelf() for that.
+     */
+    Snapshot capture() const;
+
+    /**
+     * Capture a snapshot anchored at an arbitrary saved context whose
+     * stack pointer lies within this fiber's stack (the restartable-
+     * operation boundary contexts recorded by SimThread).
+     */
+    Snapshot captureAt(const ucontext_t &c) const { return captureFrom(c); }
+
+    /**
+     * Capture a snapshot of the *running* fiber (must be called from
+     * the fiber itself). Returns true on the capturing path and false
+     * when execution re-enters through restore(), setjmp-style.
+     */
+    bool captureSelf(Snapshot &snap);
+
+    /**
+     * Overwrite this fiber's stack and saved context from @p snap. The
+     * fiber must be parked or dead; its next resume continues from the
+     * snapshot point.
+     */
+    void restore(const Snapshot &snap);
+
+    /** Lowest stack address. */
+    std::byte *stackBase() { return stack.get(); }
+    /** Stack size in bytes. */
+    std::size_t stackSize() const { return size; }
+    /** Live stack bytes at the last yield (approximate usage). */
+    std::size_t liveStackBytes() const;
+
+  private:
+    static void trampoline();
+
+    /** Extract the stack pointer register from a saved context. */
+    static std::uintptr_t contextSp(const ucontext_t &c);
+
+    Snapshot captureFrom(const ucontext_t &c) const;
+
+    std::unique_ptr<std::byte[]> stack;
+    std::size_t size;
+    ucontext_t ctx{};
+    std::function<void()> entry;
+    bool restoredFlag = false;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_SIM_FIBER_HH

@@ -1,0 +1,239 @@
+#include "sim/thread.hh"
+
+#include "base/log.hh"
+#include "base/panic.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+
+SimThread::SimThread(Engine &engine, ThreadId id, std::string name,
+                     std::size_t stack_size)
+    : eng(engine), tid(id), label(std::move(name)), fib(stack_size)
+{
+}
+
+void
+SimThread::start(std::function<void()> body)
+{
+    // Dead is allowed: recovery restarts a killed thread from the
+    // beginning when its only checkpoint is the initial one (tag 0).
+    rsvm_assert(st == ThreadState::New || st == ThreadState::Finished ||
+                st == ThreadState::Dead);
+    if (st == ThreadState::Dead)
+        ++gen;
+    fib.prepare([this, body = std::move(body)] {
+        body();
+        st = ThreadState::Finished;
+        RSVM_LOG(LogComp::Sim, "thread %s finished", label.c_str());
+        // Never return from a fiber entry: hand control back to the
+        // engine permanently.
+        fib.yieldTo(eng.engineCtx);
+        rsvm_panic("finished thread resumed");
+    });
+    st = ThreadState::Runnable;
+    hasPendingWake = false;
+    opActive = false;
+    opRestartFlag = false;
+    restartOp = nullptr;
+    eng.scheduleResume(*this);
+}
+
+WakeStatus
+SimThread::parkImpl(Comp c, SimTime timeout, bool has_timeout)
+{
+    rsvm_assert_msg(eng.current() == this,
+                    "park called from outside the thread's fiber");
+    if (hasPendingWake) {
+        hasPendingWake = false;
+        return pendingWake;
+    }
+    ++parkEpoch;
+    parkStart = eng.now();
+    parkComp = c;
+    st = ThreadState::Parked;
+
+    if (has_timeout) {
+        std::uint64_t epoch = parkEpoch;
+        std::uint64_t my_gen = gen;
+        eng.schedule(timeout, [this, epoch, my_gen] {
+            if (gen == my_gen && st == ThreadState::Parked &&
+                parkEpoch == epoch) {
+                wake(WakeStatus::Timeout);
+            }
+        });
+    }
+
+    eng.yieldFrom(*this);
+
+    // Resumed: charge the parked interval to the caller's component.
+    breakdown.charge(c, eng.now() - parkStart, inBarrierPhase);
+    rsvm_assert(hasPendingWake);
+    hasPendingWake = false;
+    return pendingWake;
+}
+
+WakeStatus
+SimThread::park(Comp c)
+{
+    return parkImpl(c, 0, false);
+}
+
+WakeStatus
+SimThread::parkFor(SimTime timeout, Comp c)
+{
+    return parkImpl(c, timeout, true);
+}
+
+WakeStatus
+SimThread::delay(SimTime ns, Comp c)
+{
+    WakeStatus ws = parkImpl(c, ns, true);
+    // Timeout is the normal completion of a pure delay.
+    return ws == WakeStatus::Timeout ? WakeStatus::Normal : ws;
+}
+
+void
+SimThread::charge(Comp c, SimTime ns)
+{
+    breakdown.charge(c, ns, inBarrierPhase);
+}
+
+void
+SimThread::wake(WakeStatus status)
+{
+    if (st == ThreadState::Dead || st == ThreadState::Finished)
+        return;
+    if (st == ThreadState::Parked) {
+        pendingWake = status;
+        hasPendingWake = true;
+        st = ThreadState::Runnable;
+        eng.scheduleResume(*this);
+    } else {
+        // Latched wake: consumed by the next park (no lost wakeups).
+        pendingWake = status;
+        hasPendingWake = true;
+    }
+}
+
+void
+SimThread::kill()
+{
+    rsvm_assert_msg(eng.current() != this, "use killSelf() when running");
+    st = ThreadState::Dead;
+    ++gen;
+    hasPendingWake = false;
+}
+
+void
+SimThread::killSelf()
+{
+    rsvm_assert(eng.current() == this);
+    st = ThreadState::Dead;
+    ++gen;
+    hasPendingWake = false;
+    fib.yieldTo(eng.engineCtx);
+    rsvm_panic("dead thread resumed");
+}
+
+void
+SimThread::runRestartableOp(std::function<void()> op)
+{
+    rsvm_assert_msg(!opActive, "restartable operations must not nest");
+    restartOp = std::move(op);
+    opActive = true;
+    // Both the first pass and a boundary restore return through here.
+    // No owning locals may live in this frame (op was moved out).
+    rsvm_assert(getcontext(&restartCtx) == 0);
+    if (opRestartFlag) {
+        opRestartFlag = false;
+        hasPendingWake = false;
+    }
+    restartOp();
+    opActive = false;
+    restartOp = nullptr;
+}
+
+SimThread::CkptImage
+SimThread::captureForCkpt() const
+{
+    CkptImage image;
+    if (st == ThreadState::Finished) {
+        image.finished = true;
+        return image;
+    }
+    rsvm_assert(st == ThreadState::Parked || st == ThreadState::Runnable);
+    if (opActive) {
+        image.atBoundary = true;
+        image.snap = fib.captureAt(restartCtx);
+        image.op = restartOp; // deep copy: survives the original's end
+    } else {
+        image.snap = fib.capture();
+    }
+    return image;
+}
+
+void
+SimThread::restoreFromImage(const CkptImage &image)
+{
+    rsvm_assert(eng.current() != this);
+    rsvm_assert(!image.finished && image.snap.valid());
+    fib.restore(image.snap);
+    ++gen;
+    st = ThreadState::Runnable;
+    if (image.atBoundary) {
+        // Re-execute the restartable operation from its entry point.
+        restartOp = image.op;
+        opActive = true;
+        opRestartFlag = true;
+        hasPendingWake = false;
+    } else if (image.op) {
+        // Point-B image: execution resumes *inside* the operation the
+        // image recorded; restore the member bookkeeping to match so
+        // a later boundary capture of this thread names the right op.
+        restartOp = image.op;
+        opActive = true;
+        opRestartFlag = false;
+        pendingWake = WakeStatus::Restarted;
+        hasPendingWake = true;
+    } else {
+        restartOp = nullptr;
+        opActive = false;
+        opRestartFlag = false;
+        pendingWake = WakeStatus::Restarted;
+        hasPendingWake = true;
+    }
+    eng.scheduleResume(*this);
+}
+
+Fiber::Snapshot
+SimThread::captureParked() const
+{
+    // Parked or Runnable: in both states the fiber context was saved
+    // by the last yield, so the stack image is consistent.
+    rsvm_assert_msg(st == ThreadState::Parked ||
+                        st == ThreadState::Runnable,
+                    "point-A capture requires a non-running thread");
+    return fib.capture();
+}
+
+bool
+SimThread::captureSelf(Fiber::Snapshot &snap)
+{
+    rsvm_assert(eng.current() == this);
+    return fib.captureSelf(snap);
+}
+
+void
+SimThread::restoreSnapshot(const Fiber::Snapshot &snap)
+{
+    rsvm_assert_msg(eng.current() != this,
+                    "cannot restore the running thread");
+    fib.restore(snap);
+    ++gen;
+    st = ThreadState::Runnable;
+    pendingWake = WakeStatus::Restarted;
+    hasPendingWake = true;
+    eng.scheduleResume(*this);
+}
+
+} // namespace rsvm

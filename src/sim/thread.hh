@@ -1,0 +1,227 @@
+/**
+ * @file
+ * SimThread: one simulated compute thread running on a Fiber under the
+ * discrete-event Engine, with per-component simulated-time accounting.
+ *
+ * Blocking discipline: every blocking protocol operation is written as
+ * a retry loop around park()/parkFor(), keyed on the returned
+ * WakeStatus. This is what makes checkpoint/restore safe: a thread
+ * restored from a snapshot wakes with WakeStatus::Restarted and its
+ * in-flight blocking operation simply re-issues (fetches and lock polls
+ * are idempotent).
+ */
+
+#ifndef RSVM_SIM_THREAD_HH
+#define RSVM_SIM_THREAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "sim/fiber.hh"
+
+namespace rsvm {
+
+class Engine;
+
+/** Why a parked thread resumed. */
+enum class WakeStatus {
+    /** Explicit wake by another party (reply arrived, lock granted...). */
+    Normal,
+    /** The parkFor() timer expired before any explicit wake. */
+    Timeout,
+    /** The awaited remote operation failed (peer node dead). */
+    Error,
+    /** The thread was restored from a checkpoint after a failure. */
+    Restarted,
+};
+
+/** Lifecycle state of a simulated thread. */
+enum class ThreadState {
+    /** Created but never started. */
+    New,
+    /** Ready; a resume event is (or will be) queued. */
+    Runnable,
+    /** Currently executing on its fiber. */
+    Running,
+    /** Blocked in park()/parkFor(). */
+    Parked,
+    /** Body returned normally. */
+    Finished,
+    /** Killed by a node failure; resumable only via restore. */
+    Dead,
+};
+
+/** A simulated compute thread. */
+class SimThread
+{
+  public:
+    SimThread(Engine &engine, ThreadId id, std::string name,
+              std::size_t stack_size);
+
+    SimThread(const SimThread &) = delete;
+    SimThread &operator=(const SimThread &) = delete;
+
+    /** Arm the thread body and make it runnable. */
+    void start(std::function<void()> body);
+
+    // ---- Fiber-side API (call only from this thread's fiber) ----------
+
+    /** Advance simulated time by @p ns, charged to component @p c. */
+    WakeStatus delay(SimTime ns, Comp c);
+
+    /** Block until woken; elapsed park time is charged to @p c. */
+    WakeStatus park(Comp c);
+
+    /**
+     * Block until woken or until @p timeout elapses; elapsed time is
+     * charged to @p c.
+     */
+    WakeStatus parkFor(SimTime timeout, Comp c);
+
+    /** Charge @p ns to @p c without advancing simulated time. */
+    void charge(Comp c, SimTime ns);
+
+    // ---- Engine/protocol-side API --------------------------------------
+
+    /**
+     * Wake a parked thread with @p status. If the thread is not parked
+     * the wake is latched and consumed by its next park (no lost
+     * wakeups in the single-threaded engine).
+     */
+    void wake(WakeStatus status);
+
+    /** Kill the thread (node failure). Safe on parked/runnable threads. */
+    void kill();
+
+    /** Kill the running thread from inside its own fiber (failpoint). */
+    [[noreturn]] void killSelf();
+
+    // ---- Checkpoint support ---------------------------------------------
+
+    /**
+     * A restorable image of this thread. Two kinds exist:
+     *
+     *  - a *parked* image (atBoundary == false): the full stack at the
+     *    thread's current yield point; restoring resumes the park,
+     *    which returns WakeStatus::Restarted;
+     *  - a *boundary* image (atBoundary == true): the stack as of the
+     *    thread's entry into its current restartable operation, plus a
+     *    copy of the operation closure; restoring re-executes the
+     *    operation from scratch.
+     *
+     * Boundary images exist because a thread parked deep inside
+     * protocol code has C++ objects (vectors, shared_ptrs) live on
+     * those frames; by the time the image is restored, the original
+     * execution has continued and freed their allocations, so resuming
+     * such frames would double-free. The boundary frame, by
+     * construction, holds no owning locals; restartable operations are
+     * idempotent (faults re-fetch, polls re-poll, writes rewrite the
+     * same values).
+     */
+    struct CkptImage
+    {
+        Fiber::Snapshot snap;
+        bool atBoundary = false;
+        bool finished = false;
+        std::function<void()> op;
+        std::size_t bytes() const { return snap.bytes() + 64; }
+    };
+
+    /**
+     * Run @p op as a restartable operation: record a boundary context
+     * so a checkpoint of this thread taken while the operation blocks
+     * restores to this entry point and re-executes the operation.
+     * Must not nest.
+     */
+    void runRestartableOp(std::function<void()> op);
+
+    /** True while inside runRestartableOp(). */
+    bool inRestartableOp() const { return opActive; }
+
+    /** Copy of the current restartable operation closure. */
+    std::function<void()> currentOp() const { return restartOp; }
+
+    /** Capture an image of a non-running thread (point A, §4.4). */
+    CkptImage captureForCkpt() const;
+
+    /** Restore from an image captured by captureForCkpt(). */
+    void restoreFromImage(const CkptImage &image);
+
+    /** Snapshot a parked thread (raw; prefer captureForCkpt). */
+    Fiber::Snapshot captureParked() const;
+
+    /**
+     * Snapshot the running thread (point-B checkpoint). Returns true on
+     * the capturing path, false when re-entered via restore.
+     */
+    bool captureSelf(Fiber::Snapshot &snap);
+
+    /**
+     * Restore the thread from @p snap; it becomes runnable and wakes
+     * with WakeStatus::Restarted (or re-enters captureSelf()).
+     */
+    void restoreSnapshot(const Fiber::Snapshot &snap);
+
+    /** Clear a latched wake (used on the captureSelf() restore path). */
+    void clearPendingWake() { hasPendingWake = false; }
+
+    // ---- Introspection ---------------------------------------------------
+
+    ThreadId id() const { return tid; }
+    const std::string &name() const { return label; }
+    ThreadState state() const { return st; }
+    std::uint64_t generation() const { return gen; }
+    Engine &engine() { return eng; }
+    TimeBreakdown &times() { return breakdown; }
+    const TimeBreakdown &times() const { return breakdown; }
+    /** Live stack bytes at the last yield (paper reports 2–2.8 KB). */
+    std::size_t liveStackBytes() const { return fib.liveStackBytes(); }
+
+    /**
+     * Presentation tag: when set, Diff/Ckpt/Protocol charges belong to
+     * the barrier bar of the four-component breakdown (§5.3).
+     */
+    bool inBarrierPhase = false;
+
+    /**
+     * Compute-time inflation factor applied by the runtime's compute()
+     * to model SMP memory-bus contention (§5.2). 1.0 = no inflation.
+     */
+    double computeInflation = 1.0;
+
+  private:
+    friend class Engine;
+
+    /** Common park implementation. */
+    WakeStatus parkImpl(Comp c, SimTime timeout, bool has_timeout);
+
+    Engine &eng;
+    ThreadId tid;
+    std::string label;
+    Fiber fib;
+    ThreadState st = ThreadState::New;
+    std::uint64_t gen = 0;
+
+    /** Bumped by every park; stale timer events compare and bail. */
+    std::uint64_t parkEpoch = 0;
+    SimTime parkStart = 0;
+    Comp parkComp = Comp::Protocol;
+
+    bool hasPendingWake = false;
+    WakeStatus pendingWake = WakeStatus::Normal;
+
+    // ---- Restartable-operation state (heap-stable; never captured) ----
+    bool opActive = false;
+    bool opRestartFlag = false;
+    ucontext_t restartCtx{};
+    std::function<void()> restartOp;
+
+    TimeBreakdown breakdown;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_SIM_THREAD_HH

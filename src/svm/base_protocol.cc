@@ -1,0 +1,529 @@
+#include "svm/base_protocol.hh"
+
+#include <cstring>
+
+#include "base/log.hh"
+#include "base/panic.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+
+BaseProtocolNode::BaseProtocolNode(SvmContext &context, NodeId node_id)
+    : SvmNode(context, node_id)
+{
+}
+
+bool
+BaseProtocolNode::writeNeedsTwin(PageId page) const
+{
+    // Home nodes write their own pages in place: no twin, no diff.
+    return ctx.as.primaryHome(page) != nodeId;
+}
+
+bool
+BaseProtocolNode::skipInvalidate(PageId page) const
+{
+    // The home's working copy receives remote diffs directly and is
+    // always current: never invalidate our own home pages.
+    return ctx.as.primaryHome(page) == nodeId;
+}
+
+// ------------------------------------------------------------- page fetch
+
+void
+BaseProtocolNode::fetchPage(SimThread &self, PageId page)
+{
+    for (;;) {
+        NodeId home = ctx.as.primaryHome(page);
+        if (home == nodeId) {
+            // First touch of an own home page: the working copy is
+            // authoritative from the start (zero-filled).
+            PageEntry &e = pt.entry(page);
+            pt.ensureData(e);
+            if (e.state == PageState::Invalid)
+                e.state = PageState::ReadOnly;
+            stats.localPageFetches++;
+            return;
+        }
+        PageEntry &e = pt.entry(page);
+        VectorClock req(ctx.cfg.numNodes);
+        for (NodeId n = 0; n < ctx.cfg.numNodes; ++n)
+            req[n] = e.reqVer[n];
+
+        auto out = std::make_shared<std::vector<std::byte>>();
+        SvmNode *home_node = ctx.nodes[home];
+        CommStatus st = ctx.vmmc.fetch(
+            self, nodeId, home, 64 + 4 * ctx.cfg.numNodes,
+            [home_node, page, req, out](std::shared_ptr<Replier> rep) {
+                home_node->handleFetch(page, req, std::move(rep), out);
+            },
+            Comp::DataWait);
+        if (st == CommStatus::Ok) {
+            PageEntry &e2 = pt.entry(page);
+            if (e2.state != PageState::Invalid) {
+                // Another local thread faulted the page in while we
+                // waited; installing our (possibly older) copy would
+                // clobber writes made since. Discard ours.
+                stats.remotePageFetches++;
+                return;
+            }
+            // Write notices may have raised the required version while
+            // the reply was in flight: the copy is stale — refetch.
+            bool stale = false;
+            for (NodeId n = 0; n < ctx.cfg.numNodes; ++n) {
+                if (e2.reqVer[n] > req[n]) {
+                    stale = true;
+                    break;
+                }
+            }
+            if (stale)
+                continue;
+            std::byte *data = pt.ensureData(e2);
+            rsvm_assert(out->size() == ctx.cfg.pageSize);
+            std::memcpy(data, out->data(), ctx.cfg.pageSize);
+            applyPendingLocal(page, data);
+            e2.state = PageState::ReadOnly;
+            stats.remotePageFetches++;
+            return;
+        }
+        if (st == CommStatus::Error) {
+            if (ctx.cfg.protocol == ProtocolKind::Base) {
+                // A congestion-abandoned fetch just retries; an actual
+                // node death is unrecoverable under the base protocol.
+                if (ctx.vmmc.anyNodeDead())
+                    rsvm_panic("node failure under the base protocol");
+            } else {
+                parkUntilRecovered(self, Comp::DataWait);
+            }
+        }
+        // Restarted / post-recovery: retry with fresh home mapping.
+    }
+}
+
+void
+BaseProtocolNode::replyWithPage(PageId page,
+                                std::shared_ptr<Replier> rep,
+                                std::shared_ptr<std::vector<std::byte>>
+                                    out)
+{
+    PageEntry &e = pt.entry(page);
+    std::byte *data = pt.ensureData(e);
+    std::vector<std::byte> copy(data, data + ctx.cfg.pageSize);
+    rep->reply(ctx.cfg.pageSize,
+               [out, copy = std::move(copy)]() mutable {
+                   *out = std::move(copy);
+               });
+}
+
+void
+BaseProtocolNode::handleFetch(PageId page, const VectorClock &req_ver,
+                              std::shared_ptr<Replier> rep,
+                              std::shared_ptr<std::vector<std::byte>>
+                                  out)
+{
+    HomeInfo &hi = homeInfo(page);
+    // Our own writes are always current in the working copy.
+    VectorClock effective = hi.appliedVer;
+    effective[nodeId] = intervalCtr;
+    if (effective.dominates(req_ver)) {
+        replyWithPage(page, std::move(rep), std::move(out));
+        return;
+    }
+    hi.waiters.push_back(
+        DeferredFetch{req_ver, std::move(rep), std::move(out)});
+}
+
+void
+BaseProtocolNode::serviceFetchWaiters(PageId page)
+{
+    HomeInfo *hi = findHomeInfo(page);
+    if (!hi)
+        return;
+    if (!hi->waiters.empty()) {
+        VectorClock effective = hi->appliedVer;
+        effective[nodeId] = intervalCtr;
+        std::vector<DeferredFetch> still;
+        for (auto &w : hi->waiters) {
+            if (effective.dominates(w.reqVer))
+                replyWithPage(page, std::move(w.rep),
+                              std::move(w.out));
+            else
+                still.push_back(std::move(w));
+        }
+        hi->waiters.swap(still);
+    }
+    // Home threads blocked in waitHomeVersions() re-check on wake.
+    wakeWaiters(hi->localWaiters);
+}
+
+void
+BaseProtocolNode::waitHomeVersions(SimThread &self)
+{
+    while (!homeWaits.empty()) {
+        auto it = homeWaits.begin();
+        PageId page = it->first;
+        VectorClock need = it->second;
+        for (;;) {
+            HomeInfo &hi = homeInfo(page);
+            if (hi.appliedVer.size() == 0)
+                hi.appliedVer = VectorClock(ctx.cfg.numNodes);
+            VectorClock effective = hi.appliedVer;
+            effective[nodeId] = intervalCtr;
+            if (effective.dominates(need))
+                break;
+            hi.localWaiters.push_back({&self, self.generation()});
+            (void)self.parkFor(ctx.cfg.heartbeatTimeout,
+                               Comp::DataWait);
+            // Any wake (diff applied, timeout, restart) re-checks.
+        }
+        homeWaits.erase(page);
+    }
+}
+
+const std::byte *
+BaseProtocolNode::homeBytes(PageId page)
+{
+    PageEntry *e = pt.find(page);
+    return e ? e->data.get() : nullptr;
+}
+
+void
+BaseProtocolNode::applyIncomingDiff(const Diff &d, int phase)
+{
+    rsvm_assert(phase == 0);
+    RSVM_LOG(LogComp::Mem,
+             "node %u applies diff page=%u origin=%u interval=%u "
+             "prev=%u bytes=%u",
+             nodeId, d.page, d.origin, d.interval, d.prevInterval,
+             d.modifiedBytes());
+    HomeInfo &hi = homeInfo(d.page);
+    applyDiffChain(hi, hi.appliedVer, 0, d, [this](const Diff &dd) {
+        PageEntry &e = pt.entry(dd.page);
+        std::byte *data = pt.ensureData(e);
+        diff::apply(dd, data, ctx.cfg.pageSize);
+    });
+    serviceFetchWaiters(d.page);
+}
+
+// ---------------------------------------------------------------- release
+
+void
+BaseProtocolNode::doRelease(SimThread &self, LockId lock,
+                            bool is_barrier)
+{
+    releasesActive++;
+    CommitResult cr = commitInterval(&self);
+
+    // Fig. 1 order: hand the lock to the next requester first, then
+    // propagate the diffs (version waits at the homes keep fetches
+    // correct).
+    if (!is_barrier) {
+        for (;;) {
+            CommStatus st = globalRelease(self, lock);
+            if (st == CommStatus::Ok)
+                break;
+            if (st == CommStatus::Error) {
+                if (ctx.cfg.protocol == ProtocolKind::Base) {
+                    if (ctx.vmmc.anyNodeDead())
+                        rsvm_panic(
+                            "node failure under the base protocol");
+                } else {
+                    parkUntilRecovered(self, Comp::LockWait);
+                }
+            }
+        }
+    }
+
+    CompletionBatch batch(self);
+    if (ctx.cfg.batchDiffs) {
+        // §6 optimization: one coalesced message per home.
+        std::unordered_map<NodeId, std::vector<Diff>> per_home;
+        for (Diff &d : cr.diffs) {
+            NodeId home = ctx.as.primaryHome(d.page);
+            rsvm_assert(home != nodeId);
+            per_home[home].push_back(std::move(d));
+        }
+        for (auto &[home, group] : per_home) {
+            std::uint32_t bytes = 0;
+            for (const Diff &d : group)
+                bytes += d.wireBytes();
+            stats.diffMsgsSent++;
+            stats.diffBytesSent += bytes;
+            SvmNode *home_node = ctx.nodes[home];
+            ctx.vmmc.depositAsync(
+                self, nodeId, home, bytes,
+                [home_node, group = std::move(group)] {
+                    for (const Diff &d : group)
+                        home_node->applyIncomingDiff(d, 0);
+                },
+                is_barrier ? &batch : nullptr, Comp::Diff);
+        }
+    } else {
+        for (Diff &d : cr.diffs) {
+            NodeId home = ctx.as.primaryHome(d.page);
+            rsvm_assert(home != nodeId);
+            stats.diffMsgsSent++;
+            stats.diffBytesSent += d.wireBytes();
+            SvmNode *home_node = ctx.nodes[home];
+            std::uint32_t bytes = d.wireBytes();
+            ctx.vmmc.depositAsync(
+                self, nodeId, home, bytes,
+                [home_node, d = std::move(d)] {
+                    home_node->applyIncomingDiff(d, 0);
+                },
+                is_barrier ? &batch : nullptr, Comp::Diff);
+        }
+    }
+    if (is_barrier) {
+        // Flush at barriers: every update visible before the
+        // rendezvous completes.
+        batch.wait(Comp::Diff);
+    }
+    releasesActive--;
+}
+
+// ------------------------------------------------------------------- locks
+
+CommStatus
+BaseProtocolNode::globalAcquire(SimThread &self, LockId lock,
+                                VectorClock &out_ts)
+{
+    return ctx.cfg.lockAlgo == LockAlgo::Queuing
+               ? queueAcquire(self, lock, out_ts)
+               : pollAcquire(self, lock, out_ts);
+}
+
+CommStatus
+BaseProtocolNode::globalRelease(SimThread &self, LockId lock)
+{
+    return ctx.cfg.lockAlgo == LockAlgo::Queuing
+               ? queueRelease(self, lock)
+               : pollRelease(self, lock);
+}
+
+CommStatus
+BaseProtocolNode::pollAcquire(SimThread &self, LockId lock,
+                              VectorClock &out_ts)
+{
+    NodeId home = ctx.locks.primaryHome(lock);
+    SimTime backoff = ctx.cfg.lockBackoffMin;
+    for (;;) {
+        SvmNode *home_node = ctx.nodes[home];
+        NodeId me = nodeId;
+        // Remote-write a nonzero value into our slot.
+        CommStatus st = ctx.vmmc.deposit(
+            self, nodeId, home, 16,
+            [home_node, lock, me] {
+                home_node->pollHome(lock).slots[me] = 1;
+            },
+            Comp::LockWait);
+        if (st != CommStatus::Ok)
+            return st;
+        // Read the whole vector (plus the timestamp if we won).
+        auto sole = std::make_shared<bool>(false);
+        auto got = std::make_shared<VectorClock>();
+        std::uint32_t n = ctx.cfg.numNodes;
+        st = ctx.vmmc.fetch(
+            self, nodeId, home, 16,
+            [home_node, lock, me, sole, got, n]
+            (std::shared_ptr<Replier> rep) {
+                PollLockHome &pl = home_node->pollHome(lock);
+                // Winning requires our own slot present too: a home
+                // remap can lose an in-flight slot write, and treating
+                // that as a win would break mutual exclusion.
+                bool s = pl.slots[me] != 0;
+                for (NodeId i = 0; s && i < n; ++i) {
+                    if (i != me && pl.slots[i])
+                        s = false;
+                }
+                VectorClock t = pl.ts;
+                rep->reply(n + 4 * n,
+                           [sole, got, s, t = std::move(t)]() mutable {
+                               *sole = s;
+                               *got = std::move(t);
+                           });
+            },
+            Comp::LockWait);
+        if (st != CommStatus::Ok)
+            return st;
+        stats.lockPollRounds++;
+        if (*sole) {
+            out_ts = *got;
+            return CommStatus::Ok;
+        }
+        // Contended: reset our slot and back off (avoids livelock).
+        st = ctx.vmmc.deposit(
+            self, nodeId, home, 16,
+            [home_node, lock, me] {
+                home_node->pollHome(lock).slots[me] = 0;
+            },
+            Comp::LockWait);
+        if (st != CommStatus::Ok)
+            return st;
+        // §4.1: while waiting, heart-beat — the contending slot we see
+        // may belong to a dead node.
+        PhysNodeId dead;
+        if (ctx.vmmc.sweepForFailures(self, &dead))
+            return CommStatus::Error;
+        SimTime jitter =
+            backoff / 2 + ctx.eng.rng().below(backoff / 2 + 1);
+        WakeStatus ws = self.delay(jitter, Comp::LockWait);
+        if (ws == WakeStatus::Restarted)
+            return CommStatus::Restarted;
+        backoff = std::min<SimTime>(backoff * 2,
+                                    ctx.cfg.lockBackoffMax);
+    }
+}
+
+CommStatus
+BaseProtocolNode::pollRelease(SimThread &self, LockId lock)
+{
+    NodeId home = ctx.locks.primaryHome(lock);
+    SvmNode *home_node = ctx.nodes[home];
+    NodeId me = nodeId;
+    VectorClock my_ts = ts;
+    return ctx.vmmc.deposit(
+        self, nodeId, home, 16 + 4 * ctx.cfg.numNodes,
+        [home_node, lock, me, my_ts] {
+            PollLockHome &pl = home_node->pollHome(lock);
+            // Max-merge keeps the timestamp monotonic even when a
+            // restored thread re-executes a release (§4.5).
+            pl.ts.maxWith(my_ts);
+            pl.slots[me] = 0;
+        },
+        Comp::LockWait);
+}
+
+CommStatus
+BaseProtocolNode::queueAcquire(SimThread &self, LockId lock,
+                               VectorClock &out_ts)
+{
+    NodeId home = ctx.locks.primaryHome(lock);
+    SvmNode *home_node = ctx.nodes[home];
+    NodeId me = nodeId;
+    grantWaits[lock] = GrantWait{};
+
+    auto granted = std::make_shared<bool>(false);
+    auto gts = std::make_shared<VectorClock>();
+    CommStatus st = ctx.vmmc.fetch(
+        self, nodeId, home, 32,
+        [this, home_node, lock, me, granted, gts]
+        (std::shared_ptr<Replier> rep) {
+            QueueLockHome &q = home_node->queueHome(lock);
+            std::uint32_t n = ctx.cfg.numNodes;
+            if (!q.held) {
+                q.held = true;
+                q.tail = me;
+                VectorClock t = q.ts;
+                rep->reply(16 + 4 * n,
+                           [granted, gts, t = std::move(t)]() mutable {
+                               *granted = true;
+                               *gts = std::move(t);
+                           });
+            } else {
+                NodeId old_tail = q.tail;
+                q.tail = me;
+                rep->reply(16, [granted] { *granted = false; });
+                // Forward the request to the latest requester: the
+                // holder chain grants directly, bypassing the home.
+                SvmNode *old_node = ctx.nodes[old_tail];
+                ctx.vmmc.depositFromEvent(
+                    home_node->id(), old_tail, 16,
+                    [old_node, lock, me] {
+                        old_node->setPendingNext(lock, me);
+                    });
+            }
+        },
+        Comp::LockWait);
+    if (st != CommStatus::Ok)
+        return st;
+    if (*granted) {
+        out_ts = *gts;
+        return CommStatus::Ok;
+    }
+    // Wait for the direct grant from the previous holder.
+    for (;;) {
+        GrantWait &gw = grantWaits[lock];
+        if (gw.granted) {
+            out_ts = gw.ts;
+            grantWaits.erase(lock);
+            return CommStatus::Ok;
+        }
+        gw.waiter = &self;
+        gw.gen = self.generation();
+        WakeStatus ws =
+            self.parkFor(ctx.cfg.heartbeatTimeout, Comp::LockWait);
+        if (ws == WakeStatus::Restarted)
+            return CommStatus::Restarted;
+        if (ws == WakeStatus::Timeout) {
+            PhysNodeId dead;
+            if (ctx.vmmc.sweepForFailures(self, &dead))
+                return CommStatus::Error;
+        }
+    }
+}
+
+CommStatus
+BaseProtocolNode::queueRelease(SimThread &self, LockId lock)
+{
+    NodeId me = nodeId;
+    for (;;) {
+        NodeLockState &ls = nodeLocks[lock];
+        if (ls.pendingNext != kInvalidNode) {
+            NodeId next = ls.pendingNext;
+            ls.pendingNext = kInvalidNode;
+            SvmNode *next_node = ctx.nodes[next];
+            VectorClock my_ts = ts;
+            return ctx.vmmc.deposit(
+                self, nodeId, next, 16 + 4 * ctx.cfg.numNodes,
+                [next_node, lock, my_ts] {
+                    next_node->receiveGrant(lock, my_ts);
+                },
+                Comp::LockWait);
+        }
+        // No successor known: ask the home to free the lock.
+        NodeId home = ctx.locks.primaryHome(lock);
+        SvmNode *home_node = ctx.nodes[home];
+        auto freed = std::make_shared<bool>(false);
+        VectorClock my_ts = ts;
+        CommStatus st = ctx.vmmc.fetch(
+            self, nodeId, home, 16 + 4 * ctx.cfg.numNodes,
+            [home_node, lock, me, my_ts, freed]
+            (std::shared_ptr<Replier> rep) {
+                QueueLockHome &q = home_node->queueHome(lock);
+                if (q.tail == me) {
+                    q.held = false;
+                    q.tail = kInvalidNode;
+                    q.ts.maxWith(my_ts);
+                    rep->reply(16, [freed] { *freed = true; });
+                } else {
+                    // A request is already being forwarded to us:
+                    // wait for it and grant directly.
+                    rep->reply(16, [freed] { *freed = false; });
+                }
+            },
+            Comp::LockWait);
+        if (st != CommStatus::Ok)
+            return st;
+        if (*freed)
+            return CommStatus::Ok;
+        // Wait for pendingNext to arrive, then loop to grant it.
+        for (;;) {
+            NodeLockState &ls2 = nodeLocks[lock];
+            if (ls2.pendingNext != kInvalidNode)
+                break;
+            releaseWaits[lock] = {&self, self.generation()};
+            WakeStatus ws = self.parkFor(ctx.cfg.heartbeatTimeout,
+                                         Comp::LockWait);
+            if (ws == WakeStatus::Restarted)
+                return CommStatus::Restarted;
+            if (ws == WakeStatus::Timeout) {
+                PhysNodeId dead;
+                if (ctx.vmmc.sweepForFailures(self, &dead))
+                    return CommStatus::Error;
+            }
+        }
+    }
+}
+
+} // namespace rsvm

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The base GeNIMA protocol (§3.2): home-based lazy release consistency
+ * with eager diff propagation to a single home per page.
+ *
+ * Characteristics reproduced from the paper:
+ *  - homes do not create twins or diffs for their own pages: local
+ *    writes go straight into the authoritative working copy;
+ *  - remote updates are applied to the home's working copy, so homes
+ *    never invalidate their own pages on write notices;
+ *  - a release commits the node's interval, hands the lock to the next
+ *    requester, and then propagates diffs asynchronously; remote
+ *    fetches carry a required version and wait at the home until the
+ *    needed diffs have been applied;
+ *  - both lock algorithms (distributed queuing and centralized
+ *    polling) are available; the paper's baseline measurements use the
+ *    polling lock for an apples-to-apples comparison (§5.2).
+ *
+ * No fault tolerance: a node failure under this protocol is fatal.
+ */
+
+#ifndef RSVM_SVM_BASE_PROTOCOL_HH
+#define RSVM_SVM_BASE_PROTOCOL_HH
+
+#include <memory>
+#include <vector>
+
+#include "svm/protocol.hh"
+
+namespace rsvm {
+
+/** One logical node running the base GeNIMA protocol. */
+class BaseProtocolNode : public SvmNode
+{
+  public:
+    BaseProtocolNode(SvmContext &context, NodeId node_id);
+
+    void handleFetch(PageId page, const VectorClock &req_ver,
+                     std::shared_ptr<Replier> rep,
+                     std::shared_ptr<std::vector<std::byte>> out)
+        override;
+    void applyIncomingDiff(const Diff &d, int phase) override;
+    const std::byte *homeBytes(PageId page) override;
+
+  protected:
+    void fetchPage(SimThread &self, PageId page) override;
+    bool writeNeedsTwin(PageId page) const override;
+    bool skipInvalidate(PageId page) const override;
+    void doRelease(SimThread &self, LockId lock, bool is_barrier)
+        override;
+    CommStatus globalAcquire(SimThread &self, LockId lock,
+                             VectorClock &out_ts) override;
+    CommStatus globalRelease(SimThread &self, LockId lock) override;
+
+    // ---- Polling lock (centralized, §4.3) --------------------------------
+    CommStatus pollAcquire(SimThread &self, LockId lock,
+                           VectorClock &out_ts);
+    CommStatus pollRelease(SimThread &self, LockId lock);
+
+    // ---- Queuing lock (original GeNIMA) ---------------------------------
+    CommStatus queueAcquire(SimThread &self, LockId lock,
+                            VectorClock &out_ts);
+    CommStatus queueRelease(SimThread &self, LockId lock);
+
+    /** Re-check deferred fetches after a version bump at this home. */
+    void serviceFetchWaiters(PageId page);
+
+    /** Block until in-flight diffs for own home pages have applied. */
+    void waitHomeVersions(SimThread &self) override;
+
+    /** Reply to a fetch from this home's authoritative copy. */
+    void replyWithPage(PageId page, std::shared_ptr<Replier> rep,
+                       std::shared_ptr<std::vector<std::byte>> out);
+};
+
+} // namespace rsvm
+
+#endif // RSVM_SVM_BASE_PROTOCOL_HH

@@ -1,0 +1,73 @@
+#include "svm/locks.hh"
+
+#include "base/panic.hh"
+
+namespace rsvm {
+
+LockDirectory::LockDirectory(std::uint32_t num_locks,
+                             std::uint32_t num_nodes)
+    : locks(num_locks), nodes(num_nodes)
+{
+    primary.resize(locks);
+    secondary.resize(locks);
+    for (LockId l = 0; l < locks; ++l) {
+        primary[l] = l % nodes;
+        secondary[l] = (primary[l] + 1) % nodes;
+    }
+}
+
+NodeId
+LockDirectory::primaryHome(LockId l) const
+{
+    rsvm_assert(l < locks);
+    return primary[l];
+}
+
+NodeId
+LockDirectory::secondaryHome(LockId l) const
+{
+    rsvm_assert(l < locks);
+    return secondary[l];
+}
+
+NodeId
+LockDirectory::nextEligible(
+    NodeId after, NodeId other,
+    const std::function<bool(NodeId, NodeId)> &eligible) const
+{
+    for (std::uint32_t step = 1; step <= nodes; ++step) {
+        NodeId cand = (after + step) % nodes;
+        if (cand != other && eligible(cand, other))
+            return cand;
+    }
+    rsvm_panic("no eligible lock home candidate (too many failures)");
+}
+
+void
+LockDirectory::remapHomes(
+    NodeId failed,
+    const std::function<bool(NodeId, NodeId)> &eligible,
+    const std::function<void(LockId, NodeId)> &moved)
+{
+    for (LockId l = 0; l < locks; ++l) {
+        bool changed = false;
+        if (primary[l] == failed) {
+            primary[l] = secondary[l];
+            secondary[l] = nextEligible(primary[l], primary[l],
+                                        eligible);
+            changed = true;
+        } else if (secondary[l] == failed) {
+            secondary[l] = nextEligible(primary[l], primary[l],
+                                        eligible);
+            changed = true;
+        } else if (!eligible(secondary[l], primary[l])) {
+            secondary[l] = nextEligible(secondary[l], primary[l],
+                                        eligible);
+            changed = true;
+        }
+        if (changed)
+            moved(l, primary[l]);
+    }
+}
+
+} // namespace rsvm

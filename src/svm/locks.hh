@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Lock synchronization state (§3.2, §4.3).
+ *
+ * Two algorithms are provided:
+ *
+ *  - The *distributed queuing lock* of the original GeNIMA protocol:
+ *    each lock's home tracks the tail of a virtual requester queue and
+ *    forwards new requests to the latest requester; the previous
+ *    holder grants the lock directly to its successor.
+ *
+ *  - The *centralized polling lock* that the paper adopts for the
+ *    extended protocol: each lock is a vector with one slot per node
+ *    at a home node; a node acquires by remote-writing its slot and
+ *    reading the whole vector; if any other slot is set it resets its
+ *    own slot and backs off. The scheme is stateless, which is what
+ *    makes lock recovery trivial (§4.3): a failed node's slot simply
+ *    persists until its replayed thread re-acquires or re-releases.
+ *
+ * Both algorithms share the intra-SMP layer: threads on one node
+ * exchange a held lock locally without any message traffic.
+ *
+ * The LockDirectory assigns each lock a primary and (for the
+ * fault-tolerant protocol) a secondary home and supports the same
+ * failure remapping as page homes.
+ */
+
+#ifndef RSVM_SVM_LOCKS_HH
+#define RSVM_SVM_LOCKS_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "svm/timestamp.hh"
+
+namespace rsvm {
+
+class SimThread;
+
+/** Home-side state of one centralized polling lock. */
+struct PollLockHome
+{
+    /** One slot per logical node: nonzero while that node contends or
+     *  holds the lock. */
+    std::vector<std::uint8_t> slots;
+    /** Timestamp left by the last releaser (max-merged, monotonic). */
+    VectorClock ts;
+
+    explicit PollLockHome(std::uint32_t nodes)
+        : slots(nodes, 0), ts(nodes)
+    {}
+};
+
+/** Home-side state of one distributed queuing lock. */
+struct QueueLockHome
+{
+    /** A node currently owns the lock (or is being granted it). */
+    bool held = false;
+    /** Latest requester: new requests are forwarded to it. */
+    NodeId tail = kInvalidNode;
+    /** Timestamp of the last release (only valid while free). */
+    VectorClock ts;
+
+    explicit QueueLockHome(std::uint32_t nodes) : ts(nodes) {}
+};
+
+/** Node-local (intra-SMP) state of one lock. */
+struct NodeLockState
+{
+    enum class Status : std::uint8_t {
+        /** This node neither holds nor wants the lock. */
+        Free,
+        /** A local thread is performing the global acquire. */
+        Acquiring,
+        /** A local thread holds the lock. */
+        Held,
+    };
+    Status status = Status::Free;
+    /** Thread currently holding (valid while Held). */
+    ThreadId holder = kInvalidThread;
+    /** Local threads waiting for an intra-node handoff (with their
+     *  generation, so stale entries from restored threads are skipped). */
+    std::vector<std::pair<SimThread *, std::uint64_t>> waiters;
+    /**
+     * Queuing lock only: the node that should receive the lock next
+     * (set when the home forwards a request to us as queue tail).
+     */
+    NodeId pendingNext = kInvalidNode;
+};
+
+/** Global lock-home assignment with failure remapping. */
+class LockDirectory
+{
+  public:
+    LockDirectory(std::uint32_t num_locks, std::uint32_t num_nodes);
+
+    std::uint32_t numLocks() const { return locks; }
+    NodeId primaryHome(LockId l) const;
+    NodeId secondaryHome(LockId l) const;
+
+    /**
+     * Rewrite homes after logical node @p failed lost its state; see
+     * AddressSpace::remapHomes for the eligibility contract. @p moved
+     * is called for each lock whose home set changed, with the
+     * surviving home to re-replicate from.
+     */
+    void remapHomes(
+        NodeId failed,
+        const std::function<bool(NodeId candidate, NodeId other)> &eligible,
+        const std::function<void(LockId lock, NodeId survivor)> &moved);
+
+  private:
+    NodeId nextEligible(NodeId after, NodeId other,
+                        const std::function<bool(NodeId, NodeId)> &
+                            eligible) const;
+
+    std::uint32_t locks;
+    std::uint32_t nodes;
+    std::vector<NodeId> primary;
+    std::vector<NodeId> secondary;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_SVM_LOCKS_HH

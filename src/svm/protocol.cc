@@ -1,0 +1,793 @@
+#include "svm/protocol.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "base/log.hh"
+#include "base/panic.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+
+void
+wakeWaiters(std::vector<std::pair<SimThread *, std::uint64_t>> &list)
+{
+    // Swap out first: a woken thread may re-register immediately.
+    std::vector<std::pair<SimThread *, std::uint64_t>> local;
+    local.swap(list);
+    for (auto &[thread, gen] : local) {
+        if (thread->generation() == gen &&
+            thread->state() == ThreadState::Parked) {
+            thread->wake(WakeStatus::Normal);
+        }
+    }
+}
+
+SvmNode::SvmNode(SvmContext &context, NodeId node_id)
+    : ctx(context), nodeId(node_id),
+      pt(context.cfg, context.cfg.numNodes),
+      ts(context.cfg.numNodes)
+{
+}
+
+SvmNode::~SvmNode() = default;
+
+// ------------------------------------------------------------ page access
+
+void
+SvmNode::readBytes(SimThread &self, Addr addr, void *dst,
+                   std::uint64_t len)
+{
+    auto *out = static_cast<std::byte *>(dst);
+    while (len > 0) {
+        PageId page = ctx.as.pageOf(addr);
+        std::uint32_t off = ctx.as.pageOffset(addr);
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(len, ctx.cfg.pageSize - off);
+        ensureReadable(self, page);
+        PageEntry &e = pt.entry(page);
+        pt.ensureData(e);
+        std::memcpy(out, e.data.get() + off, chunk);
+        out += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+void
+SvmNode::writeBytes(SimThread &self, Addr addr, const void *src,
+                    std::uint64_t len)
+{
+    auto *in = static_cast<const std::byte *>(src);
+    while (len > 0) {
+        PageId page = ctx.as.pageOf(addr);
+        std::uint32_t off = ctx.as.pageOffset(addr);
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(len, ctx.cfg.pageSize - off);
+        ensureWritable(self, page);
+        PageEntry &e = pt.entry(page);
+        std::memcpy(e.data.get() + off, in, chunk);
+        in += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+bool
+SvmNode::tryFastRead(Addr addr, void *dst, std::uint64_t len)
+{
+    auto *out = static_cast<std::byte *>(dst);
+    while (len > 0) {
+        PageId page = ctx.as.pageOf(addr);
+        std::uint32_t off = ctx.as.pageOffset(addr);
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(len, ctx.cfg.pageSize - off);
+        PageEntry *e = pt.find(page);
+        if (!e || e->state == PageState::Invalid || !e->data)
+            return false;
+        std::memcpy(out, e->data.get() + off, chunk);
+        out += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+    return true;
+}
+
+bool
+SvmNode::tryFastWrite(Addr addr, const void *src, std::uint64_t len)
+{
+    auto *in = static_cast<const std::byte *>(src);
+    while (len > 0) {
+        PageId page = ctx.as.pageOf(addr);
+        std::uint32_t off = ctx.as.pageOffset(addr);
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(len, ctx.cfg.pageSize - off);
+        PageEntry *e = pt.find(page);
+        if (!e || e->state != PageState::ReadWrite || e->locked ||
+            !e->data)
+            return false;
+        std::memcpy(e->data.get() + off, in, chunk);
+        in += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+    return true;
+}
+
+bool
+SvmNode::stallOnLockedPage(SimThread &, PageEntry &)
+{
+    // Base protocol: pages are never locked.
+    return false;
+}
+
+void
+SvmNode::ensureReadable(SimThread &self, PageId page)
+{
+    for (;;) {
+        PageEntry &e = pt.entry(page);
+        if (e.locked && e.state == PageState::Invalid) {
+            // Extended protocol: fault handling on a locked page is
+            // blocked until the outstanding release completes (§4.2).
+            if (stallOnLockedPage(self, e))
+                continue;
+        }
+        if (e.state != PageState::Invalid)
+            return;
+        stats.pageFaults++;
+        self.charge(Comp::DataWait, ctx.cfg.pageFaultCost);
+        fetchPage(self, page);
+        // fetchPage returns with the page valid (it retries across
+        // failures internally); loop to re-check against races.
+    }
+}
+
+void
+SvmNode::ensureWritable(SimThread &self, PageId page)
+{
+    for (;;) {
+        PageEntry &e = pt.entry(page);
+        if (e.locked) {
+            // New writes to pages committed by an outstanding release
+            // must stall until the release completes (§4.2).
+            if (stallOnLockedPage(self, e))
+                continue;
+        }
+        if (e.state == PageState::ReadWrite)
+            return;
+        if (e.state == PageState::Invalid) {
+            stats.pageFaults++;
+            self.charge(Comp::DataWait, ctx.cfg.pageFaultCost);
+            fetchPage(self, page);
+            continue;
+        }
+        // Write fault on a read-only page.
+        stats.pageFaults++;
+        self.charge(Comp::DataWait, ctx.cfg.pageFaultCost);
+        PageEntry &e2 = pt.entry(page);
+        pt.ensureData(e2);
+        if (writeNeedsTwin(page)) {
+            pt.makeTwin(e2);
+            stats.twinsCreated++;
+            self.charge(Comp::DataWait,
+                        ctx.cfg.twinSetupCost +
+                            static_cast<SimTime>(
+                                ctx.cfg.pageSize *
+                                ctx.cfg.memCopyNsPerByte));
+        }
+        e2.state = PageState::ReadWrite;
+        if (!e2.inUpdateList) {
+            e2.inUpdateList = true;
+            curUpdateList.push_back(page);
+        }
+        return;
+    }
+}
+
+void
+SvmNode::flushDirtyPage(SimThread &self, PageId page, PageEntry &entry)
+{
+    rsvm_assert(entry.state == PageState::ReadWrite);
+    if (entry.twin) {
+        self.charge(Comp::Diff,
+                    static_cast<SimTime>(ctx.cfg.pageSize *
+                                         ctx.cfg.diffScanNsPerByte));
+        Diff d = diff::compute(
+            page, nodeId, 0,
+            {entry.data.get(), ctx.cfg.pageSize},
+            {entry.twin.get(), ctx.cfg.pageSize});
+        pt.dropTwin(entry);
+        // Even an empty diff must travel: the write notice for this
+        // page makes readers require this interval at the home, and
+        // only the diff's arrival bumps the home version.
+        pendingDiffs.push_back(std::move(d));
+    }
+    entry.state = PageState::Invalid;
+}
+
+void
+SvmNode::applyPendingLocal(PageId page, std::byte *data)
+{
+    for (const Diff &d : pendingDiffs) {
+        if (d.page == page)
+            diff::apply(d, data, ctx.cfg.pageSize);
+    }
+}
+
+// ------------------------------------------------------------- intervals
+
+CommitResult
+SvmNode::commitInterval(SimThread *self)
+{
+    CommitResult r;
+    if (curUpdateList.empty() && pendingDiffs.empty())
+        return r;
+    auto charge = [&](Comp c, SimTime ns) {
+        if (self)
+            self->charge(c, ns);
+    };
+
+    r.any = true;
+    r.interval = ++intervalCtr;
+    ts[nodeId] = intervalCtr;
+
+    // Early-flushed diffs first: they carry older values of words that
+    // may also appear in this commit's fresh diffs. All diffs of one
+    // page must merge into a SINGLE per-interval diff (runs applied in
+    // order), because homes drop duplicate (page, origin, interval)
+    // deliveries to stay safe against post-recovery redo of releases.
+    std::unordered_map<PageId, std::size_t> diff_of_page;
+    for (Diff &d : pendingDiffs) {
+        d.interval = r.interval;
+        auto [it, inserted] =
+            diff_of_page.try_emplace(d.page, r.diffs.size());
+        if (inserted) {
+            stats.pagesDiffed++;
+            r.diffs.push_back(std::move(d));
+        } else {
+            Diff &merged = r.diffs[it->second];
+            for (DiffRun &run : d.runs)
+                merged.runs.push_back(std::move(run));
+        }
+    }
+    pendingDiffs.clear();
+
+    for (PageId page : curUpdateList) {
+        PageEntry &e = pt.entry(page);
+        e.inUpdateList = false;
+        r.pages.push_back(page);
+        // This page's previous interval from us: the home applies our
+        // diffs for one page strictly in this chain order.
+        IntervalNum prev = e.reqVer[nodeId];
+        // Our own updates must reach the home before any later
+        // re-fetch of this page is usable (diffs travel async).
+        if (e.reqVer[nodeId] < r.interval)
+            e.reqVer[nodeId] = r.interval;
+        if (e.state != PageState::ReadWrite) {
+            // Flushed early: the page's merged pending diff carries
+            // the chain link.
+            auto pit = diff_of_page.find(page);
+            if (pit != diff_of_page.end())
+                r.diffs[pit->second].prevInterval = prev;
+            continue;
+        }
+        if (e.twin) {
+            charge(Comp::Diff,
+                   static_cast<SimTime>(ctx.cfg.pageSize *
+                                        ctx.cfg.diffScanNsPerByte));
+            Diff d = diff::compute(
+                page, nodeId, r.interval,
+                {e.data.get(), ctx.cfg.pageSize},
+                {e.twin.get(), ctx.cfg.pageSize});
+            pt.dropTwin(e);
+            if (ctx.as.primaryHome(page) == nodeId ||
+                ctx.as.secondaryHome(page) == nodeId) {
+                stats.homePagesDiffed++;
+            }
+            // Empty (silent-store) diffs still travel: the home
+            // version must reach this interval or readers holding the
+            // write notice would wait forever. A page flushed earlier
+            // this interval merges into its pending diff (fresh runs
+            // last: they carry the newer values).
+            auto it = diff_of_page.find(page);
+            if (it != diff_of_page.end()) {
+                Diff &merged = r.diffs[it->second];
+                merged.prevInterval = prev;
+                for (DiffRun &run : d.runs)
+                    merged.runs.push_back(std::move(run));
+            } else {
+                d.prevInterval = prev;
+                stats.pagesDiffed++;
+                r.diffs.push_back(std::move(d));
+            }
+        } else {
+            // Base protocol home page: local writes went straight into
+            // the authoritative working copy; only the write notice is
+            // needed. Mark the home version as applied.
+            HomeInfo &hi = homeInfo(page);
+            if (hi.appliedVer.size() == 0)
+                hi.appliedVer = VectorClock(ctx.cfg.numNodes);
+            hi.appliedVer[nodeId] = r.interval;
+        }
+        // Re-protect: the next write starts a new twin in the next
+        // interval.
+        e.state = PageState::ReadOnly;
+    }
+
+    curUpdateList.clear();
+    intervalTable.push_back(IntervalRecord{r.interval, r.pages});
+    stats.intervalsCommitted++;
+    charge(Comp::Protocol,
+           ctx.cfg.commitPerPageCost *
+               static_cast<SimTime>(r.pages.size()));
+    RSVM_LOG(LogComp::Svm, "node %u committed interval %u (%zu pages)",
+             nodeId, r.interval, r.pages.size());
+    return r;
+}
+
+std::vector<IntervalRecord>
+SvmNode::intervalsInRange(IntervalNum from, IntervalNum to) const
+{
+    std::vector<IntervalRecord> out;
+    for (const auto &rec : intervalTable) {
+        if (rec.interval > from && rec.interval <= to)
+            out.push_back(rec);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------- write notices
+
+void
+SvmNode::applyNotices(SimThread &self, NodeId origin,
+                      const std::vector<IntervalRecord> &records)
+{
+    rsvm_assert(origin != nodeId);
+    for (const auto &rec : records) {
+        for (PageId page : rec.pages) {
+            PageEntry &e = pt.entry(page);
+            if (rec.interval > e.reqVer[origin])
+                e.reqVer[origin] = rec.interval;
+            if (skipInvalidate(page)) {
+                // Base-protocol home page: the working copy receives
+                // the remote diff directly, but it may still be in
+                // flight — record the requirement; the acquire blocks
+                // on it in waitHomeVersions().
+                auto [it, inserted] = homeWaits.try_emplace(
+                    page, VectorClock(ctx.cfg.numNodes));
+                if (it->second[origin] < rec.interval)
+                    it->second[origin] = rec.interval;
+                continue;
+            }
+            if (e.state == PageState::ReadWrite) {
+                // Keep local modifications (false sharing): flush the
+                // diff before dropping the page.
+                flushDirtyPage(self, page, e);
+                stats.invalidations++;
+                self.charge(Comp::Protocol, ctx.cfg.invalidateCost);
+            } else if (e.state == PageState::ReadOnly) {
+                e.state = PageState::Invalid;
+                stats.invalidations++;
+                self.charge(Comp::Protocol, ctx.cfg.invalidateCost);
+            }
+        }
+    }
+}
+
+void
+SvmNode::applyTimestamp(SimThread &self, const VectorClock &target)
+{
+    for (NodeId n = 0; n < ctx.numNodes(); ++n) {
+        if (n == nodeId)
+            continue;
+        for (;;) {
+            IntervalNum from = ts[n];
+            IntervalNum want = target[n];
+            if (want <= from)
+                break;
+            SvmNode *peer = ctx.nodes[n];
+            auto records =
+                std::make_shared<std::vector<IntervalRecord>>();
+            auto avail = std::make_shared<IntervalNum>(0);
+            CommStatus st = ctx.vmmc.fetch(
+                self, nodeId, n, 64,
+                [peer, from, want, records, avail]
+                (std::shared_ptr<Replier> rep) {
+                    auto recs = peer->intervalsInRange(from, want);
+                    IntervalNum cur = peer->currentInterval();
+                    std::uint32_t bytes = 16;
+                    for (const auto &r : recs)
+                        bytes += 8 + 4 * static_cast<std::uint32_t>(
+                                         r.pages.size());
+                    rep->reply(bytes,
+                               [records, avail, cur,
+                                recs = std::move(recs)]() mutable {
+                                   *records = std::move(recs);
+                                   *avail = cur;
+                               });
+                },
+                Comp::Protocol);
+            if (st == CommStatus::Ok) {
+                RSVM_LOG(LogComp::Svm,
+                         "node %u notices from %u (%u,%u] got=%zu "
+                         "avail=%u",
+                         nodeId, n, from, want, records->size(),
+                         *avail);
+                applyNotices(self, n, *records);
+                // Cap by what the peer actually has: intervals beyond
+                // it were cancelled by a recovery rollback.
+                ts[n] = std::min<IntervalNum>(want,
+                                              std::max(from, *avail));
+                break;
+            }
+            if (st == CommStatus::Error) {
+                parkUntilRecovered(self, Comp::Protocol);
+                continue;
+            }
+            // Restarted: state was rolled back; re-evaluate from/want.
+        }
+    }
+    waitHomeVersions(self);
+}
+
+// ------------------------------------------------------------------- locks
+
+PollLockHome &
+SvmNode::pollHome(LockId lock)
+{
+    auto [it, inserted] =
+        pollLocks.try_emplace(lock, ctx.cfg.numNodes);
+    return it->second;
+}
+
+QueueLockHome &
+SvmNode::queueHome(LockId lock)
+{
+    auto [it, inserted] =
+        queueLocks.try_emplace(lock, ctx.cfg.numNodes);
+    return it->second;
+}
+
+HomeInfo &
+SvmNode::homeInfo(PageId page)
+{
+    auto [it, inserted] = homePages.try_emplace(page);
+    if (inserted) {
+        it->second.appliedVer = VectorClock(ctx.cfg.numNodes);
+        it->second.committedVer = VectorClock(ctx.cfg.numNodes);
+        it->second.tentativeVer = VectorClock(ctx.cfg.numNodes);
+    }
+    return it->second;
+}
+
+HomeInfo *
+SvmNode::findHomeInfo(PageId page)
+{
+    auto it = homePages.find(page);
+    return it == homePages.end() ? nullptr : &it->second;
+}
+
+void
+SvmNode::acquire(SimThread &self, LockId lock)
+{
+    self.charge(Comp::Protocol, ctx.cfg.syncOpCost);
+    for (;;) {
+        NodeLockState &ls = nodeLocks[lock];
+        if (ls.status != NodeLockState::Status::Free) {
+            // A local thread holds or is acquiring: queue for an
+            // intra-SMP handoff (no message traffic, §3.2).
+            ls.waiters.push_back({&self, self.generation()});
+            (void)self.park(Comp::LockWait);
+            NodeLockState &after = nodeLocks[lock];
+            if (after.status == NodeLockState::Status::Held &&
+                after.holder == self.id()) {
+                stats.lockAcquires++;
+                return;
+            }
+            continue; // spurious / restart / lock went free: retry
+        }
+        ls.status = NodeLockState::Status::Acquiring;
+        VectorClock rel_ts(ctx.cfg.numNodes);
+        CommStatus st = globalAcquire(self, lock, rel_ts);
+        NodeLockState &after = nodeLocks[lock];
+        if (st == CommStatus::Ok) {
+            after.status = NodeLockState::Status::Held;
+            after.holder = self.id();
+            stats.lockAcquires++;
+            stats.lockRemoteAcquires++;
+            applyTimestamp(self, rel_ts);
+            return;
+        }
+        if (after.status == NodeLockState::Status::Acquiring)
+            after.status = NodeLockState::Status::Free;
+        wakeWaiters(after.waiters);
+        if (st == CommStatus::Error)
+            parkUntilRecovered(self, Comp::LockWait);
+        // Restarted or post-recovery: retry from scratch.
+    }
+}
+
+void
+SvmNode::release(SimThread &self, LockId lock)
+{
+    self.charge(Comp::Protocol, ctx.cfg.syncOpCost);
+    {
+        NodeLockState &ls = nodeLocks[lock];
+        if (ls.status != NodeLockState::Status::Held ||
+            ls.holder != self.id()) {
+            // Checkpoint-restore path: we resumed inside a critical
+            // section whose node-local record was reset by recovery;
+            // the home-side slot still marks us as the owner (§4.3).
+            ls.status = NodeLockState::Status::Held;
+            ls.holder = self.id();
+        }
+        if (ls.pendingNext == kInvalidNode) {
+            // Prefer the intra-SMP handoff: a few instructions, no
+            // protocol actions (updates stay visible locally).
+            while (!ls.waiters.empty()) {
+                auto [thread, gen] = ls.waiters.front();
+                ls.waiters.erase(ls.waiters.begin());
+                if (thread->generation() == gen &&
+                    thread->state() == ThreadState::Parked) {
+                    ls.holder = thread->id();
+                    thread->wake(WakeStatus::Normal);
+                    return;
+                }
+            }
+        }
+    }
+    // Full release operation (Fig. 1 / Fig. 2).
+    stats.releases++;
+    doRelease(self, lock, false);
+    NodeLockState &after = nodeLocks[lock];
+    after.status = NodeLockState::Status::Free;
+    after.holder = kInvalidThread;
+    wakeWaiters(after.waiters);
+}
+
+void
+SvmNode::setPendingNext(LockId lock, NodeId next)
+{
+    NodeLockState &ls = nodeLocks[lock];
+    ls.pendingNext = next;
+    auto it = releaseWaits.find(lock);
+    if (it != releaseWaits.end()) {
+        auto [thread, gen] = it->second;
+        releaseWaits.erase(it);
+        if (thread->generation() == gen &&
+            thread->state() == ThreadState::Parked)
+            thread->wake(WakeStatus::Normal);
+    }
+}
+
+void
+SvmNode::receiveGrant(LockId lock, const VectorClock &granted_ts)
+{
+    GrantWait &gw = grantWaits[lock];
+    gw.granted = true;
+    gw.ts = granted_ts;
+    if (gw.waiter && gw.waiter->generation() == gw.gen &&
+        gw.waiter->state() == ThreadState::Parked)
+        gw.waiter->wake(WakeStatus::Normal);
+}
+
+// ----------------------------------------------------------------- barrier
+
+NodeId
+SvmNode::barrierManager() const
+{
+    for (NodeId n = 0; n < ctx.numNodes(); ++n) {
+        if (ctx.vmmc.reachable(n))
+            return n;
+    }
+    rsvm_panic("no reachable barrier manager");
+}
+
+void
+SvmNode::barrierArrive(std::uint64_t epoch, NodeId node,
+                       const VectorClock &node_ts)
+{
+    BarrierHome &b = barrierHome;
+    if (epoch < b.epoch)
+        return; // stale arrival for a completed epoch
+    if (epoch > b.epoch) {
+        b.epoch = epoch;
+        b.arrived.assign(ctx.numNodes(), 0);
+        b.merged = VectorClock(ctx.cfg.numNodes);
+        b.count = 0;
+    }
+    if (b.merged.size() == 0)
+        b.merged = VectorClock(ctx.cfg.numNodes);
+    b.merged.maxWith(node_ts);
+    bool complete_before = (b.count == ctx.numNodes());
+    if (!b.arrived[node]) {
+        b.arrived[node] = 1;
+        b.count++;
+    }
+    auto send_go = [this, epoch](NodeId dst) {
+        SvmNode *dst_node = ctx.nodes[dst];
+        VectorClock merged = barrierHome.merged;
+        ctx.vmmc.depositFromEvent(
+            nodeId, dst,
+            64 + 4 * ctx.cfg.numNodes,
+            [dst_node, epoch, merged] {
+                dst_node->barrierGo(epoch, merged);
+            });
+    };
+    if (b.count == ctx.numNodes() && !complete_before) {
+        for (NodeId n = 0; n < ctx.numNodes(); ++n)
+            send_go(n);
+    } else if (complete_before) {
+        // Re-sent arrival after the broadcast (the original go was
+        // lost with a dead host): re-send go to that node only.
+        send_go(node);
+    }
+}
+
+void
+SvmNode::barrierGo(std::uint64_t epoch, const VectorClock &merged)
+{
+    if (epoch <= barrierGoEpoch)
+        return;
+    barrierGoEpoch = epoch;
+    barrierGoTs = merged;
+    if (barrierRepWaiter &&
+        barrierRepWaiter->generation() == barrierRepGen &&
+        barrierRepWaiter->state() == ThreadState::Parked)
+        barrierRepWaiter->wake(WakeStatus::Normal);
+}
+
+void
+SvmNode::barrier(SimThread &self)
+{
+    self.charge(Comp::Protocol, ctx.cfg.syncOpCost);
+    for (;;) {
+        self.inBarrierPhase = true;
+        std::uint64_t e = barrierEpoch + 1;
+        barrierLocalCount++;
+
+        std::uint32_t live_threads = 0;
+        for (SimThread *t : ctx.ops->computeThreads(nodeId)) {
+            if (t->state() != ThreadState::Finished &&
+                t->state() != ThreadState::Dead)
+                live_threads++;
+        }
+
+        if (barrierLocalCount < live_threads) {
+            // Not the last local arrival: wait for the representative.
+            bool restarted = false;
+            while (barrierEpoch < e) {
+                barrierLocalWaiters.push_back(
+                    {&self, self.generation()});
+                WakeStatus ws = self.park(Comp::BarrierWait);
+                if (ws == WakeStatus::Restarted) {
+                    restarted = true;
+                    break;
+                }
+            }
+            if (restarted)
+                continue; // recovery reset node state: re-arrive
+            self.inBarrierPhase = false;
+            return;
+        }
+
+        // Representative: this node's release-equivalent, then the
+        // inter-node rendezvous.
+        stats.barriers++;
+        doRelease(self, 0, true);
+
+        bool restarted = false;
+        for (;;) {
+            NodeId mgr = barrierManager();
+            SvmNode *mgr_node = ctx.nodes[mgr];
+            VectorClock my_ts = ts;
+            NodeId me = nodeId;
+            CommStatus st = ctx.vmmc.deposit(
+                self, nodeId, mgr, 64 + 4 * ctx.cfg.numNodes,
+                [mgr_node, e, me, my_ts] {
+                    mgr_node->barrierArrive(e, me, my_ts);
+                },
+                Comp::BarrierWait);
+            if (st == CommStatus::Restarted) {
+                restarted = true;
+                break;
+            }
+            if (st == CommStatus::Error) {
+                parkUntilRecovered(self, Comp::BarrierWait);
+                continue;
+            }
+            // Wait for the go message.
+            bool resend = false;
+            while (barrierGoEpoch < e) {
+                barrierRepWaiter = &self;
+                barrierRepGen = self.generation();
+                WakeStatus ws = self.parkFor(ctx.cfg.heartbeatTimeout,
+                                             Comp::BarrierWait);
+                if (ws == WakeStatus::Restarted) {
+                    restarted = true;
+                    break;
+                }
+                if (barrierGoEpoch >= e)
+                    break;
+                if (ws == WakeStatus::Timeout ||
+                    ws == WakeStatus::Error) {
+                    PhysNodeId dead;
+                    if (ctx.vmmc.sweepForFailures(self, &dead)) {
+                        parkUntilRecovered(self, Comp::BarrierWait);
+                    }
+                    // Re-send the arrival either way: it may have been
+                    // recorded at a manager that has since failed.
+                    resend = true;
+                    break;
+                }
+            }
+            barrierRepWaiter = nullptr;
+            if (restarted || !resend)
+                break;
+        }
+        if (restarted)
+            continue;
+
+        // Apply the merged timestamp: fetch write notices from peers
+        // and invalidate.
+        applyTimestamp(self, barrierGoTs);
+        barrierEpoch = e;
+        barrierLocalCount = 0;
+        wakeWaiters(barrierLocalWaiters);
+        self.inBarrierPhase = false;
+        if (ctx.cfg.paranoidChecks && ctx.ops)
+            ctx.ops->paranoidCheck();
+        return;
+    }
+}
+
+// ---------------------------------------------------------------- recovery
+
+void
+SvmNode::parkUntilRecovered(SimThread &self, Comp comp)
+{
+    while (ctx.pendingRecovery) {
+        ctx.recoveryWaiters.push_back({&self, self.generation()});
+        WakeStatus ws = self.parkFor(4 * ctx.cfg.heartbeatTimeout, comp);
+        if (ws == WakeStatus::Restarted)
+            return;
+    }
+}
+
+void
+SvmNode::wakePageLockWaiters()
+{
+    wakeWaiters(pageLockWaiters);
+}
+
+void
+SvmNode::resetNodeLockState()
+{
+    for (auto &[lock, ls] : nodeLocks) {
+        ls.status = NodeLockState::Status::Free;
+        ls.holder = kInvalidThread;
+        ls.waiters.clear();
+        // pendingNext survives: it names a remote successor and is
+        // only meaningful for the queuing lock (not used under FT).
+    }
+    grantWaits.clear();
+    releaseWaits.clear();
+    barrierLocalCount = 0;
+    barrierLocalWaiters.clear();
+    barrierRepWaiter = nullptr;
+    pageLockWaiters.clear();
+    releasesActive = 0;
+}
+
+void
+SvmNode::failpoint(SimThread &self, const char *name)
+{
+    if (!ctx.injector)
+        return;
+    PhysNodeId phys = ctx.vmmc.host(nodeId);
+    if (ctx.injector->failpoint(phys, name))
+        self.killSelf();
+}
+
+} // namespace rsvm

@@ -1,0 +1,492 @@
+/**
+ * @file
+ * Shared SVM protocol infrastructure (§3.2).
+ *
+ * SvmNode is one logical protocol instance — the paper's "node". It
+ * owns the node's page table, interval records, vector timestamp,
+ * node-local lock state, and home-side state for the pages and locks
+ * it homes. The two concrete protocols derive from it:
+ *
+ *   BaseProtocolNode (svm/base_protocol.hh) — GeNIMA: home-based lazy
+ *   release consistency, eager diff propagation to a single home,
+ *   no fault tolerance.
+ *
+ *   FtProtocolNode (ftsvm/ft_protocol.hh) — the paper's extended
+ *   protocol: dual homes, two-phase diff propagation, page locking,
+ *   thread checkpointing, failure detection and recovery.
+ *
+ * Logical vs physical nodes: protocol state is per *logical* node;
+ * after a failure the recovery manager re-hosts the failed logical
+ * node on its backup physical node. Communication is addressed
+ * logically and resolved through the Vmmc host map.
+ */
+
+#ifndef RSVM_SVM_PROTOCOL_HH
+#define RSVM_SVM_PROTOCOL_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/config.hh"
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "mem/addrspace.hh"
+#include "mem/diff.hh"
+#include "mem/pagetable.hh"
+#include "net/failure.hh"
+#include "net/vmmc.hh"
+#include "svm/locks.hh"
+#include "svm/timestamp.hh"
+
+namespace rsvm {
+
+class Engine;
+class SvmNode;
+
+/** Runtime services the recovery manager needs from the cluster. */
+class ClusterOps
+{
+  public:
+    virtual ~ClusterOps() = default;
+    /** Logical nodes currently hosted on a physical node. */
+    virtual std::vector<NodeId> logicalNodesOn(PhysNodeId phys) const = 0;
+    /** Compute threads of a logical node. */
+    virtual std::vector<SimThread *> computeThreads(NodeId node)
+        const = 0;
+    /** Move a logical node (and its threads) to another host. */
+    virtual void rehost(NodeId node, PhysNodeId phys) = 0;
+    virtual PhysNodeId hostOf(NodeId node) const = 0;
+    virtual bool physAlive(PhysNodeId phys) const = 0;
+    /** Logical node holding checkpoints/saved state for @p node. */
+    virtual NodeId backupOf(NodeId node) const = 0;
+    virtual void setBackupOf(NodeId node, NodeId backup) = 0;
+
+    /**
+     * Paranoid-mode hook (Config::paranoidChecks): verify global
+     * protocol invariants; panics on violation. Invoked by barrier
+     * representatives after their rendezvous completes.
+     */
+    virtual void paranoidCheck() {}
+};
+
+/** Cluster-wide state shared by every SvmNode. */
+struct SvmContext
+{
+    Engine &eng;
+    const Config &cfg;
+    AddressSpace &as;
+    Vmmc &vmmc;
+    LockDirectory &locks;
+    std::vector<SvmNode *> nodes;
+    ClusterOps *ops = nullptr;
+    FailureInjector *injector = nullptr;
+
+    /** True between failure detection and recovery completion. */
+    bool pendingRecovery = false;
+    /** Bumped when a recovery completes. */
+    std::uint64_t recoveryEpoch = 0;
+    /** Threads parked waiting for recovery completion. */
+    std::vector<std::pair<SimThread *, std::uint64_t>> recoveryWaiters;
+
+    SvmContext(Engine &e, const Config &c, AddressSpace &a, Vmmc &v,
+               LockDirectory &l)
+        : eng(e), cfg(c), as(a), vmmc(v), locks(l)
+    {}
+
+    std::uint32_t numNodes() const
+    { return static_cast<std::uint32_t>(nodes.size()); }
+};
+
+/** One interval's write notices: the pages a node dirtied. */
+struct IntervalRecord
+{
+    IntervalNum interval = 0;
+    std::vector<PageId> pages;
+};
+
+/** A remote fetch waiting at a home for a page version. */
+struct DeferredFetch
+{
+    VectorClock reqVer;
+    std::shared_ptr<Replier> rep;
+    /** Requester-side buffer the reply fills. */
+    std::shared_ptr<std::vector<std::byte>> out;
+};
+
+/** Home-side per-page state (superset for both protocols). */
+struct HomeInfo
+{
+    /**
+     * Base protocol: versions applied to the home's working copy.
+     * FT protocol: unused (committedVer/tentativeVer used instead).
+     */
+    VectorClock appliedVer;
+
+    // ---- FT protocol (§4.2) ------------------------------------------
+    /** Committed copy: what remote fetches return (primary home). */
+    std::unique_ptr<std::byte[]> committed;
+    VectorClock committedVer;
+    /** Tentative copy: phase-1 target (secondary home). */
+    std::unique_ptr<std::byte[]> tentative;
+    VectorClock tentativeVer;
+
+    /** Remote fetches waiting for a version. */
+    std::vector<DeferredFetch> waiters;
+    /** Local threads waiting for a committed version (FT home fault). */
+    std::vector<std::pair<SimThread *, std::uint64_t>> localWaiters;
+
+    /**
+     * FT: per-origin undo of the last *uncommitted* phase-1 diff
+     * applied to the tentative copy (same runs, pre-application
+     * bytes). Erased when the matching phase 2 commits. Recovery uses
+     * it to cancel a failed primary home's phase-1 updates when the
+     * tentative copy must be promoted (no committed copy survived to
+     * roll back from).
+     */
+    std::unordered_map<NodeId, Diff> tentUndo;
+
+    /**
+     * Diffs that arrived ahead of a predecessor in their per-origin
+     * chain (parallel SMP releases post out of order); applied once
+     * the chain links up. Keyed by the copy they target: 0 = base
+     * working / FT committed, 1 = FT tentative.
+     */
+    std::unordered_map<NodeId, std::vector<Diff>> deferredDiffs[2];
+};
+
+/** Result of committing an interval at a release/barrier. */
+struct CommitResult
+{
+    IntervalNum interval = 0;
+    std::vector<PageId> pages;
+    std::vector<Diff> diffs;
+    bool any = false;
+};
+
+/** Abstract logical protocol node. */
+class SvmNode
+{
+  public:
+    SvmNode(SvmContext &context, NodeId node_id);
+    virtual ~SvmNode();
+
+    SvmNode(const SvmNode &) = delete;
+    SvmNode &operator=(const SvmNode &) = delete;
+
+    // ---- Application-facing operations (called from app fibers) -------
+
+    /** Shared-memory read of [addr, addr+len). */
+    void readBytes(SimThread &self, Addr addr, void *dst,
+                   std::uint64_t len);
+    /** Shared-memory write of [addr, addr+len). */
+    void writeBytes(SimThread &self, Addr addr, const void *src,
+                    std::uint64_t len);
+    /** Copy without faulting; false if any page is not readable. */
+    bool tryFastRead(Addr addr, void *dst, std::uint64_t len);
+    /** Write without faulting; false if any page is not writable. */
+    bool tryFastWrite(Addr addr, const void *src, std::uint64_t len);
+    /** Acquire an application lock (consistency actions included). */
+    void acquire(SimThread &self, LockId lock);
+    /** Release an application lock (release operation, §3.2/Fig. 1). */
+    void release(SimThread &self, LockId lock);
+    /** Global barrier across all compute threads. */
+    void barrier(SimThread &self);
+
+    // ---- Introspection -----------------------------------------------------
+
+    NodeId id() const { return nodeId; }
+    Counters &counters() { return stats; }
+    const Counters &counters() const { return stats; }
+    VectorClock &timestamp() { return ts; }
+    PageTable &pageTable() { return pt; }
+    IntervalNum currentInterval() const { return intervalCtr; }
+    const std::vector<IntervalRecord> &intervals() const
+    { return intervalTable; }
+    SvmContext &context() { return ctx; }
+    /** True while a release operation is propagating updates. */
+    bool releaseInProgress() const { return releasesActive > 0; }
+
+    // ---- Remote handlers (invoked via message closures at this node) ---
+
+    /** Home-side page fetch (protocol-specific version check). */
+    virtual void handleFetch(PageId page, const VectorClock &req_ver,
+                             std::shared_ptr<Replier> rep,
+                             std::shared_ptr<std::vector<std::byte>>
+                                 out) = 0;
+
+    /**
+     * Home-side diff application. @p phase is 0 for the base protocol,
+     * 1 for phase-1 (tentative copy) and 2 for phase-2 (committed
+     * copy) of the extended protocol's two-phase propagation.
+     */
+    virtual void applyIncomingDiff(const Diff &d, int phase) = 0;
+    /** Home-side poll-lock state (created on demand). */
+    PollLockHome &pollHome(LockId lock);
+    /** Home-side queue-lock state (created on demand). */
+    QueueLockHome &queueHome(LockId lock);
+    /** Queuing lock: a forwarded request names us as predecessor. */
+    void setPendingNext(LockId lock, NodeId next);
+    /** Queuing lock: a direct grant arrived from the previous holder. */
+    void receiveGrant(LockId lock, const VectorClock &granted_ts);
+    /** Barrier home: record an arrival (idempotent per epoch/node). */
+    void barrierArrive(std::uint64_t epoch, NodeId node,
+                       const VectorClock &node_ts);
+    /** Barrier participant: the go message for an epoch arrived. */
+    void barrierGo(std::uint64_t epoch, const VectorClock &merged);
+
+    /** Interval records in (from, to] — read by remote fetch handlers. */
+    std::vector<IntervalRecord> intervalsInRange(IntervalNum from,
+                                                 IntervalNum to) const;
+
+    /**
+     * Authoritative bytes of a page this node homes, for engine-side
+     * inspection (result verification). Base protocol: the home's
+     * working copy; extended protocol: the committed copy. May return
+     * nullptr when the page was never written (all zeroes).
+     */
+    virtual const std::byte *homeBytes(PageId page) = 0;
+
+    /** Home-side info for a page this node homes (created on demand). */
+    HomeInfo &homeInfo(PageId page);
+    HomeInfo *findHomeInfo(PageId page);
+
+    // ---- Recovery support ------------------------------------------------
+
+    /** Park until the in-progress recovery completes (no-op if none). */
+    void parkUntilRecovered(SimThread &self, Comp comp);
+
+    /**
+     * Wake every thread parked on a locked page (used by the recovery
+     * manager after it clears page locks).
+     */
+    void wakePageLockWaiters();
+
+    /** Wake threads queued on node-local lock state (recovery reset). */
+    void resetNodeLockState();
+
+  protected:
+    friend class RecoveryManager;
+
+    // ---- Page access machinery ---------------------------------------------
+
+    /** Make @p page readable, faulting as needed. */
+    void ensureReadable(SimThread &self, PageId page);
+    /** Make @p page writable: fault + twin + update-list recording. */
+    void ensureWritable(SimThread &self, PageId page);
+
+    /** Protocol-specific fetch of a page into the working copy. */
+    virtual void fetchPage(SimThread &self, PageId page) = 0;
+    /** Does a write to @p page need a twin at this node? */
+    virtual bool writeNeedsTwin(PageId page) const = 0;
+    /** Skip invalidation of @p page on a write notice? */
+    virtual bool skipInvalidate(PageId page) const = 0;
+    /** Extended protocol: stall while the page is locked (§4.2). */
+    virtual bool stallOnLockedPage(SimThread &self, PageEntry &entry);
+
+    // ---- Interval/commit machinery -----------------------------------------
+
+    /**
+     * End the current interval: assign an interval number, record
+     * write notices, compute diffs (twins dropped, pages re-protected)
+     * and return everything needed for propagation. @p self may be
+     * null when invoked engine-side by the recovery manager (no time
+     * is charged then).
+     */
+    CommitResult commitInterval(SimThread *self);
+
+    /**
+     * Flush a dirty page's modifications into pendingDiffs so the page
+     * can be invalidated without losing local writes (false sharing).
+     */
+    void flushDirtyPage(SimThread &self, PageId page, PageEntry &entry);
+
+    /**
+     * Re-apply retained (flushed but not yet propagated) local diffs
+     * onto a freshly fetched copy of @p page: local reads must keep
+     * seeing the node's own writes after a flush+refetch cycle.
+     */
+    void applyPendingLocal(PageId page, std::byte *data);
+
+    /** Apply write notices received from @p origin. */
+    void applyNotices(SimThread &self, NodeId origin,
+                      const std::vector<IntervalRecord> &records);
+
+    /**
+     * Protocol hook run after an acquire's notices are applied. The
+     * base protocol uses it to block on in-flight diffs for pages
+     * homed at this node (a home never invalidates its own pages, so
+     * the acquire itself must wait for the required versions).
+     */
+    virtual void waitHomeVersions(SimThread &self) { (void)self; }
+
+    /**
+     * Pending home-version requirements collected by applyNotices for
+     * pages whose invalidation was skipped (base-protocol homes):
+     * page -> per-origin required interval.
+     */
+    std::unordered_map<PageId, VectorClock> homeWaits;
+
+    /**
+     * Bring this node's knowledge up to @p target: fetch write notices
+     * from every peer with newer intervals and invalidate accordingly.
+     * Retries across failures; never gives up.
+     */
+    void applyTimestamp(SimThread &self, const VectorClock &target);
+
+    /** The release operation (protocol-specific; see Fig. 1 / Fig. 2). */
+    virtual void doRelease(SimThread &self, LockId lock,
+                           bool is_barrier) = 0;
+
+    /**
+     * Apply @p d to one of a home's page copies, respecting the
+     * per-origin chain order (Diff::prevInterval). Exact duplicates
+     * (post-recovery redo) are dropped; out-of-order arrivals are
+     * deferred and drained once their predecessor applies. @p which
+     * selects the deferred bucket (0 = committed/working,
+     * 1 = tentative); @p apply performs the actual data application
+     * and is invoked once per applied diff, in chain order.
+     */
+    template <typename ApplyFn>
+    void
+    applyDiffChain(HomeInfo &hi, VectorClock &ver, int which, Diff d,
+                   ApplyFn &&apply)
+    {
+        if (ver.size() == 0)
+            ver = VectorClock(ctx.cfg.numNodes);
+        NodeId origin = d.origin;
+        if (d.interval <= ver[origin])
+            return; // already applied (duplicate or post-recovery redo)
+        if (ver[origin] != d.prevInterval) {
+            hi.deferredDiffs[which][origin].push_back(std::move(d));
+            return;
+        }
+        apply(d);
+        ver[origin] = d.interval;
+        // Drain any successors that were waiting on us.
+        auto it = hi.deferredDiffs[which].find(origin);
+        if (it == hi.deferredDiffs[which].end())
+            return;
+        bool progress = true;
+        while (progress && !it->second.empty()) {
+            progress = false;
+            auto &vec = it->second;
+            for (std::size_t i = 0; i < vec.size(); ++i) {
+                if (vec[i].interval <= ver[origin]) {
+                    vec.erase(vec.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+                    progress = true;
+                    break;
+                }
+                if (vec[i].prevInterval == ver[origin]) {
+                    Diff next = std::move(vec[i]);
+                    vec.erase(vec.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+                    apply(next);
+                    ver[origin] = next.interval;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // ---- Lock plumbing ----------------------------------------------------------
+
+    /** Global lock acquisition; fills @p out_ts with the releaser's. */
+    virtual CommStatus globalAcquire(SimThread &self, LockId lock,
+                                     VectorClock &out_ts) = 0;
+    /** Global lock release (write timestamp, clear slot / free queue). */
+    virtual CommStatus globalRelease(SimThread &self, LockId lock) = 0;
+
+    // ---- Barrier plumbing ---------------------------------------------
+
+    /** Logical node currently serving as barrier manager. */
+    NodeId barrierManager() const;
+
+    /** Convenience: trigger a failpoint; kills self when armed. */
+    void failpoint(SimThread &self, const char *name);
+
+    SvmContext &ctx;
+    NodeId nodeId;
+    PageTable pt;
+    VectorClock ts;
+    IntervalNum intervalCtr = 0;
+    std::vector<IntervalRecord> intervalTable;
+
+    /** Pages dirtied in the current interval. */
+    std::vector<PageId> curUpdateList;
+    /** Diffs flushed early (invalidation of dirty pages). */
+    std::vector<Diff> pendingDiffs;
+
+    /** Node-local lock state (intra-SMP layer). */
+    std::unordered_map<LockId, NodeLockState> nodeLocks;
+    /** Home-side poll locks. */
+    std::unordered_map<LockId, PollLockHome> pollLocks;
+    /** Home-side queue locks. */
+    std::unordered_map<LockId, QueueLockHome> queueLocks;
+    /** Queuing lock: grant-in-flight state per lock. */
+    struct GrantWait
+    {
+        bool granted = false;
+        VectorClock ts;
+        SimThread *waiter = nullptr;
+        std::uint64_t gen = 0;
+    };
+    std::unordered_map<LockId, GrantWait> grantWaits;
+    /** Threads waiting for a pendingNext to arrive (queuing release). */
+    std::unordered_map<LockId, std::pair<SimThread *, std::uint64_t>>
+        releaseWaits;
+
+    /** Home-side page state. */
+    std::unordered_map<PageId, HomeInfo> homePages;
+
+    // ---- Barrier state ----------------------------------------------------
+    /** This node's barrier epoch counter (how many barriers entered). */
+    std::uint64_t barrierEpoch = 0;
+    /** Intra-node rendezvous. */
+    std::uint32_t barrierLocalCount = 0;
+    std::vector<std::pair<SimThread *, std::uint64_t>> barrierLocalWaiters;
+    /** Highest epoch for which a go message arrived, and its ts. */
+    std::uint64_t barrierGoEpoch = 0;
+    VectorClock barrierGoTs;
+    /** Rep thread waiting for go. */
+    SimThread *barrierRepWaiter = nullptr;
+    std::uint64_t barrierRepGen = 0;
+
+    /** Manager-side barrier state (valid while we are the manager). */
+    struct BarrierHome
+    {
+        std::uint64_t epoch = 0;
+        std::vector<std::uint8_t> arrived;
+        VectorClock merged;
+        std::uint32_t count = 0;
+    };
+    BarrierHome barrierHome;
+
+    /** Threads stalled on locked pages (§4.2 page locking). */
+    std::vector<std::pair<SimThread *, std::uint64_t>> pageLockWaiters;
+
+    /** Number of release operations currently propagating. */
+    int releasesActive = 0;
+
+  public:
+    /**
+     * Releasers of this node currently parked waiting for recovery;
+     * the recovery manager's quiesce condition is
+     * releasesActive == releasersWaitingRecovery on every live node.
+     */
+    int releasersWaitingRecovery = 0;
+
+  protected:
+    Counters stats;
+};
+
+/** Wake helpers used by home-side state transitions. */
+void wakeWaiters(std::vector<std::pair<SimThread *, std::uint64_t>> &list);
+
+} // namespace rsvm
+
+#endif // RSVM_SVM_PROTOCOL_HH

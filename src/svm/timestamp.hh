@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Vector timestamps (lock timestamps in the paper, §3.2).
+ *
+ * ts[n] is the highest interval of node n whose updates have been
+ * "performed locally" (write notices applied). Intervals start at 1;
+ * 0 means "nothing from that node yet".
+ */
+
+#ifndef RSVM_SVM_TIMESTAMP_HH
+#define RSVM_SVM_TIMESTAMP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/panic.hh"
+#include "base/types.hh"
+
+namespace rsvm {
+
+/** A per-node vector of interval numbers. */
+class VectorClock
+{
+  public:
+    VectorClock() = default;
+    explicit VectorClock(std::uint32_t n) : v(n, 0) {}
+
+    IntervalNum &operator[](NodeId n)
+    {
+        rsvm_assert(n < v.size());
+        return v[n];
+    }
+    IntervalNum operator[](NodeId n) const
+    {
+        rsvm_assert(n < v.size());
+        return v[n];
+    }
+
+    std::uint32_t size() const
+    { return static_cast<std::uint32_t>(v.size()); }
+
+    /** Element-wise maximum merge (monotonic: never loses knowledge). */
+    void
+    maxWith(const VectorClock &o)
+    {
+        rsvm_assert(o.size() == size());
+        for (std::uint32_t i = 0; i < v.size(); ++i)
+            if (o.v[i] > v[i])
+                v[i] = o.v[i];
+    }
+
+    /** True if this >= o element-wise. */
+    bool
+    dominates(const VectorClock &o) const
+    {
+        rsvm_assert(o.size() == size());
+        for (std::uint32_t i = 0; i < v.size(); ++i)
+            if (v[i] < o.v[i])
+                return false;
+        return true;
+    }
+
+    bool
+    operator==(const VectorClock &o) const
+    {
+        return v == o.v;
+    }
+
+    std::string
+    toString() const
+    {
+        std::string s = "[";
+        for (std::uint32_t i = 0; i < v.size(); ++i) {
+            if (i)
+                s += ",";
+            s += std::to_string(v[i]);
+        }
+        return s + "]";
+    }
+
+  private:
+    std::vector<IntervalNum> v;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_SVM_TIMESTAMP_HH

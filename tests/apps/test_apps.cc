@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Application-suite correctness: every mini-SPLASH-2 kernel, on both
+ * protocols and both node/thread geometries, must produce output
+ * identical to its serial reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "apps/app_common.hh"
+
+namespace rsvm {
+namespace {
+
+using apps::AppParams;
+using apps::AppResult;
+
+struct AppCase
+{
+    const char *app;
+    ProtocolKind protocol;
+    std::uint32_t nodes;
+    std::uint32_t tpn;
+    double scale; // problem-size scale vs default (keep tests fast)
+};
+
+std::string
+appCaseName(const testing::TestParamInfo<AppCase> &info)
+{
+    const AppCase &c = info.param;
+    std::string s = c.app;
+    for (char &ch : s)
+        if (ch == '-')
+            ch = '_';
+    s += (c.protocol == ProtocolKind::Base) ? "_base" : "_ft";
+    s += "_n" + std::to_string(c.nodes) + "t" + std::to_string(c.tpn);
+    return s;
+}
+
+class AppCorrectness : public testing::TestWithParam<AppCase>
+{
+};
+
+TEST_P(AppCorrectness, MatchesSerialReference)
+{
+    const AppCase &c = GetParam();
+    Config cfg;
+    cfg.protocol = c.protocol;
+    cfg.numNodes = c.nodes;
+    cfg.threadsPerNode = c.tpn;
+    cfg.sharedBytes = 64u << 20;
+
+    AppParams p = apps::defaultParams(c.app);
+    if (c.scale != 1.0) {
+        p.size = static_cast<std::uint64_t>(
+            static_cast<double>(p.size) * c.scale);
+        // Keep structural constraints (powers, multiples) by snapping.
+        if (std::string(c.app) == "fft") {
+            std::uint64_t m = 1;
+            while (m * m < p.size)
+                m <<= 1;
+            p.size = m * m;
+        } else if (std::string(c.app) == "lu") {
+            p.size = (p.size + 31) / 32 * 32;
+        } else if (std::string(c.app) == "volrend") {
+            p.size = (p.size + 7) / 8 * 8;
+        } else {
+            std::uint64_t q = cfg.totalThreads();
+            p.size = (p.size + q - 1) / q * q;
+        }
+    }
+    AppResult r = apps::runAndVerify(cfg, c.app, p);
+    EXPECT_TRUE(r.ok) << r.detail;
+}
+
+std::vector<AppCase>
+appMatrix()
+{
+    std::vector<AppCase> cases;
+    const char *names[] = {"fft",      "lu",    "water-nsq",
+                           "water-sp", "radix", "volrend"};
+    for (const char *name : names) {
+        // Small geometry at reduced scale for both protocols.
+        cases.push_back({name, ProtocolKind::Base, 4, 1, 0.5});
+        cases.push_back({name, ProtocolKind::FaultTolerant, 4, 1,
+                         0.5});
+        // SMP geometry (the paper's 2 threads/node).
+        cases.push_back({name, ProtocolKind::FaultTolerant, 4, 2,
+                         0.5});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, AppCorrectness,
+                         testing::ValuesIn(appMatrix()), appCaseName);
+
+} // namespace
+} // namespace rsvm

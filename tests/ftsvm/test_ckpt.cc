@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for checkpoint storage (two-slot alternation, tags,
+ * finished markers, metadata) and the lock directory's failure
+ * remapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ftsvm/checkpoint.hh"
+#include "svm/locks.hh"
+
+namespace rsvm {
+namespace {
+
+ThreadCkpt
+makeCkpt(IntervalNum tag)
+{
+    ThreadCkpt c;
+    c.tag = tag;
+    c.valid = true;
+    c.image.snap.sp = 0x1000 + tag; // marker only
+    return c;
+}
+
+TEST(CkptStore, SlotsAlternateByTagParity)
+{
+    CkptStore cs;
+    cs.save(7, makeCkpt(1));
+    cs.save(7, makeCkpt(2));
+    // Both live simultaneously (different parity slots).
+    ASSERT_NE(cs.find(7, 1), nullptr);
+    ASSERT_NE(cs.find(7, 2), nullptr);
+    // Tag 3 overwrites tag 1 (same slot), tag 2 survives.
+    cs.save(7, makeCkpt(3));
+    EXPECT_EQ(cs.find(7, 1), nullptr);
+    ASSERT_NE(cs.find(7, 2), nullptr);
+    ASSERT_NE(cs.find(7, 3), nullptr);
+    EXPECT_EQ(cs.find(7, 3)->image.snap.sp, 0x1000u + 3);
+}
+
+TEST(CkptStore, FindIsExactTagMatch)
+{
+    CkptStore cs;
+    cs.save(1, makeCkpt(4));
+    EXPECT_EQ(cs.find(1, 2), nullptr); // same parity, wrong tag
+    EXPECT_EQ(cs.find(1, 6), nullptr);
+    EXPECT_EQ(cs.find(2, 4), nullptr); // wrong thread
+    ASSERT_NE(cs.find(1, 4), nullptr);
+}
+
+TEST(CkptStore, FinishedMarkerIsFindable)
+{
+    CkptStore cs;
+    ThreadCkpt c;
+    c.tag = 5;
+    c.finished = true;
+    cs.save(3, std::move(c));
+    const ThreadCkpt *found = cs.find(3, 5);
+    ASSERT_NE(found, nullptr);
+    EXPECT_TRUE(found->finished);
+    EXPECT_FALSE(found->valid);
+}
+
+TEST(CkptStore, MetaAccumulatesIntervalPages)
+{
+    CkptStore cs;
+    VectorClock ts(4);
+    ts[0] = 3;
+    cs.saveMeta(ts, 3, 7, {1, 2, 3});
+    EXPECT_TRUE(cs.hasSaved);
+    EXPECT_EQ(cs.savedInterval, 3u);
+    EXPECT_EQ(cs.savedBarrierEpoch, 7u);
+    ts[0] = 4;
+    cs.saveMeta(ts, 4, 7, {9});
+    EXPECT_EQ(cs.savedInterval, 4u);
+    // Both intervals' page lists retained (interval-table rebuild).
+    EXPECT_EQ(cs.intervalPages.at(3).size(), 3u);
+    EXPECT_EQ(cs.intervalPages.at(4).size(), 1u);
+}
+
+TEST(LockDirectory, InitialHomesAreDistinct)
+{
+    LockDirectory dir(64, 4);
+    for (LockId l = 0; l < 64; ++l) {
+        EXPECT_EQ(dir.primaryHome(l), l % 4);
+        EXPECT_NE(dir.primaryHome(l), dir.secondaryHome(l));
+    }
+}
+
+TEST(LockDirectory, RemapEvictsFailedNode)
+{
+    LockDirectory dir(64, 4);
+    auto eligible = [](NodeId cand, NodeId) { return cand != 2; };
+    std::vector<LockId> moved;
+    dir.remapHomes(2, eligible,
+                   [&moved](LockId l, NodeId) { moved.push_back(l); });
+    for (LockId l = 0; l < 64; ++l) {
+        EXPECT_NE(dir.primaryHome(l), 2u);
+        EXPECT_NE(dir.secondaryHome(l), 2u);
+        EXPECT_NE(dir.primaryHome(l), dir.secondaryHome(l));
+    }
+    EXPECT_FALSE(moved.empty());
+    // Locks with primary == 2 promoted their old secondary (3).
+    EXPECT_EQ(dir.primaryHome(2), 3u);
+}
+
+TEST(LockDirectory, SuccessiveRemapsStayConsistent)
+{
+    LockDirectory dir(32, 5);
+    std::vector<bool> dead(5, false);
+    auto eligible = [&](NodeId cand, NodeId) { return !dead[cand]; };
+    auto noop = [](LockId, NodeId) {};
+    dead[0] = true;
+    dir.remapHomes(0, eligible, noop);
+    dead[3] = true;
+    dir.remapHomes(3, eligible, noop);
+    for (LockId l = 0; l < 32; ++l) {
+        EXPECT_FALSE(dead[dir.primaryHome(l)]);
+        EXPECT_FALSE(dead[dir.secondaryHome(l)]);
+        EXPECT_NE(dir.primaryHome(l), dir.secondaryHome(l));
+    }
+}
+
+} // namespace
+} // namespace rsvm

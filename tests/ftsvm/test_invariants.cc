@@ -1,0 +1,149 @@
+/**
+ * @file
+ * End-of-run invariant checks for the extended protocol: after a
+ * quiescent run (with or without failures), every page's committed
+ * copy must equal its tentative copy byte-for-byte and version-for-
+ * version (§4.5.2's precondition, checked globally), and the memory
+ * replication factor must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/app_common.hh"
+#include "net/failure.hh"
+#include "runtime/cluster.hh"
+
+namespace rsvm {
+namespace {
+
+TEST(Invariants, ReplicasConsistentAfterCleanRun)
+{
+    Config cfg;
+    cfg.protocol = ProtocolKind::FaultTolerant;
+    cfg.numNodes = 4;
+    cfg.threadsPerNode = 2;
+    Cluster cluster(cfg);
+    Addr data = cluster.mem().allocPageAligned(4096 * 8);
+    cluster.spawn([data](AppThread &t) {
+        for (int round = 0; round < 4; ++round) {
+            for (int p = 0; p < 8; ++p) {
+                if (static_cast<std::uint32_t>(p) %
+                        t.clusterThreads() == t.id()) {
+                    t.put<std::uint64_t>(data + 4096ull * p,
+                                         round * 10 + p);
+                }
+            }
+            t.lock(3);
+            t.put<std::uint64_t>(data + 8,
+                                 t.get<std::uint64_t>(data + 8) + 1);
+            t.unlock(3);
+            t.barrier();
+        }
+    });
+    cluster.run();
+    EXPECT_EQ(cluster.checkReplicaConsistency(), 0u);
+}
+
+TEST(Invariants, ReplicasConsistentAfterRecovery)
+{
+    Config cfg;
+    cfg.protocol = ProtocolKind::FaultTolerant;
+    cfg.numNodes = 4;
+    Cluster cluster(cfg);
+    Addr counter = cluster.mem().alloc(8);
+    cluster.injector().killAt(1, 2 * kMillisecond);
+    cluster.spawn([counter](AppThread &t) {
+        for (int i = 0; i < 20; ++i) {
+            t.lock(1);
+            std::uint64_t v = t.get<std::uint64_t>(counter);
+            t.put<std::uint64_t>(counter, v + 1);
+            t.unlock(1);
+            t.compute(20 * kMicrosecond);
+        }
+        t.barrier();
+    });
+    cluster.run();
+    EXPECT_GE(cluster.totalCounters().recoveries, 1u);
+    EXPECT_EQ(cluster.checkReplicaConsistency(), 0u);
+}
+
+TEST(Invariants, ReplicasConsistentAfterAppRuns)
+{
+    for (const char *app : {"lu", "radix"}) {
+        Config cfg;
+        cfg.protocol = ProtocolKind::FaultTolerant;
+        cfg.numNodes = 4;
+        cfg.sharedBytes = 64u << 20;
+        apps::AppParams p = apps::defaultParams(app);
+        p.size /= 2;
+        if (std::string(app) == "lu")
+            p.size = (p.size + 31) / 32 * 32;
+        else
+            p.size = (p.size + 3) / 4 * 4;
+        Cluster cluster(cfg);
+        apps::AppInstance inst = apps::makeApp(app, p);
+        inst.setup(cluster);
+        cluster.spawn(inst.threadFn);
+        cluster.run();
+        EXPECT_TRUE(inst.verify(cluster).ok) << app;
+        EXPECT_EQ(cluster.checkReplicaConsistency(), 0u) << app;
+    }
+}
+
+TEST(Invariants, ParanoidModeChecksEveryBarrier)
+{
+    // paranoidChecks makes every barrier representative validate the
+    // replica-consistency invariant; a run completing is the assert.
+    Config cfg;
+    cfg.protocol = ProtocolKind::FaultTolerant;
+    cfg.numNodes = 4;
+    cfg.threadsPerNode = 2;
+    cfg.paranoidChecks = true;
+    Cluster cluster(cfg);
+    Addr data = cluster.mem().allocPageAligned(4096 * 4);
+    cluster.spawn([data](AppThread &t) {
+        for (int r = 0; r < 5; ++r) {
+            t.lock(4);
+            std::uint64_t v = t.get<std::uint64_t>(data);
+            t.put<std::uint64_t>(data, v + 1);
+            t.unlock(4);
+            t.barrier();
+        }
+    });
+    cluster.run();
+    std::uint64_t v = 0;
+    cluster.debugRead(data, &v, 8);
+    EXPECT_EQ(v, 5u * cfg.totalThreads());
+}
+
+TEST(Invariants, FailpointRecoveryKeepsReplicasConsistent)
+{
+    for (const char *fp :
+         {failpoints::kMidPhase1, failpoints::kAfterTsSave,
+          failpoints::kMidPhase2}) {
+        Config cfg;
+        cfg.protocol = ProtocolKind::FaultTolerant;
+        cfg.numNodes = 4;
+        Cluster cluster(cfg);
+        Addr counter = cluster.mem().alloc(8);
+        cluster.injector().armFailpoint(2, fp, 4);
+        cluster.spawn([counter](AppThread &t) {
+            for (int i = 0; i < 12; ++i) {
+                t.lock(1);
+                std::uint64_t v = t.get<std::uint64_t>(counter);
+                t.put<std::uint64_t>(counter, v + 1);
+                t.unlock(1);
+                t.compute(15 * kMicrosecond);
+            }
+            t.barrier();
+        });
+        cluster.run();
+        EXPECT_EQ(cluster.checkReplicaConsistency(), 0u) << fp;
+        std::uint64_t v = 0;
+        cluster.debugRead(counter, &v, 8);
+        EXPECT_EQ(v, 12u * cfg.totalThreads()) << fp;
+    }
+}
+
+} // namespace
+} // namespace rsvm

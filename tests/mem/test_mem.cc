@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit tests for the diff engine, page table, and address space.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "base/config.hh"
+#include "mem/addrspace.hh"
+#include "mem/diff.hh"
+#include "mem/pagetable.hh"
+
+namespace rsvm {
+namespace {
+
+std::vector<std::byte>
+filled(std::size_t n, unsigned char v)
+{
+    return std::vector<std::byte>(n, std::byte{v});
+}
+
+TEST(Diff, IdenticalPagesProduceEmptyDiff)
+{
+    auto a = filled(4096, 0xab);
+    Diff d = diff::compute(7, 1, 3, a, a);
+    EXPECT_TRUE(d.empty());
+    EXPECT_EQ(d.modifiedBytes(), 0u);
+    EXPECT_EQ(d.page, 7u);
+    EXPECT_EQ(d.origin, 1u);
+    EXPECT_EQ(d.interval, 3u);
+}
+
+TEST(Diff, SingleWordChange)
+{
+    auto twin = filled(4096, 0);
+    auto cur = twin;
+    cur[100] = std::byte{0xff};
+    Diff d = diff::compute(0, 0, 1, cur, twin);
+    ASSERT_EQ(d.runs.size(), 1u);
+    // Word granularity: the run covers the enclosing 32-bit word.
+    EXPECT_EQ(d.runs[0].offset, 100u);
+    EXPECT_EQ(d.runs[0].bytes.size(), 4u);
+    EXPECT_EQ(d.modifiedBytes(), 4u);
+}
+
+TEST(Diff, AdjacentWordsCoalesce)
+{
+    auto twin = filled(4096, 0);
+    auto cur = twin;
+    for (int i = 64; i < 96; ++i)
+        cur[i] = std::byte{1};
+    Diff d = diff::compute(0, 0, 1, cur, twin);
+    ASSERT_EQ(d.runs.size(), 1u);
+    EXPECT_EQ(d.runs[0].offset, 64u);
+    EXPECT_EQ(d.runs[0].bytes.size(), 32u);
+}
+
+TEST(Diff, DisjointRunsStaySeparate)
+{
+    auto twin = filled(4096, 0);
+    auto cur = twin;
+    cur[0] = std::byte{1};
+    cur[2048] = std::byte{2};
+    cur[4095] = std::byte{3};
+    Diff d = diff::compute(0, 0, 1, cur, twin);
+    EXPECT_EQ(d.runs.size(), 3u);
+}
+
+TEST(Diff, ApplyReconstructsModifiedPage)
+{
+    auto twin = filled(4096, 0x5a);
+    auto cur = twin;
+    for (int i = 0; i < 4096; i += 37)
+        cur[i] = std::byte{static_cast<unsigned char>(i & 0xff)};
+    Diff d = diff::compute(0, 0, 1, cur, twin);
+    auto target = twin; // start from the twin state
+    diff::apply(d, target.data(), target.size());
+    EXPECT_EQ(std::memcmp(target.data(), cur.data(), 4096), 0);
+}
+
+TEST(Diff, ApplyMergesFalseSharingWrites)
+{
+    // Two writers modify disjoint halves; both diffs applied to a
+    // common home copy must merge cleanly (multi-writer support).
+    auto base = filled(4096, 0);
+    auto a = base, b = base;
+    for (int i = 0; i < 2048; ++i)
+        a[i] = std::byte{1};
+    for (int i = 2048; i < 4096; ++i)
+        b[i] = std::byte{2};
+    Diff da = diff::compute(0, 0, 1, a, base);
+    Diff db = diff::compute(0, 1, 1, b, base);
+    auto home = base;
+    diff::apply(da, home.data(), home.size());
+    diff::apply(db, home.data(), home.size());
+    for (int i = 0; i < 2048; ++i)
+        ASSERT_EQ(home[i], std::byte{1}) << i;
+    for (int i = 2048; i < 4096; ++i)
+        ASSERT_EQ(home[i], std::byte{2}) << i;
+}
+
+TEST(Diff, WireBytesAccountForHeaders)
+{
+    auto twin = filled(4096, 0);
+    auto cur = twin;
+    cur[8] = std::byte{1};
+    Diff d = diff::compute(0, 0, 1, cur, twin);
+    EXPECT_EQ(d.wireBytes(), 4u + 8u + 16u);
+}
+
+TEST(PageTable, EntryCreationAndStates)
+{
+    Config cfg;
+    PageTable pt(cfg, 4);
+    EXPECT_EQ(pt.find(5), nullptr);
+    PageEntry &e = pt.entry(5);
+    EXPECT_EQ(e.state, PageState::Invalid);
+    EXPECT_EQ(e.reqVer.size(), 4u);
+    EXPECT_EQ(pt.find(5), &e);
+    EXPECT_EQ(pt.size(), 1u);
+}
+
+TEST(PageTable, EnsureDataZeroFills)
+{
+    Config cfg;
+    PageTable pt(cfg, 2);
+    PageEntry &e = pt.entry(0);
+    std::byte *d = pt.ensureData(e);
+    for (unsigned i = 0; i < cfg.pageSize; ++i)
+        ASSERT_EQ(d[i], std::byte{0});
+    // Idempotent: same buffer on second call.
+    EXPECT_EQ(pt.ensureData(e), d);
+}
+
+TEST(PageTable, TwinLifecycle)
+{
+    Config cfg;
+    PageTable pt(cfg, 2);
+    PageEntry &e = pt.entry(0);
+    std::byte *d = pt.ensureData(e);
+    d[17] = std::byte{9};
+    pt.makeTwin(e);
+    d[17] = std::byte{10};
+    ASSERT_TRUE(e.twin);
+    EXPECT_EQ(e.twin[17], std::byte{9});
+    EXPECT_EQ(e.data[17], std::byte{10});
+    pt.dropTwin(e);
+    EXPECT_FALSE(e.twin);
+}
+
+TEST(PageTable, ResetDropsEverything)
+{
+    Config cfg;
+    PageTable pt(cfg, 2);
+    pt.entry(1);
+    pt.entry(2);
+    pt.reset();
+    EXPECT_EQ(pt.size(), 0u);
+    EXPECT_EQ(pt.find(1), nullptr);
+}
+
+TEST(AddressSpace, AllocationAlignsAndAdvances)
+{
+    Config cfg;
+    AddressSpace as(cfg, 4);
+    Addr a = as.alloc(10);
+    Addr b = as.alloc(10);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 16u);
+    Addr c = as.allocPageAligned(100);
+    EXPECT_EQ(c % cfg.pageSize, 0u);
+    EXPECT_GT(c, b);
+}
+
+TEST(AddressSpace, DefaultHomesAreRoundRobinAndDistinct)
+{
+    Config cfg;
+    AddressSpace as(cfg, 4);
+    for (PageId p = 0; p < 16; ++p) {
+        EXPECT_EQ(as.primaryHome(p), p % 4);
+        EXPECT_EQ(as.secondaryHome(p), (p + 1) % 4);
+        EXPECT_NE(as.primaryHome(p), as.secondaryHome(p));
+    }
+}
+
+TEST(AddressSpace, ExplicitHomeAssignmentKeepsReplicasDistinct)
+{
+    Config cfg;
+    AddressSpace as(cfg, 4);
+    as.setPrimaryHome(3, 0); // secondary for page 3 was 0
+    EXPECT_EQ(as.primaryHome(3), 0u);
+    EXPECT_NE(as.secondaryHome(3), 0u);
+    as.setPrimaryHomeRange(0, 3 * cfg.pageSize + 1, 2);
+    for (PageId p = 0; p <= 3; ++p) {
+        EXPECT_EQ(as.primaryHome(p), 2u);
+        EXPECT_NE(as.secondaryHome(p), 2u);
+    }
+}
+
+TEST(AddressSpace, RemapAfterPrimaryFailurePromotesSecondary)
+{
+    Config cfg;
+    cfg.sharedBytes = 16 * cfg.pageSize;
+    AddressSpace as(cfg, 4);
+    auto eligible = [](NodeId cand, NodeId) { return cand != 1; };
+    std::vector<PageId> movedPages;
+    as.remapHomes(1, eligible, [&](PageId p, NodeId survivor) {
+        movedPages.push_back(p);
+        EXPECT_NE(survivor, 1u);
+    });
+    for (PageId p = 0; p < as.numPages(); ++p) {
+        EXPECT_NE(as.primaryHome(p), 1u);
+        EXPECT_NE(as.secondaryHome(p), 1u);
+        EXPECT_NE(as.primaryHome(p), as.secondaryHome(p));
+    }
+    // Pages whose primary was 1: promoted old secondary (2).
+    EXPECT_EQ(as.primaryHome(1), 2u);
+    // Pages whose secondary was 1 (primary 0) got a new secondary.
+    EXPECT_NE(as.secondaryHome(0), 1u);
+    EXPECT_FALSE(movedPages.empty());
+}
+
+TEST(AddressSpace, RemapToleratesSuccessiveFailures)
+{
+    Config cfg;
+    cfg.sharedBytes = 16 * cfg.pageSize;
+    AddressSpace as(cfg, 4);
+    std::vector<bool> dead(4, false);
+    auto eligible = [&](NodeId cand, NodeId) { return !dead[cand]; };
+    auto noop = [](PageId, NodeId) {};
+    dead[1] = true;
+    as.remapHomes(1, eligible, noop);
+    dead[3] = true;
+    as.remapHomes(3, eligible, noop);
+    for (PageId p = 0; p < as.numPages(); ++p) {
+        EXPECT_FALSE(dead[as.primaryHome(p)]);
+        EXPECT_FALSE(dead[as.secondaryHome(p)]);
+        EXPECT_NE(as.primaryHome(p), as.secondaryHome(p));
+    }
+}
+
+} // namespace
+} // namespace rsvm

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Unit tests for the NIC/Network/VMMC communication model: timing,
+ * FIFO delivery, post-queue blocking, loopback, failure semantics,
+ * deferred replies, and completion batches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "base/config.hh"
+#include "net/failure.hh"
+#include "net/nic.hh"
+#include "net/vmmc.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+namespace {
+
+struct NetFixture
+{
+    Config cfg;
+    std::unique_ptr<Engine> eng;
+    std::unique_ptr<Network> net;
+    std::unique_ptr<Vmmc> vmmc;
+
+    explicit NetFixture(std::uint32_t nodes = 4)
+    {
+        cfg.numNodes = nodes;
+        eng = std::make_unique<Engine>(cfg);
+        net = std::make_unique<Network>(*eng, cfg, nodes);
+        vmmc = std::make_unique<Vmmc>(*eng, *net, cfg);
+    }
+};
+
+TEST(Nic, DeliveryTimingMatchesModel)
+{
+    NetFixture f;
+    int delivered_at = -1;
+    SimTime when = 0;
+    SimThread &t = f.eng->createThread("sender");
+    t.start([&] {
+        CommStatus s = f.vmmc->deposit(
+            t, 0, 1, 968, [&] { when = f.eng->now(); delivered_at = 1; },
+            Comp::Protocol);
+        EXPECT_EQ(s, CommStatus::Ok);
+    });
+    f.eng->run();
+    EXPECT_EQ(delivered_at, 1);
+    // sendOverhead + wire(968+32 bytes @100MB/s = 10000ns) + wireLatency
+    // + recvOverhead = 2000 + 10000 + 4000 + 2000 = 18000.
+    EXPECT_EQ(when, 18000u);
+}
+
+TEST(Nic, FifoDeliveryPerChannel)
+{
+    NetFixture f;
+    std::vector<int> order;
+    SimThread &t = f.eng->createThread("sender");
+    t.start([&] {
+        CompletionBatch batch(t);
+        for (int i = 0; i < 8; ++i) {
+            f.vmmc->depositAsync(t, 0, 1, 100,
+                                 [&order, i] { order.push_back(i); },
+                                 &batch);
+        }
+        EXPECT_EQ(batch.wait(Comp::Protocol), CommStatus::Ok);
+    });
+    f.eng->run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Nic, FullPostQueueBlocksPoster)
+{
+    NetFixture f;
+    f.cfg.nicPostQueue = 2;
+    Engine eng(f.cfg);
+    Network net(eng, f.cfg, 2);
+    int delivered = 0;
+    SimThread &t = eng.createThread("sender");
+    t.start([&] {
+        for (int i = 0; i < 10; ++i) {
+            Message m;
+            m.src = 0;
+            m.dst = 1;
+            m.payloadBytes = 4096;
+            m.deliver = [&] { delivered++; };
+            EXPECT_EQ(net.nic(0).post(t, std::move(m)),
+                      WakeStatus::Normal);
+        }
+    });
+    eng.run();
+    EXPECT_EQ(delivered, 10);
+    EXPECT_GT(net.nic(0).counters().postQueueStalls, 0u);
+}
+
+TEST(Nic, BandwidthSerializesDepartures)
+{
+    NetFixture f;
+    // Two 4 KB messages: second must arrive one full occupancy later.
+    std::vector<SimTime> arrivals;
+    SimThread &t = f.eng->createThread("sender");
+    t.start([&] {
+        CompletionBatch batch(t);
+        for (int i = 0; i < 2; ++i) {
+            f.vmmc->depositAsync(
+                t, 0, 1, 4096,
+                [&] { arrivals.push_back(f.eng->now()); }, &batch);
+        }
+        batch.wait(Comp::Protocol);
+    });
+    f.eng->run();
+    ASSERT_EQ(arrivals.size(), 2u);
+    SimTime occupancy = f.cfg.sendOverhead + f.cfg.wireTime(4096 + 32);
+    EXPECT_EQ(arrivals[1] - arrivals[0], occupancy);
+}
+
+TEST(Vmmc, LoopbackSkipsTheWire)
+{
+    NetFixture f;
+    // Map logical 1 onto physical 0 so 0->1 is a loopback.
+    f.vmmc->setHost(1, 0);
+    SimTime when = 0;
+    SimThread &t = f.eng->createThread("sender");
+    t.start([&] {
+        EXPECT_EQ(f.vmmc->deposit(t, 0, 1, 4096,
+                                  [&] { when = f.eng->now(); },
+                                  Comp::Protocol),
+                  CommStatus::Ok);
+    });
+    f.eng->run();
+    EXPECT_EQ(when, f.cfg.localLoopback);
+}
+
+TEST(Vmmc, FetchRoundTrip)
+{
+    NetFixture f;
+    int result = 0;
+    SimThread &t = f.eng->createThread("requester");
+    t.start([&] {
+        CommStatus s = f.vmmc->fetch(
+            t, 0, 2, 64,
+            [&](std::shared_ptr<Replier> rep) {
+                rep->reply(4096, [&] { result = 42; });
+            },
+            Comp::DataWait);
+        EXPECT_EQ(s, CommStatus::Ok);
+        EXPECT_EQ(result, 42);
+    });
+    f.eng->run();
+    EXPECT_EQ(result, 42);
+    EXPECT_GT(t.times().get(Comp::DataWait), 0u);
+}
+
+TEST(Vmmc, DeferredReplyCompletesLater)
+{
+    NetFixture f;
+    std::shared_ptr<Replier> saved;
+    int result = 0;
+    SimThread &t = f.eng->createThread("requester");
+    t.start([&] {
+        CommStatus s = f.vmmc->fetch(
+            t, 0, 2, 64,
+            [&](std::shared_ptr<Replier> rep) { saved = rep; },
+            Comp::DataWait);
+        EXPECT_EQ(s, CommStatus::Ok);
+        EXPECT_EQ(result, 7);
+    });
+    // Complete the reply 200 us after the request was made.
+    f.eng->schedule(200 * kMicrosecond, [&] {
+        ASSERT_TRUE(saved != nullptr);
+        saved->reply(128, [&] { result = 7; });
+    });
+    f.eng->run();
+    EXPECT_EQ(result, 7);
+}
+
+TEST(Vmmc, DepositToDeadNodeReturnsError)
+{
+    NetFixture f;
+    f.net->nic(2).kill();
+    PhysNodeId dead_seen = kInvalidNode;
+    f.vmmc->setPeerDeathHook([&](PhysNodeId p) { dead_seen = p; });
+    SimThread &t = f.eng->createThread("sender");
+    t.start([&] {
+        EXPECT_EQ(f.vmmc->deposit(t, 0, 2, 100, [] {}, Comp::Protocol),
+                  CommStatus::Error);
+    });
+    f.eng->run();
+    EXPECT_EQ(dead_seen, 2u);
+}
+
+TEST(Vmmc, InFlightDepositToDyingNodeFailsCompletion)
+{
+    NetFixture f;
+    SimThread &t = f.eng->createThread("sender");
+    CommStatus status = CommStatus::Ok;
+    bool applied = false;
+    t.start([&] {
+        status = f.vmmc->deposit(t, 0, 2, 4096, [&] { applied = true; },
+                                 Comp::Protocol);
+    });
+    // Kill node 2 while the message is in flight (before arrival).
+    f.eng->schedule(3000, [&] { f.net->nic(2).kill(); });
+    f.eng->run();
+    EXPECT_EQ(status, CommStatus::Error);
+    EXPECT_FALSE(applied);
+}
+
+TEST(Vmmc, FetchFromDeadNodeDetectsViaHeartbeat)
+{
+    NetFixture f;
+    SimThread &t = f.eng->createThread("requester");
+    std::shared_ptr<Replier> saved;
+    CommStatus status = CommStatus::Ok;
+    t.start([&] {
+        status = f.vmmc->fetch(
+            t, 0, 2, 64,
+            [&](std::shared_ptr<Replier> rep) { saved = rep; },
+            Comp::DataWait);
+    });
+    // The handler stashes the reply (deferred) and node 2 dies before
+    // ever replying: the requester's heart-beat must detect it.
+    f.eng->schedule(100 * kMicrosecond, [&] { f.net->nic(2).kill(); });
+    f.eng->run(true);
+    EXPECT_EQ(status, CommStatus::Error);
+    EXPECT_GT(t.times().get(Comp::DataWait),
+              static_cast<SimTime>(f.cfg.heartbeatTimeout) - 1);
+}
+
+TEST(Vmmc, StaleDeferredReplyIsDroppedAfterAbandon)
+{
+    NetFixture f;
+    SimThread &t = f.eng->createThread("requester");
+    std::shared_ptr<Replier> saved;
+    int applies = 0;
+    CommStatus first = CommStatus::Ok, second = CommStatus::Ok;
+    t.start([&] {
+        // First fetch: handler defers, peer 3 dies, fetch errors out.
+        first = f.vmmc->fetch(
+            t, 0, 2, 64,
+            [&](std::shared_ptr<Replier> rep) { saved = rep; },
+            Comp::DataWait);
+        // Second fetch to a live node must not be confused by the
+        // stale deferred reply firing mid-wait.
+        second = f.vmmc->fetch(
+            t, 0, 1, 64,
+            [&](std::shared_ptr<Replier> rep) {
+                rep->reply(64, [&] { applies += 100; });
+            },
+            Comp::DataWait);
+    });
+    f.eng->schedule(100 * kMicrosecond, [&] { f.net->nic(3).kill(); });
+    // Fire the stale reply while the second fetch is in progress.
+    f.eng->schedule(1100 * kMicrosecond, [&] {
+        if (saved)
+            saved->reply(64, [&] { applies += 1; });
+    });
+    f.eng->run(true);
+    EXPECT_EQ(first, CommStatus::Error);
+    EXPECT_EQ(second, CommStatus::Ok);
+    EXPECT_EQ(applies, 100) << "stale apply must not run";
+}
+
+TEST(Vmmc, CompletionBatchReportsPartialFailure)
+{
+    NetFixture f;
+    SimThread &t = f.eng->createThread("sender");
+    CommStatus status = CommStatus::Ok;
+    t.start([&] {
+        CompletionBatch batch(t);
+        f.vmmc->depositAsync(t, 0, 1, 4096, [] {}, &batch);
+        f.vmmc->depositAsync(t, 0, 2, 4096, [] {}, &batch);
+        f.vmmc->depositAsync(t, 0, 3, 4096, [] {}, &batch);
+        status = batch.wait(Comp::Diff);
+    });
+    f.eng->schedule(1000, [&] { f.net->nic(2).kill(); });
+    f.eng->run(true);
+    EXPECT_EQ(status, CommStatus::Error);
+}
+
+TEST(Failure, TimedKillFires)
+{
+    NetFixture f;
+    FailureInjector inj(*f.eng);
+    std::vector<PhysNodeId> killed;
+    inj.setKillAction([&](PhysNodeId p) {
+        killed.push_back(p);
+        f.net->nic(p).kill();
+    });
+    inj.killAt(1, 5 * kMillisecond);
+    f.eng->run();
+    EXPECT_EQ(killed, (std::vector<PhysNodeId>{1}));
+    EXPECT_FALSE(f.net->nodeAlive(1));
+}
+
+TEST(Failure, FailpointFiresOnNthOccurrence)
+{
+    NetFixture f;
+    FailureInjector inj(*f.eng);
+    int kills = 0;
+    inj.setKillAction([&](PhysNodeId) { kills++; });
+    inj.armFailpoint(0, failpoints::kAfterPhase1, 3);
+    EXPECT_FALSE(inj.failpoint(0, failpoints::kAfterPhase1));
+    EXPECT_FALSE(inj.failpoint(0, failpoints::kAfterPhase1));
+    EXPECT_FALSE(inj.failpoint(1, failpoints::kAfterPhase1));
+    EXPECT_FALSE(inj.failpoint(0, failpoints::kMidPhase2));
+    EXPECT_TRUE(inj.failpoint(0, failpoints::kAfterPhase1));
+    EXPECT_EQ(kills, 1);
+    // Disarmed after firing.
+    EXPECT_FALSE(inj.failpoint(0, failpoints::kAfterPhase1));
+}
+
+TEST(Failure, KillNowIsIdempotent)
+{
+    NetFixture f;
+    FailureInjector inj(*f.eng);
+    int kills = 0;
+    inj.setKillAction([&](PhysNodeId) { kills++; });
+    inj.killNow(2);
+    inj.killNow(2);
+    EXPECT_EQ(kills, 1);
+    EXPECT_EQ(inj.killed().size(), 1u);
+}
+
+} // namespace
+} // namespace rsvm

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Edge-case tests for the network layer: engine-context deposits,
+ * probes, NIC revive, header accounting, and counter integrity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "base/config.hh"
+#include "net/nic.hh"
+#include "net/vmmc.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+namespace {
+
+struct Fx
+{
+    Config cfg;
+    std::unique_ptr<Engine> eng;
+    std::unique_ptr<Network> net;
+    std::unique_ptr<Vmmc> vmmc;
+
+    explicit Fx(std::uint32_t nodes = 3)
+    {
+        cfg.numNodes = nodes;
+        eng = std::make_unique<Engine>(cfg);
+        net = std::make_unique<Network>(*eng, cfg, nodes);
+        vmmc = std::make_unique<Vmmc>(*eng, *net, cfg);
+    }
+};
+
+TEST(NetEdge, DepositFromEventDelivers)
+{
+    Fx f;
+    int hits = 0;
+    f.eng->schedule(10, [&] {
+        f.vmmc->depositFromEvent(0, 1, 64, [&] { hits++; });
+    });
+    f.eng->run();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(NetEdge, DepositFromEventToDeadNodeIsDroppedAndNotified)
+{
+    Fx f;
+    PhysNodeId dead = kInvalidNode;
+    f.vmmc->setPeerDeathHook([&](PhysNodeId p) { dead = p; });
+    f.net->nic(1).kill();
+    int hits = 0;
+    f.eng->schedule(10, [&] {
+        f.vmmc->depositFromEvent(0, 1, 64, [&] { hits++; });
+    });
+    f.eng->run();
+    EXPECT_EQ(hits, 0);
+    EXPECT_EQ(dead, 1u);
+}
+
+TEST(NetEdge, ProbeReportsLiveness)
+{
+    Fx f;
+    bool alive1 = false, alive2 = true;
+    f.net->nic(2).kill();
+    f.eng->schedule(0, [&] {
+        f.net->nic(0).probe(1, [&](bool a) { alive1 = a; });
+        f.net->nic(0).probe(2, [&](bool a) { alive2 = a; });
+    });
+    f.eng->run();
+    EXPECT_TRUE(alive1);
+    EXPECT_FALSE(alive2);
+    EXPECT_EQ(f.net->nic(0).counters().heartbeatsSent, 2u);
+}
+
+TEST(NetEdge, ReviveRestoresDelivery)
+{
+    Fx f;
+    f.net->nic(1).kill();
+    EXPECT_FALSE(f.net->nodeAlive(1));
+    f.net->nic(1).revive();
+    EXPECT_TRUE(f.net->nodeAlive(1));
+    int hits = 0;
+    SimThread &t = f.eng->createThread("s");
+    t.start([&] {
+        EXPECT_EQ(f.vmmc->deposit(t, 0, 1, 64, [&] { hits++; },
+                                  Comp::Protocol),
+                  CommStatus::Ok);
+    });
+    f.eng->run();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(NetEdge, BytesAccountingIncludesHeaders)
+{
+    Fx f;
+    SimThread &t = f.eng->createThread("s");
+    t.start([&] {
+        f.vmmc->deposit(t, 0, 1, 100, [] {}, Comp::Protocol);
+    });
+    f.eng->run();
+    Counters c = f.net->nic(0).counters();
+    EXPECT_EQ(c.messagesSent, 1u);
+    EXPECT_EQ(c.bytesSent, 100u + f.cfg.msgHeaderBytes);
+}
+
+TEST(NetEdge, LoopbackDoesNotTouchTheNic)
+{
+    Fx f;
+    f.vmmc->setHost(1, 0);
+    SimThread &t = f.eng->createThread("s");
+    int hits = 0;
+    t.start([&] {
+        f.vmmc->deposit(t, 0, 1, 4096, [&] { hits++; },
+                        Comp::Protocol);
+    });
+    f.eng->run();
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(f.net->nic(0).counters().messagesSent, 0u);
+}
+
+TEST(NetEdge, SweepChargesProbeCost)
+{
+    Fx f;
+    SimThread &t = f.eng->createThread("s");
+    t.start([&] {
+        PhysNodeId dead;
+        EXPECT_FALSE(f.vmmc->sweepForFailures(t, &dead));
+    });
+    f.eng->run();
+    EXPECT_EQ(t.times().get(Comp::Protocol),
+              f.cfg.heartbeatProbeCost);
+}
+
+} // namespace
+} // namespace rsvm

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine, fibers, SimThread blocking
+ * discipline, time accounting, and checkpoint snapshot/restore.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/config.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+namespace {
+
+Config
+smallConfig()
+{
+    Config cfg;
+    cfg.numNodes = 2;
+    return cfg;
+}
+
+TEST(Engine, EventsRunInTimeOrder)
+{
+    Engine eng(smallConfig());
+    std::vector<int> order;
+    eng.schedule(300, [&] { order.push_back(3); });
+    eng.schedule(100, [&] { order.push_back(1); });
+    eng.schedule(200, [&] { order.push_back(2); });
+    eng.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eng.now(), 300u);
+}
+
+TEST(Engine, SameTimeEventsRunInScheduleOrder)
+{
+    Engine eng(smallConfig());
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eng.schedule(50, [&order, i] { order.push_back(i); });
+    eng.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, NestedSchedulingWorks)
+{
+    Engine eng(smallConfig());
+    SimTime fired = 0;
+    eng.schedule(10, [&] {
+        eng.schedule(15, [&] { fired = eng.now(); });
+    });
+    eng.run();
+    EXPECT_EQ(fired, 25u);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline)
+{
+    Engine eng(smallConfig());
+    int count = 0;
+    eng.schedule(10, [&] { count++; });
+    eng.schedule(100, [&] { count++; });
+    EXPECT_FALSE(eng.runUntil(50));
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eng.now(), 50u);
+    EXPECT_TRUE(eng.runUntil(200));
+    EXPECT_EQ(count, 2);
+}
+
+TEST(SimThread, DelayAdvancesTimeAndCharges)
+{
+    Engine eng(smallConfig());
+    SimThread &t = eng.createThread("worker");
+    SimTime end = 0;
+    t.start([&] {
+        t.delay(1000, Comp::Compute);
+        t.delay(500, Comp::DataWait);
+        end = eng.now();
+    });
+    eng.run();
+    EXPECT_EQ(end, 1500u);
+    EXPECT_EQ(t.state(), ThreadState::Finished);
+    EXPECT_EQ(t.times().get(Comp::Compute), 1000u);
+    EXPECT_EQ(t.times().get(Comp::DataWait), 500u);
+}
+
+TEST(SimThread, ParkAndWake)
+{
+    Engine eng(smallConfig());
+    SimThread &t = eng.createThread("sleeper");
+    WakeStatus ws = WakeStatus::Timeout;
+    t.start([&] { ws = t.park(Comp::LockWait); });
+    eng.schedule(2000, [&] { t.wake(WakeStatus::Normal); });
+    eng.run();
+    EXPECT_EQ(ws, WakeStatus::Normal);
+    EXPECT_EQ(t.times().get(Comp::LockWait), 2000u);
+}
+
+TEST(SimThread, ParkForTimesOut)
+{
+    Engine eng(smallConfig());
+    SimThread &t = eng.createThread("waiter");
+    WakeStatus ws = WakeStatus::Normal;
+    t.start([&] { ws = t.parkFor(750, Comp::BarrierWait); });
+    eng.run();
+    EXPECT_EQ(ws, WakeStatus::Timeout);
+    EXPECT_EQ(eng.now(), 750u);
+}
+
+TEST(SimThread, WakeBeforeTimeoutSuppressesTimer)
+{
+    Engine eng(smallConfig());
+    SimThread &t = eng.createThread("waiter");
+    std::vector<WakeStatus> seen;
+    t.start([&] {
+        seen.push_back(t.parkFor(10000, Comp::LockWait));
+        // Park again: a stale timer event from the first park must not
+        // wake this second park.
+        seen.push_back(t.parkFor(50000, Comp::LockWait));
+    });
+    eng.schedule(100, [&] { t.wake(WakeStatus::Normal); });
+    eng.run();
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], WakeStatus::Normal);
+    EXPECT_EQ(seen[1], WakeStatus::Timeout);
+    EXPECT_EQ(eng.now(), 100u + 50000u);
+}
+
+TEST(SimThread, LatchedWakeIsNotLost)
+{
+    Engine eng(smallConfig());
+    SimThread &t = eng.createThread("latch");
+    WakeStatus ws = WakeStatus::Timeout;
+    t.start([&] {
+        // Wake arrives while we are running; the next park must return
+        // immediately with that status.
+        t.wake(WakeStatus::Error);
+        ws = t.park(Comp::Protocol);
+    });
+    eng.run();
+    EXPECT_EQ(ws, WakeStatus::Error);
+    EXPECT_EQ(eng.now(), 0u);
+}
+
+TEST(SimThread, TwoThreadsInterleaveDeterministically)
+{
+    Engine eng(smallConfig());
+    SimThread &a = eng.createThread("a");
+    SimThread &b = eng.createThread("b");
+    std::vector<std::string> order;
+    a.start([&] {
+        for (int i = 0; i < 3; ++i) {
+            a.delay(100, Comp::Compute);
+            order.push_back("a");
+        }
+    });
+    b.start([&] {
+        for (int i = 0; i < 2; ++i) {
+            b.delay(150, Comp::Compute);
+            order.push_back("b");
+        }
+    });
+    eng.run();
+    // At t=300 both timers fire; b's timer was scheduled earlier (at
+    // t=150) so it carries the smaller sequence number and b resumes
+    // first — deterministically.
+    EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "a", "b", "a"}));
+}
+
+TEST(SimThread, KillPreventsFurtherExecution)
+{
+    Engine eng(smallConfig());
+    SimThread &t = eng.createThread("victim");
+    int steps = 0;
+    t.start([&] {
+        steps++;
+        t.delay(100, Comp::Compute);
+        steps++;
+    });
+    eng.schedule(50, [&] { t.kill(); });
+    eng.run(true);
+    EXPECT_EQ(steps, 1);
+    EXPECT_EQ(t.state(), ThreadState::Dead);
+}
+
+TEST(SimThread, KillSelfStopsImmediately)
+{
+    Engine eng(smallConfig());
+    SimThread &t = eng.createThread("suicide");
+    int steps = 0;
+    t.start([&] {
+        steps++;
+        t.killSelf();
+    });
+    eng.run(true);
+    EXPECT_EQ(steps, 1);
+    EXPECT_EQ(t.state(), ThreadState::Dead);
+}
+
+TEST(Snapshot, ParkedThreadRestoreReplaysFromParkPoint)
+{
+    Engine eng(smallConfig());
+    SimThread &t = eng.createThread("ckpt");
+    std::vector<int> log;
+    int phase2_runs = 0;
+    t.start([&] {
+        log.push_back(1);
+        // Retry-loop discipline: a Restarted wake re-executes the wait.
+        WakeStatus ws;
+        do {
+            ws = t.park(Comp::LockWait);
+            log.push_back(2);
+        } while (ws == WakeStatus::Restarted);
+        phase2_runs++;
+        log.push_back(3);
+    });
+
+    Fiber::Snapshot snap;
+    eng.schedule(100, [&] {
+        ASSERT_EQ(t.state(), ThreadState::Parked);
+        snap = t.captureParked();
+    });
+    // Kill the thread after the snapshot, then restore it.
+    eng.schedule(200, [&] { t.kill(); });
+    eng.schedule(300, [&] { t.restoreSnapshot(snap); });
+    // The restored thread re-parks; complete it with a normal wake.
+    eng.schedule(400, [&] { t.wake(WakeStatus::Normal); });
+    eng.run();
+    EXPECT_EQ(t.state(), ThreadState::Finished);
+    EXPECT_EQ(phase2_runs, 1);
+    // 1 (initial), 2 (restarted wake), 2 (normal wake), 3 (done).
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 2, 3}));
+}
+
+TEST(Snapshot, SelfCaptureReturnsTwice)
+{
+    Engine eng(smallConfig());
+    SimThread &t = eng.createThread("selfckpt");
+    Fiber::Snapshot snap;
+    int captured_paths = 0;
+    int restored_paths = 0;
+    int local_marker = 0;
+    t.start([&] {
+        local_marker = 42;
+        if (t.captureSelf(snap)) {
+            captured_paths++;
+            // Simulate progress after the checkpoint, then die.
+            t.delay(100, Comp::Compute);
+            t.killSelf();
+        } else {
+            // Restored: stack-local state from capture time is intact.
+            restored_paths++;
+            t.clearPendingWake();
+            EXPECT_EQ(local_marker, 42);
+        }
+    });
+    eng.schedule(500, [&] { t.restoreSnapshot(snap); });
+    eng.run(true);
+    EXPECT_EQ(captured_paths, 1);
+    EXPECT_EQ(restored_paths, 1);
+    EXPECT_EQ(t.state(), ThreadState::Finished);
+}
+
+TEST(Snapshot, RestorePreservesDeepStackLocals)
+{
+    Engine eng(smallConfig());
+    SimThread &t = eng.createThread("deep", 256 * 1024);
+    Fiber::Snapshot snap;
+    long result = 0;
+
+    // Build a deep, data-carrying stack, park at the bottom, snapshot,
+    // kill, restore, and check the recursion completes with intact
+    // stack values.
+    std::function<long(SimThread &, int)> recurse =
+        [&](SimThread &self, int depth) -> long {
+        volatile long salt = depth * 31 + 7;
+        if (depth == 0) {
+            WakeStatus ws;
+            do {
+                ws = self.park(Comp::Protocol);
+            } while (ws == WakeStatus::Restarted);
+            return salt;
+        }
+        long below = recurse(self, depth - 1);
+        return below + salt;
+    };
+    t.start([&] { result = recurse(t, 40); });
+
+    eng.schedule(10, [&] {
+        ASSERT_EQ(t.state(), ThreadState::Parked);
+        snap = t.captureParked();
+        t.kill();
+    });
+    eng.schedule(20, [&] { t.restoreSnapshot(snap); });
+    eng.schedule(30, [&] { t.wake(WakeStatus::Normal); });
+    eng.run();
+
+    long expected = 0;
+    for (int d = 0; d <= 40; ++d)
+        expected += d * 31 + 7;
+    EXPECT_EQ(result, expected);
+    EXPECT_GT(snap.stack.size(), 0u);
+}
+
+TEST(Breakdown, FourAndSixComponentViewsTotalEqually)
+{
+    TimeBreakdown b;
+    b.charge(Comp::Compute, 100, false);
+    b.charge(Comp::DataWait, 50, false);
+    b.charge(Comp::LockWait, 25, false);
+    b.charge(Comp::BarrierWait, 30, true);
+    b.charge(Comp::Diff, 40, false);
+    b.charge(Comp::Diff, 10, true);
+    b.charge(Comp::Ckpt, 15, false);
+    b.charge(Comp::Protocol, 5, true);
+    auto four = b.fourComp();
+    auto six = b.sixComp();
+    SimTime four_total = four.compute + four.data + four.lock +
+                         four.barrier;
+    SimTime six_total = six.compute + six.data + six.sync + six.diffs +
+                        six.protocol + six.ckpt;
+    EXPECT_EQ(four_total, b.total());
+    EXPECT_EQ(six_total, b.total());
+    EXPECT_EQ(four.lock, 25u + 40u + 15u);
+    EXPECT_EQ(four.barrier, 30u + 10u + 5u);
+    EXPECT_EQ(six.sync, 55u);
+}
+
+TEST(Config, OverridesParse)
+{
+    Config cfg;
+    EXPECT_TRUE(cfg.applyOverride("numNodes=4"));
+    EXPECT_TRUE(cfg.applyOverride("protocol=base"));
+    EXPECT_TRUE(cfg.applyOverride("lockAlgo=queuing"));
+    EXPECT_TRUE(cfg.applyOverride("bandwidthBytesPerSec=2e8"));
+    EXPECT_FALSE(cfg.applyOverride("nonsense=1"));
+    EXPECT_FALSE(cfg.applyOverride("garbage"));
+    EXPECT_EQ(cfg.numNodes, 4u);
+    EXPECT_EQ(cfg.protocol, ProtocolKind::Base);
+    EXPECT_EQ(cfg.lockAlgo, LockAlgo::Queuing);
+    EXPECT_DOUBLE_EQ(cfg.bandwidthBytesPerSec, 2e8);
+}
+
+TEST(Config, WireTimeMatchesBandwidth)
+{
+    Config cfg;
+    cfg.bandwidthBytesPerSec = 100e6; // 100 MB/s => 10 ns per byte
+    EXPECT_EQ(cfg.wireTime(4096), 40960u);
+}
+
+} // namespace
+} // namespace rsvm

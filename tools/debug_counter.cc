@@ -1,0 +1,31 @@
+#include <cstdio>
+#include "runtime/cluster.hh"
+#include "net/failure.hh"
+using namespace rsvm;
+int main() {
+    Config cfg;
+    cfg.protocol = ProtocolKind::FaultTolerant;
+    cfg.numNodes = 4;
+    cfg.sharedBytes = 16u<<20;
+    Cluster cluster(cfg);
+    Addr counter = cluster.mem().alloc(8);
+    cluster.injector().killAt(0, 2*kMillisecond);
+    cluster.spawn([counter](AppThread& t){
+        for (int i = 0; i < 20; ++i) {
+            t.lock(1);
+            std::uint64_t v = t.get<std::uint64_t>(counter);
+            t.compute(3*kMicrosecond);
+            t.put<std::uint64_t>(counter, v+1);
+            std::fprintf(stderr, "%12llu inc by t%u iter %d: %llu -> %llu\n",
+                (unsigned long long)t.sim().engine().now(), t.id(), i,
+                (unsigned long long)v, (unsigned long long)(v+1));
+            t.unlock(1);
+            t.compute(20*kMicrosecond);
+        }
+        t.barrier();
+    });
+    cluster.run();
+    std::uint64_t v=0; cluster.debugRead(counter, &v, 8);
+    std::printf("final=%llu expected=%u\n", (unsigned long long)v, 20u*cfg.totalThreads());
+    return 0;
+}

@@ -1,0 +1,40 @@
+#include <cstdio>
+#include "runtime/cluster.hh"
+using namespace rsvm;
+int main() {
+    Config cfg; cfg.protocol = ProtocolKind::Base; cfg.numNodes = 4;
+    Cluster cluster(cfg);
+    // One shared page; each thread owns a 1KB row (like radix hist).
+    Addr hist = cluster.mem().allocPageAligned(4096);
+    Addr out = cluster.mem().allocPageAligned(4096 * 4);
+    int errors = 0;
+    cluster.spawn([&](AppThread& t) {
+        for (int pass = 0; pass < 4; ++pass) {
+            // publish own row under per-group locks
+            for (int g = 0; g < 8; ++g) {
+                t.lock(100 + g);
+                for (int d = g * 32; d < (g + 1) * 32; ++d)
+                    t.put<std::uint32_t>(hist + t.id() * 1024 + d * 4,
+                                         pass * 1000 + t.id() * 100 + d);
+                t.unlock(100 + g);
+            }
+            t.barrier();
+            // read all rows
+            for (unsigned p = 0; p < 4; ++p)
+                for (int d = 0; d < 256; ++d) {
+                    std::uint32_t v = t.get<std::uint32_t>(hist + p * 1024 + d * 4);
+                    std::uint32_t want = pass * 1000 + p * 100 + d;
+                    if (v != want) {
+                        if (errors < 10)
+                            std::fprintf(stderr, "pass %d reader %u row %u d %d: got %u want %u\n",
+                                         pass, t.id(), p, d, v, want);
+                        errors++;
+                    }
+                }
+            t.barrier();
+        }
+    });
+    cluster.run();
+    std::printf("errors=%d\n", errors);
+    return 0;
+}

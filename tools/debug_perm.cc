@@ -1,0 +1,48 @@
+#include <cstdio>
+#include "runtime/cluster.hh"
+using namespace rsvm;
+// Scatter pattern like radix: thread t writes positions i where (i%4)==t,
+// alternating src/dst arrays across passes.
+int main() {
+    Config cfg; cfg.protocol = ProtocolKind::Base; cfg.numNodes = 4;
+    Cluster cluster(cfg);
+    const std::uint32_t n = 16384;
+    Addr A = cluster.mem().allocPageAligned(n * 4);
+    Addr B = cluster.mem().allocPageAligned(n * 4);
+    for (unsigned t = 0; t < 4; ++t) {
+        cluster.mem().setPrimaryHomeRange(A + t * (n) , n, t); // quarter each
+        cluster.mem().setPrimaryHomeRange(B + t * (n), n, t);
+    }
+    int errors = 0;
+    cluster.spawn([&](AppThread& t) {
+        // init own contiguous quarter of A
+        std::uint32_t chunk = n / 4, lo = t.id() * chunk;
+        for (std::uint32_t i = lo; i < lo + chunk; ++i)
+            t.put<std::uint32_t>(A + 4ull * i, i);
+        t.barrier();
+        Addr src = A, dst = B;
+        for (int pass = 0; pass < 4; ++pass) {
+            // scatter: read own contiguous chunk, write strided dst
+            for (std::uint32_t k = 0; k < chunk; ++k) {
+                std::uint32_t v = t.get<std::uint32_t>(src + 4ull * (lo + k));
+                std::uint32_t pos = k * 4 + t.id(); // strided position
+                t.put<std::uint32_t>(dst + 4ull * pos, v);
+            }
+            t.barrier();
+            // gather back: read strided, write own chunk
+            for (std::uint32_t k = 0; k < chunk; ++k) {
+                std::uint32_t v = t.get<std::uint32_t>(dst + 4ull * (k * 4 + t.id()));
+                if (v != lo + k) {
+                    if (errors < 8)
+                        std::fprintf(stderr, "pass %d t%u k%u: got %u want %u\n",
+                                     pass, t.id(), k, v, lo + k);
+                    errors++;
+                }
+                t.put<std::uint32_t>(src + 4ull * (lo + k), v);
+            }
+            t.barrier();
+        }
+    });
+    cluster.run();
+    std::printf("errors=%d\n", errors);
+}

@@ -1,0 +1,41 @@
+#include <cstdio>
+#include "runtime/cluster.hh"
+#include "base/rng.hh"
+using namespace rsvm;
+// Many lock-protected counters packed in one page; random access order.
+int main() {
+    Config cfg; cfg.protocol = ProtocolKind::FaultTolerant;
+    cfg.numNodes = 4; cfg.threadsPerNode = 2;
+    Cluster cluster(cfg);
+    const int kCounters = 64, kIters = 200;
+    Addr base = cluster.mem().allocPageAligned(kCounters * 8);
+    std::vector<std::uint32_t> expect(kCounters, 0);
+    // Precompute each thread's access sequence (host side, deterministic)
+    std::vector<std::vector<int>> seq(8);
+    for (int t = 0; t < 8; ++t) {
+        Rng r(1000 + t);
+        for (int i = 0; i < kIters; ++i) {
+            int c = r.below(kCounters);
+            seq[t].push_back(c);
+            expect[c]++;
+        }
+    }
+    cluster.spawn([&](AppThread& t) {
+        for (int i = 0; i < kIters; ++i) {
+            int c = seq[t.id()][i];
+            t.lock(200 + c);
+            std::uint64_t v = t.get<std::uint64_t>(base + 8*c);
+            t.put<std::uint64_t>(base + 8*c, v + 1);
+            t.unlock(200 + c);
+        }
+        t.barrier();
+    });
+    cluster.run();
+    int errors = 0;
+    for (int c = 0; c < kCounters; ++c) {
+        std::uint64_t v=0; cluster.debugRead(base + 8*c, &v, 8);
+        if (v != expect[c]) { errors++; std::printf("counter %d: %llu want %u\n", c, (unsigned long long)v, expect[c]); }
+    }
+    std::printf("errors=%d\n", errors);
+    return errors ? 1 : 0;
+}

@@ -1,0 +1,22 @@
+#include <cstdio>
+#include "apps/app_common.hh"
+using namespace rsvm; using namespace rsvm::apps;
+int main(int argc, char** argv) {
+    Config cfg; cfg.protocol = ProtocolKind::FaultTolerant;
+    cfg.numNodes = 4; cfg.threadsPerNode = 2; cfg.sharedBytes = 64u<<20;
+    AppParams p = defaultParams("water-sp");
+    p.size = 112; // the failing test's snapped size
+    if (argc > 1) p.size = std::atoi(argv[1]);
+    if (argc > 2) p.steps = std::atoi(argv[2]);
+    Cluster cluster(cfg);
+    AppInstance app = makeApp("water-sp", p);
+    // force array starts one page after pos (n*24 <= 4096 for n<=170)
+
+    app.setup(cluster);
+    cluster.spawn(app.threadFn);
+    cluster.run();
+    AppResult r = app.verify(cluster);
+    std::printf("%s\n", r.detail.c_str());
+    return r.ok ? 0 : 1;
+}
+// (steps arg: ./debug_wsp [size] [steps])

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/batching_ablation"
+  "../bench/batching_ablation.pdb"
+  "CMakeFiles/batching_ablation.dir/batching_ablation.cc.o"
+  "CMakeFiles/batching_ablation.dir/batching_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batching_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_breakdown"
+  "../bench/fig7_breakdown.pdb"
+  "CMakeFiles/fig7_breakdown.dir/fig7_breakdown.cc.o"
+  "CMakeFiles/fig7_breakdown.dir/fig7_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

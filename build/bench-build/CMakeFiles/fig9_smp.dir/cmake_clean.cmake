@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_smp"
+  "../bench/fig9_smp.pdb"
+  "CMakeFiles/fig9_smp.dir/fig9_smp.cc.o"
+  "CMakeFiles/fig9_smp.dir/fig9_smp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

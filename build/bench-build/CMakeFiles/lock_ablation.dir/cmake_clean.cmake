@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/lock_ablation"
+  "../bench/lock_ablation.pdb"
+  "CMakeFiles/lock_ablation.dir/lock_ablation.cc.o"
+  "CMakeFiles/lock_ablation.dir/lock_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

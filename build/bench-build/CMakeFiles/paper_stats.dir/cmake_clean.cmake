@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/paper_stats"
+  "../bench/paper_stats.pdb"
+  "CMakeFiles/paper_stats.dir/paper_stats.cc.o"
+  "CMakeFiles/paper_stats.dir/paper_stats.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/postqueue_sweep"
+  "../bench/postqueue_sweep.pdb"
+  "CMakeFiles/postqueue_sweep.dir/postqueue_sweep.cc.o"
+  "CMakeFiles/postqueue_sweep.dir/postqueue_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postqueue_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

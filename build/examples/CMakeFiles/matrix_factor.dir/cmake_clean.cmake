@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_factor.dir/matrix_factor.cpp.o"
+  "CMakeFiles/matrix_factor.dir/matrix_factor.cpp.o.d"
+  "matrix_factor"
+  "matrix_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

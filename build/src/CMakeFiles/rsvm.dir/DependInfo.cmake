@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/config.cc" "src/CMakeFiles/rsvm.dir/base/config.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/base/config.cc.o.d"
+  "/root/repo/src/base/log.cc" "src/CMakeFiles/rsvm.dir/base/log.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/base/log.cc.o.d"
+  "/root/repo/src/base/stats.cc" "src/CMakeFiles/rsvm.dir/base/stats.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/base/stats.cc.o.d"
+  "/root/repo/src/ftsvm/checkpoint.cc" "src/CMakeFiles/rsvm.dir/ftsvm/checkpoint.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/ftsvm/checkpoint.cc.o.d"
+  "/root/repo/src/ftsvm/ft_protocol.cc" "src/CMakeFiles/rsvm.dir/ftsvm/ft_protocol.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/ftsvm/ft_protocol.cc.o.d"
+  "/root/repo/src/ftsvm/recovery.cc" "src/CMakeFiles/rsvm.dir/ftsvm/recovery.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/ftsvm/recovery.cc.o.d"
+  "/root/repo/src/mem/addrspace.cc" "src/CMakeFiles/rsvm.dir/mem/addrspace.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/mem/addrspace.cc.o.d"
+  "/root/repo/src/mem/diff.cc" "src/CMakeFiles/rsvm.dir/mem/diff.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/mem/diff.cc.o.d"
+  "/root/repo/src/mem/pagetable.cc" "src/CMakeFiles/rsvm.dir/mem/pagetable.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/mem/pagetable.cc.o.d"
+  "/root/repo/src/net/failure.cc" "src/CMakeFiles/rsvm.dir/net/failure.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/net/failure.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/rsvm.dir/net/network.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/net/network.cc.o.d"
+  "/root/repo/src/net/nic.cc" "src/CMakeFiles/rsvm.dir/net/nic.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/net/nic.cc.o.d"
+  "/root/repo/src/net/vmmc.cc" "src/CMakeFiles/rsvm.dir/net/vmmc.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/net/vmmc.cc.o.d"
+  "/root/repo/src/runtime/app_api.cc" "src/CMakeFiles/rsvm.dir/runtime/app_api.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/runtime/app_api.cc.o.d"
+  "/root/repo/src/runtime/cluster.cc" "src/CMakeFiles/rsvm.dir/runtime/cluster.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/runtime/cluster.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/rsvm.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/sim/engine.cc.o.d"
+  "/root/repo/src/sim/fiber.cc" "src/CMakeFiles/rsvm.dir/sim/fiber.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/sim/fiber.cc.o.d"
+  "/root/repo/src/sim/thread.cc" "src/CMakeFiles/rsvm.dir/sim/thread.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/sim/thread.cc.o.d"
+  "/root/repo/src/svm/base_protocol.cc" "src/CMakeFiles/rsvm.dir/svm/base_protocol.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/svm/base_protocol.cc.o.d"
+  "/root/repo/src/svm/locks.cc" "src/CMakeFiles/rsvm.dir/svm/locks.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/svm/locks.cc.o.d"
+  "/root/repo/src/svm/protocol.cc" "src/CMakeFiles/rsvm.dir/svm/protocol.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/svm/protocol.cc.o.d"
+  "/root/repo/src/svm/timestamp.cc" "src/CMakeFiles/rsvm.dir/svm/timestamp.cc.o" "gcc" "src/CMakeFiles/rsvm.dir/svm/timestamp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_common.cc" "src/CMakeFiles/rsvm_apps.dir/apps/app_common.cc.o" "gcc" "src/CMakeFiles/rsvm_apps.dir/apps/app_common.cc.o.d"
+  "/root/repo/src/apps/fft.cc" "src/CMakeFiles/rsvm_apps.dir/apps/fft.cc.o" "gcc" "src/CMakeFiles/rsvm_apps.dir/apps/fft.cc.o.d"
+  "/root/repo/src/apps/lu.cc" "src/CMakeFiles/rsvm_apps.dir/apps/lu.cc.o" "gcc" "src/CMakeFiles/rsvm_apps.dir/apps/lu.cc.o.d"
+  "/root/repo/src/apps/radix.cc" "src/CMakeFiles/rsvm_apps.dir/apps/radix.cc.o" "gcc" "src/CMakeFiles/rsvm_apps.dir/apps/radix.cc.o.d"
+  "/root/repo/src/apps/volrend.cc" "src/CMakeFiles/rsvm_apps.dir/apps/volrend.cc.o" "gcc" "src/CMakeFiles/rsvm_apps.dir/apps/volrend.cc.o.d"
+  "/root/repo/src/apps/water_nsq.cc" "src/CMakeFiles/rsvm_apps.dir/apps/water_nsq.cc.o" "gcc" "src/CMakeFiles/rsvm_apps.dir/apps/water_nsq.cc.o.d"
+  "/root/repo/src/apps/water_sp.cc" "src/CMakeFiles/rsvm_apps.dir/apps/water_sp.cc.o" "gcc" "src/CMakeFiles/rsvm_apps.dir/apps/water_sp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rsvm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsvm_apps.dir/apps/app_common.cc.o"
+  "CMakeFiles/rsvm_apps.dir/apps/app_common.cc.o.d"
+  "CMakeFiles/rsvm_apps.dir/apps/fft.cc.o"
+  "CMakeFiles/rsvm_apps.dir/apps/fft.cc.o.d"
+  "CMakeFiles/rsvm_apps.dir/apps/lu.cc.o"
+  "CMakeFiles/rsvm_apps.dir/apps/lu.cc.o.d"
+  "CMakeFiles/rsvm_apps.dir/apps/radix.cc.o"
+  "CMakeFiles/rsvm_apps.dir/apps/radix.cc.o.d"
+  "CMakeFiles/rsvm_apps.dir/apps/volrend.cc.o"
+  "CMakeFiles/rsvm_apps.dir/apps/volrend.cc.o.d"
+  "CMakeFiles/rsvm_apps.dir/apps/water_nsq.cc.o"
+  "CMakeFiles/rsvm_apps.dir/apps/water_nsq.cc.o.d"
+  "CMakeFiles/rsvm_apps.dir/apps/water_sp.cc.o"
+  "CMakeFiles/rsvm_apps.dir/apps/water_sp.cc.o.d"
+  "librsvm_apps.a"
+  "librsvm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsvm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_counter.dir/__/tools/debug_counter.cc.o"
+  "CMakeFiles/debug_counter.dir/__/tools/debug_counter.cc.o.d"
+  "debug_counter"
+  "debug_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_hist.dir/__/tools/debug_hist.cc.o"
+  "CMakeFiles/debug_hist.dir/__/tools/debug_hist.cc.o.d"
+  "debug_hist"
+  "debug_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

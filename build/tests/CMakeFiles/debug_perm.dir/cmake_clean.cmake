@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_perm.dir/__/tools/debug_perm.cc.o"
+  "CMakeFiles/debug_perm.dir/__/tools/debug_perm.cc.o.d"
+  "debug_perm"
+  "debug_perm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_perm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

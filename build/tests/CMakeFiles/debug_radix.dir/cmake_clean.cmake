@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_radix.dir/__/tools/debug_radix.cc.o"
+  "CMakeFiles/debug_radix.dir/__/tools/debug_radix.cc.o.d"
+  "debug_radix"
+  "debug_radix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_radix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_rmw.dir/__/tools/debug_rmw.cc.o"
+  "CMakeFiles/debug_rmw.dir/__/tools/debug_rmw.cc.o.d"
+  "debug_rmw"
+  "debug_rmw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_rmw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_wsp.dir/__/tools/debug_wsp.cc.o"
+  "CMakeFiles/debug_wsp.dir/__/tools/debug_wsp.cc.o.d"
+  "debug_wsp"
+  "debug_wsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_wsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

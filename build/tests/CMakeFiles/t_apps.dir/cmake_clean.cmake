@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t_apps.dir/apps/test_apps.cc.o"
+  "CMakeFiles/t_apps.dir/apps/test_apps.cc.o.d"
+  "t_apps"
+  "t_apps.pdb"
+  "t_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

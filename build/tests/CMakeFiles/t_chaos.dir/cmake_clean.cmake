@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t_chaos.dir/properties/test_chaos.cc.o"
+  "CMakeFiles/t_chaos.dir/properties/test_chaos.cc.o.d"
+  "t_chaos"
+  "t_chaos.pdb"
+  "t_chaos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t_ckpt.dir/ftsvm/test_ckpt.cc.o"
+  "CMakeFiles/t_ckpt.dir/ftsvm/test_ckpt.cc.o.d"
+  "t_ckpt"
+  "t_ckpt.pdb"
+  "t_ckpt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

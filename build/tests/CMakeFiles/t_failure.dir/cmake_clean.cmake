@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t_failure.dir/ftsvm/test_failure.cc.o"
+  "CMakeFiles/t_failure.dir/ftsvm/test_failure.cc.o.d"
+  "t_failure"
+  "t_failure.pdb"
+  "t_failure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t_invariants.dir/ftsvm/test_invariants.cc.o"
+  "CMakeFiles/t_invariants.dir/ftsvm/test_invariants.cc.o.d"
+  "t_invariants"
+  "t_invariants.pdb"
+  "t_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

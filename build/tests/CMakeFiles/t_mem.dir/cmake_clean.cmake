@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t_mem.dir/mem/test_mem.cc.o"
+  "CMakeFiles/t_mem.dir/mem/test_mem.cc.o.d"
+  "t_mem"
+  "t_mem.pdb"
+  "t_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

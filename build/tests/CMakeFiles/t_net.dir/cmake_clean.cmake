@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t_net.dir/net/test_net.cc.o"
+  "CMakeFiles/t_net.dir/net/test_net.cc.o.d"
+  "t_net"
+  "t_net.pdb"
+  "t_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

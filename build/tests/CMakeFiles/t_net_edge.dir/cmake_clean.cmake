@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t_net_edge.dir/net/test_net_edge.cc.o"
+  "CMakeFiles/t_net_edge.dir/net/test_net_edge.cc.o.d"
+  "t_net_edge"
+  "t_net_edge.pdb"
+  "t_net_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t_net_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

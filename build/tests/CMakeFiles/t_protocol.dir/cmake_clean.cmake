@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t_protocol.dir/svm/test_protocol.cc.o"
+  "CMakeFiles/t_protocol.dir/svm/test_protocol.cc.o.d"
+  "t_protocol"
+  "t_protocol.pdb"
+  "t_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

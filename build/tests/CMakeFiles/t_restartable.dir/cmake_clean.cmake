@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t_restartable.dir/sim/test_restartable.cc.o"
+  "CMakeFiles/t_restartable.dir/sim/test_restartable.cc.o.d"
+  "t_restartable"
+  "t_restartable.pdb"
+  "t_restartable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t_restartable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t_sharing.dir/svm/test_sharing.cc.o"
+  "CMakeFiles/t_sharing.dir/svm/test_sharing.cc.o.d"
+  "t_sharing"
+  "t_sharing.pdb"
+  "t_sharing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t_sim.dir/sim/test_sim.cc.o"
+  "CMakeFiles/t_sim.dir/sim/test_sim.cc.o.d"
+  "t_sim"
+  "t_sim.pdb"
+  "t_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

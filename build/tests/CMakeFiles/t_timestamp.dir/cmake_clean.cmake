@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t_timestamp.dir/svm/test_timestamp.cc.o"
+  "CMakeFiles/t_timestamp.dir/svm/test_timestamp.cc.o.d"
+  "t_timestamp"
+  "t_timestamp.pdb"
+  "t_timestamp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t_timestamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

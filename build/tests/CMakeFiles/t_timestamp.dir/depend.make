@@ -1,0 +1,2 @@
+# Empty dependencies file for t_timestamp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/t_sim[1]_include.cmake")
+include("/root/repo/build/tests/t_net[1]_include.cmake")
+include("/root/repo/build/tests/t_mem[1]_include.cmake")
+include("/root/repo/build/tests/t_protocol[1]_include.cmake")
+include("/root/repo/build/tests/t_failure[1]_include.cmake")
+include("/root/repo/build/tests/t_apps[1]_include.cmake")
+include("/root/repo/build/tests/t_sharing[1]_include.cmake")
+include("/root/repo/build/tests/t_ckpt[1]_include.cmake")
+include("/root/repo/build/tests/t_timestamp[1]_include.cmake")
+include("/root/repo/build/tests/t_invariants[1]_include.cmake")
+include("/root/repo/build/tests/t_net_edge[1]_include.cmake")
+include("/root/repo/build/tests/t_chaos[1]_include.cmake")
+include("/root/repo/build/tests/t_restartable[1]_include.cmake")

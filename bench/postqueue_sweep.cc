@@ -23,8 +23,9 @@ run()
     double scale = benchScale();
     std::printf("# NIC post-queue sweep, extended protocol, 8 nodes "
                 "x 2 threads\n");
-    std::printf("%-8s %10s %12s %14s %12s\n", "app", "queue",
-                "wall(ms)", "postStalls", "ok");
+    std::printf("%-8s %10s %12s %14s %12s %12s %12s %12s\n", "app",
+                "queue", "wall(ms)", "postStalls", "diffMsgs",
+                "ph1(ms)", "ph2(ms)", "ok");
 
     const std::uint32_t sizes[] = {4, 8, 16, 32, 64, 128};
     int failures = 0;
@@ -45,10 +46,14 @@ run()
             cluster.run();
             bool ok = inst.verify(cluster).ok;
             Counters c = cluster.totalCounters();
-            std::printf("%-8s %10u %12.2f %14llu %12s\n", app, q,
-                        ms(cluster.wallTime()),
+            std::printf("%-8s %10u %12.2f %14llu %12llu %12.2f %12.2f "
+                        "%12s\n",
+                        app, q, ms(cluster.wallTime()),
                         static_cast<unsigned long long>(
                             c.postQueueStalls),
+                        static_cast<unsigned long long>(
+                            c.diffMsgsSent),
+                        ms(c.phase1WallNs), ms(c.phase2WallNs),
                         ok ? "ok" : "VERIFY-FAILED");
             if (!ok)
                 failures++;

@@ -45,6 +45,7 @@ Config::applyOverride(const std::string &kv)
     else if (key == "syncOpCost") syncOpCost = as_u64();
     else if (key == "batchDiffs") batchDiffs = (val == "1" ||
                                                 val == "true");
+    else if (key == "maxDiffMsgBytes") maxDiffMsgBytes = as_u64();
     else if (key == "lockBackoffMin") lockBackoffMin = as_u64();
     else if (key == "lockBackoffMax") lockBackoffMax = as_u64();
     else if (key == "heartbeatTimeout") heartbeatTimeout = as_u64();
@@ -78,6 +79,8 @@ Config::toString() const
        << " wireLatency=" << wireLatency
        << " bandwidth=" << bandwidthBytesPerSec
        << " nicPostQueue=" << nicPostQueue
+       << " batchDiffs=" << batchDiffs
+       << " maxDiffMsgBytes=" << maxDiffMsgBytes
        << " seed=" << seed;
     return os.str();
 }

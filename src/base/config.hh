@@ -100,6 +100,14 @@ struct Config
      * larger individual transfers.
      */
     bool batchDiffs = false;
+    /**
+     * Wire-byte budget per batched diff message: the pipeline packs a
+     * destination's diffs into scatter-gather chunks no larger than
+     * this (a single oversized page diff still goes alone). Bounds NIC
+     * buffer pressure and keeps one huge interval from monopolizing a
+     * channel.
+     */
+    std::uint32_t maxDiffMsgBytes = 32 * 1024;
 
     // ---- Lock algorithm tuning -------------------------------------------
     /** Initial backoff before re-polling a contended lock. */

@@ -84,6 +84,55 @@ TimeBreakdown::clear()
         b = {0, 0};
 }
 
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (!count_)
+        return 0;
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        p / 100.0 * static_cast<double>(count_));
+    if (rank < 1)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen >= rank) {
+            std::uint64_t hi = i == 0 ? 1 : (std::uint64_t{1} << i);
+            return hi < max_ ? hi : max_;
+        }
+    }
+    return max_;
+}
+
+Histogram &
+Histogram::operator+=(const Histogram &other)
+{
+    for (unsigned i = 0; i < kBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    if (other.count_) {
+        if (!count_ || other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    return *this;
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream os;
+    os << "n=" << count_;
+    if (count_) {
+        os << " mean=" << static_cast<std::uint64_t>(mean())
+           << " min=" << min_ << " max=" << max_
+           << " p50=" << percentile(50) << " p99=" << percentile(99);
+    }
+    return os.str();
+}
+
 Counters &
 Counters::operator+=(const Counters &other)
 {
@@ -114,6 +163,16 @@ Counters::operator+=(const Counters &other)
     pagesRolledForward += other.pagesRolledForward;
     pagesRolledBack += other.pagesRolledBack;
     threadsRestored += other.threadsRestored;
+    propPhases += other.propPhases;
+    propDestBatches += other.propDestBatches;
+    propPagesPacked += other.propPagesPacked;
+    propRunsMerged += other.propRunsMerged;
+    propPagesMerged += other.propPagesMerged;
+    phase1WallNs += other.phase1WallNs;
+    phase2WallNs += other.phase2WallNs;
+    batchBytesHist += other.batchBytesHist;
+    batchPagesHist += other.batchPagesHist;
+    phaseWallHist += other.phaseWallHist;
     return *this;
 }
 
@@ -146,7 +205,17 @@ Counters::toString() const
        << " reReplicated=" << pagesReReplicated
        << " rolledFwd=" << pagesRolledForward
        << " rolledBack=" << pagesRolledBack
-       << " restored=" << threadsRestored;
+       << " restored=" << threadsRestored
+       << " propPhases=" << propPhases
+       << " propBatches=" << propDestBatches
+       << " propPagesPacked=" << propPagesPacked
+       << " propRunsMerged=" << propRunsMerged
+       << " propPagesMerged=" << propPagesMerged
+       << " phase1WallNs=" << phase1WallNs
+       << " phase2WallNs=" << phase2WallNs
+       << " batchBytes{" << batchBytesHist.toString() << "}"
+       << " batchPages{" << batchPagesHist.toString() << "}"
+       << " phaseWall{" << phaseWallHist.toString() << "}";
     return os.str();
 }
 

@@ -87,6 +87,62 @@ class TimeBreakdown
     std::array<std::array<SimTime, 2>, kNumComps> buckets{};
 };
 
+/**
+ * Power-of-two bucketed histogram for value distributions (batch
+ * sizes, message bytes, phase latencies). Bucket i counts samples in
+ * [2^(i-1), 2^i); bucket 0 counts zeros and ones. Cheap enough to
+ * live on the hot path: one clz per sample.
+ */
+class Histogram
+{
+  public:
+    static constexpr unsigned kBuckets = 64;
+
+    void
+    sample(std::uint64_t v)
+    {
+        buckets_[bucketOf(v)]++;
+        count_++;
+        sum_ += v;
+        if (count_ == 1 || v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const
+    { return count_ ? static_cast<double>(sum_) / count_ : 0.0; }
+
+    /**
+     * Approximate p-th percentile (0-100): upper bound of the first
+     * bucket whose cumulative count reaches the rank.
+     */
+    std::uint64_t percentile(double p) const;
+
+    Histogram &operator+=(const Histogram &other);
+
+    /** "n=12 mean=843 min=64 max=4096 p50=512 p99=4096" (or "n=0"). */
+    std::string toString() const;
+
+  private:
+    static unsigned
+    bucketOf(std::uint64_t v)
+    {
+        return v <= 1 ? 0 : 64 - static_cast<unsigned>(
+                                 __builtin_clzll(v - 1));
+    }
+
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
 /** Cluster-wide protocol event counters. */
 struct Counters
 {
@@ -117,6 +173,23 @@ struct Counters
     std::uint64_t pagesRolledForward = 0;
     std::uint64_t pagesRolledBack = 0;
     std::uint64_t threadsRestored = 0;
+
+    // Propagation-pipeline instrumentation (one phase = one
+    // propagation pass over an interval's diffs to its homes).
+    std::uint64_t propPhases = 0;
+    std::uint64_t propDestBatches = 0;
+    std::uint64_t propPagesPacked = 0;
+    std::uint64_t propRunsMerged = 0;
+    std::uint64_t propPagesMerged = 0;
+    std::uint64_t phase1WallNs = 0;
+    std::uint64_t phase2WallNs = 0;
+
+    /** Wire bytes per posted batch message. */
+    Histogram batchBytesHist;
+    /** Page diffs packed into each posted batch message. */
+    Histogram batchPagesHist;
+    /** Wall-clock ns per propagation phase. */
+    Histogram phaseWallHist;
 
     Counters &operator+=(const Counters &other);
     std::string toString() const;

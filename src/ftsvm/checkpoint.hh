@@ -84,7 +84,10 @@ class CkptStore
         savedTs = ts;
         savedInterval = interval;
         savedBarrierEpoch = barrier_epoch;
-        intervalPages[interval] = std::move(interval_pages);
+        // An empty barrier release re-saves under the current (already
+        // recorded) interval; keep that interval's real page list.
+        if (!interval_pages.empty() || !intervalPages.count(interval))
+            intervalPages[interval] = std::move(interval_pages);
         // Diffs of pages whose secondary home is the protected node
         // itself: their only off-committed replica (the tentative
         // copy) lives in the protected node's own memory, so a

@@ -339,65 +339,23 @@ CommStatus
 FtProtocolNode::propagateDiffs(SimThread &self,
                                const std::vector<Diff> &diffs, int phase)
 {
-    CompletionBatch batch(self);
-    bool first = true;
-
-    if (ctx.cfg.batchDiffs) {
-        // §6 optimization: one coalesced message per destination.
-        std::unordered_map<NodeId, std::vector<Diff>> per_target;
-        for (const Diff &d : diffs) {
-            NodeId target = (phase == 1)
-                                ? ctx.as.secondaryHome(d.page)
-                                : ctx.as.primaryHome(d.page);
-            per_target[target].push_back(d);
-        }
-        for (auto &[target, group] : per_target) {
-            std::uint32_t bytes = 0;
-            for (const Diff &d : group)
-                bytes += d.wireBytes();
-            stats.diffMsgsSent++;
-            stats.diffBytesSent += bytes;
-            SvmNode *tnode = ctx.nodes[target];
-            CommStatus st = ctx.vmmc.depositAsync(
-                self, nodeId, target, bytes,
-                [tnode, group = std::move(group), phase] {
-                    for (const Diff &d : group)
-                        tnode->applyIncomingDiff(d, phase);
-                },
-                &batch, Comp::Diff);
-            if (st == CommStatus::Restarted)
-                return CommStatus::Restarted;
-            if (first) {
-                first = false;
-                failpoint(self, phase == 1 ? failpoints::kMidPhase1
-                                           : failpoints::kMidPhase2);
-            }
-        }
-        return batch.wait(Comp::Diff);
-    }
-
-    for (const Diff &d : diffs) {
-        NodeId target = (phase == 1) ? ctx.as.secondaryHome(d.page)
-                                     : ctx.as.primaryHome(d.page);
-        stats.diffMsgsSent++;
-        stats.diffBytesSent += d.wireBytes();
-        SvmNode *tnode = ctx.nodes[target];
-        CommStatus st = ctx.vmmc.depositAsync(
-            self, nodeId, target, d.wireBytes(),
-            [tnode, d, phase] { tnode->applyIncomingDiff(d, phase); },
-            &batch, Comp::Diff);
-        if (st == CommStatus::Restarted)
-            return CommStatus::Restarted;
-        if (first) {
-            first = false;
+    // Two-phase pipeline instantiation: phase 1 targets the tentative
+    // copies at secondary homes, phase 2 the committed copies at
+    // primary homes. Both wait for every destination (the release
+    // cannot advance past an unconfirmed phase), and the mid-phase
+    // failpoint fires between the first and second posted message.
+    AddressSpace &as = ctx.as;
+    return propagation.runPhase(
+        self, diffs, phase,
+        [&as, phase](const Diff &d) {
+            return phase == 1 ? as.secondaryHome(d.page)
+                              : as.primaryHome(d.page);
+        },
+        /*wait=*/true,
+        [this, &self, phase] {
             failpoint(self, phase == 1 ? failpoints::kMidPhase1
                                        : failpoints::kMidPhase2);
-        }
-        // An Error here poisons the batch; keep going so the wait
-        // below reports it after the posted sends drain.
-        (void)st;
-    }
-    return batch.wait(Comp::Diff);
+        });
 }
 
 CommStatus
@@ -466,19 +424,22 @@ FtProtocolNode::saveTimestamp(SimThread &self, IntervalNum interval,
             }
         }
     }
+    SvmContext *cx = &ctx;
     return ctx.vmmc.deposit(
         self, nodeId, backup, bytes,
-        [bnode, me, my_ts, interval, epoch,
+        [cx, bnode, me, my_ts, interval, epoch,
          pages_copy = std::move(pages_copy),
          self_secondary = std::move(self_secondary)]() mutable {
             bnode->storeFor(me).saveMeta(my_ts, interval, epoch,
                                          std::move(pages_copy),
                                          std::move(self_secondary));
+            if (cx->traceProbe)
+                cx->traceProbe("ts-save", me, interval);
         },
         Comp::Ckpt);
 }
 
-bool
+FtProtocolNode::PointB
 FtProtocolNode::checkpointSelf(SimThread &self, IntervalNum tag)
 {
     self.charge(Comp::Ckpt, ctx.cfg.ckptCaptureCost);
@@ -493,7 +454,7 @@ FtProtocolNode::checkpointSelf(SimThread &self, IntervalNum tag)
         self.clearPendingWake();
         RSVM_LOG(LogComp::Ckpt, "node %u thread %u resumed at point B",
                  nodeId, self.id());
-        return false;
+        return PointB::Restored;
     }
     ThreadCkpt ckpt;
     ckpt.tag = tag;
@@ -504,20 +465,24 @@ FtProtocolNode::checkpointSelf(SimThread &self, IntervalNum tag)
     // thread's op bookkeeping (SimThread::restoreFromImage).
     if (self.inRestartableOp())
         ckpt.image.op = self.currentOp();
-    for (;;) {
-        CompletionBatch batch(self);
-        CommStatus st = sendCkpt(self, self.id(), ckpt, &batch);
-        if (st == CommStatus::Ok)
-            st = batch.wait(Comp::Ckpt);
-        if (st == CommStatus::Ok) {
-            RSVM_LOG(LogComp::Ckpt, "node %u point-B ckpt stored",
-                     nodeId);
-            return true;
-        }
-        RSVM_LOG(LogComp::Ckpt, "node %u point-B ckpt error, waiting",
-                 nodeId);
-        releaserWaitRecovery(self);
+    CompletionBatch batch(self);
+    CommStatus st = sendCkpt(self, self.id(), ckpt, &batch);
+    if (st == CommStatus::Ok)
+        st = batch.wait(Comp::Ckpt);
+    if (st == CommStatus::Ok) {
+        RSVM_LOG(LogComp::Ckpt, "node %u point-B ckpt stored", nodeId);
+        return PointB::Stored;
     }
+    // A failed store must NOT be retried here in isolation: if the
+    // backup (or a secondary home) died, recovery rebuilds its state
+    // from the surviving replicas, and the whole unit up to this
+    // point — point-A images, phase-1 tentative updates, the point-B
+    // image — has to be re-established there. The caller retries the
+    // unit; re-applied diffs are dropped as duplicates where they
+    // already landed.
+    RSVM_LOG(LogComp::Ckpt, "node %u point-B ckpt error, waiting",
+             nodeId);
+    return PointB::Error;
 }
 
 void
@@ -541,34 +506,69 @@ FtProtocolNode::doRelease(SimThread &self, LockId lock, bool is_barrier)
     // not own heap allocations (see SimThread::CkptImage).
     activeRelease = std::make_unique<CommitResult>(commitInterval(&self));
     CommitResult *cr = activeRelease.get();
+    // Coalesce once, before any phase: phase 1, the timestamp save's
+    // self-secondary replicas and phase 2 all ship the same
+    // normalized diff set.
+    propagation.stage(&self, cr->diffs);
     failpoint(self, failpoints::kAfterCommit);
 
     if (!cr->any) {
-        // Nothing to propagate: the release degenerates to the lock
-        // handoff (timestamp unchanged, no checkpoints needed — no
-        // local update can leak because none exists).
         if (!is_barrier) {
+            // Nothing to propagate: a lock release degenerates to the
+            // handoff (timestamp unchanged, no checkpoints needed —
+            // no local update can leak because none exists).
             for (;;) {
                 CommStatus st = globalRelease(self, lock);
                 if (st == CommStatus::Ok)
                     break;
                 releaserWaitRecovery(self);
             }
+            releasesActive--;
+            releaseMutexBusy = false;
+            activeRelease.reset();
+            wakeWaiters(releaseMutexWaiters);
+            return;
         }
-        releasesActive--;
-        releaseMutexBusy = false;
-        activeRelease.reset();
-        wakeWaiters(releaseMutexWaiters);
-        return;
+        // A barrier release must checkpoint even when empty: the
+        // rendezvous licenses PEERS to overwrite pages this node has
+        // already read, and homes only keep the newest committed
+        // copy. If the durable image stayed behind the previous
+        // barrier, a later failure would replay those reads against
+        // post-barrier data. Re-use the current interval as the
+        // image tag: the two-slot store overwrites the older image
+        // at the same tag, which is exactly what an exact-tag find
+        // should return afterwards.
+        cr->interval = intervalCtr;
     }
 
     // §4.2: lock the committed pages; faults and new local writes on
     // them stall until this release completes.
-    lockPages(cr->pages);
+    if (cr->any)
+        lockPages(cr->pages);
 
-    // Phases up to the timestamp save retry as a unit across
-    // failures of peer nodes (diff re-application is idempotent and
-    // version merges are monotonic).
+    // Phases up to and including the timestamp save retry as a UNIT
+    // across failures of peer nodes: a dead secondary home or backup
+    // comes back re-hosted with rebuilt page copies and an empty
+    // checkpoint store, so every piece of replicated state this
+    // release pushed there (point-A images, phase-1 tentative
+    // updates, the point-B image) must be re-established, not just
+    // the step that happened to observe the failure. Re-application
+    // is safe: diffs are dropped as duplicates where they already
+    // landed and version merges are monotonic.
+    //
+    // Point B is captured BEFORE saving the timestamp. The order
+    // matters: the saved timestamp declares the release complete
+    // (roll-forward), so the point-B image it rolls forward to must
+    // already exist. A death during the checkpoint itself rolls back
+    // to the previous release (§4.5.3), whose images are intact in
+    // the other slot of the two-slot alternation.
+    //
+    // On the restored path recovery has already rolled the pages
+    // forward (tentative -> committed), so the timestamp save, phase 2
+    // and the page unlock are skipped; the lock handoff is re-executed
+    // (idempotent: slot clear + monotonic ts merge).
+    bool normal_path = true;
+    bool phase1_logged = false;
     for (;;) {
         // Point A: capture all other local threads at the moment the
         // interval ends (§4.4).
@@ -580,39 +580,38 @@ FtProtocolNode::doRelease(SimThread &self, LockId lock, bool is_barrier)
         failpoint(self, failpoints::kAfterPointA);
 
         // Phase 1: diffs to the tentative copies at secondary homes.
-        st = propagateDiffs(self, cr->diffs, 1);
+        if (cr->any) {
+            st = propagateDiffs(self, cr->diffs, 1);
+            if (st != CommStatus::Ok) {
+                releaserWaitRecovery(self);
+                continue;
+            }
+        }
+        failpoint(self, failpoints::kAfterPhase1);
+        if (!phase1_logged) {
+            RSVM_LOG(LogComp::Ft, "node %u phase1 done (interval %u)",
+                     nodeId, cr->interval);
+            phase1_logged = true;
+        }
+
+        PointB pb = checkpointSelf(self, cr->interval);
+        if (pb == PointB::Restored) {
+            normal_path = false;
+            break;
+        }
+        if (pb == PointB::Error) {
+            releaserWaitRecovery(self);
+            continue;
+        }
+        failpoint(self, failpoints::kAfterPointB);
+
+        st = saveTimestamp(self, cr->interval, cr->pages);
         if (st != CommStatus::Ok) {
             releaserWaitRecovery(self);
             continue;
         }
-        failpoint(self, failpoints::kAfterPhase1);
-        break;
-    }
-    RSVM_LOG(LogComp::Ft, "node %u phase1 done (interval %u)", nodeId,
-             cr->interval);
-
-    // Point B: checkpoint ourselves, BEFORE saving the timestamp. The
-    // order matters: the saved timestamp declares the release complete
-    // (roll-forward), so the point-B image it rolls forward to must
-    // already exist. A death during the checkpoint itself rolls back
-    // to the previous release (§4.5.3), whose images are intact in the
-    // other slot of the two-slot alternation.
-    //
-    // On the restored path recovery has already rolled the pages
-    // forward (tentative -> committed), so the timestamp save, phase 2
-    // and the page unlock are skipped; the lock handoff is re-executed
-    // (idempotent: slot clear + monotonic ts merge).
-    bool normal_path = checkpointSelf(self, cr->interval);
-    if (normal_path) {
-        failpoint(self, failpoints::kAfterPointB);
-        for (;;) {
-            CommStatus st = saveTimestamp(self, cr->interval,
-                                          cr->pages);
-            if (st == CommStatus::Ok)
-                break;
-            releaserWaitRecovery(self);
-        }
         failpoint(self, failpoints::kAfterTsSave);
+        break;
     }
 
     if (!is_barrier) {
@@ -630,13 +629,15 @@ FtProtocolNode::doRelease(SimThread &self, LockId lock, bool is_barrier)
     if (normal_path) {
         // Phase 2: the same diffs to the committed copies at primary
         // homes (fetches of these pages unblock here).
-        for (;;) {
-            CommStatus st = propagateDiffs(self, cr->diffs, 2);
-            if (st == CommStatus::Ok)
-                break;
-            releaserWaitRecovery(self);
+        if (cr->any) {
+            for (;;) {
+                CommStatus st = propagateDiffs(self, cr->diffs, 2);
+                if (st == CommStatus::Ok)
+                    break;
+                releaserWaitRecovery(self);
+            }
+            unlockPages(cr->pages);
         }
-        unlockPages(cr->pages);
         releasesActive--;
         releaseMutexBusy = false;
         activeRelease.reset();

@@ -114,8 +114,10 @@ class FtProtocolNode : public SvmNode
     /** Timestamp + interval-pages save at the backup (end of phase 1). */
     CommStatus saveTimestamp(SimThread &self, IntervalNum interval,
                              const std::vector<PageId> &pages);
-    /** Point-B self checkpoint; false on the restored path. */
-    bool checkpointSelf(SimThread &self, IntervalNum tag);
+    /** Outcome of one point-B checkpoint attempt. */
+    enum class PointB { Stored, Restored, Error };
+    /** Point-B self checkpoint (single attempt, no internal retry). */
+    PointB checkpointSelf(SimThread &self, IntervalNum tag);
     /** Ship one checkpoint slot to the backup node. */
     CommStatus sendCkpt(SimThread &self, ThreadId thread,
                         ThreadCkpt ckpt, CompletionBatch *batch);

@@ -71,5 +71,109 @@ apply(const Diff &d, std::byte *target, std::size_t page_size)
     }
 }
 
+CoalesceStats
+coalesceRuns(Diff &d)
+{
+    CoalesceStats cs;
+    if (d.runs.size() <= 1)
+        return cs;
+
+    // Fast path: already sorted, disjoint and non-adjacent.
+    bool clean = true;
+    for (std::size_t i = 1; i < d.runs.size(); ++i) {
+        if (d.runs[i].offset <= d.runs[i - 1].offset +
+                                    d.runs[i - 1].bytes.size()) {
+            clean = false;
+            break;
+        }
+    }
+    if (clean)
+        return cs;
+
+    // Overlay the runs, in order, onto a scratch extent covering them
+    // all; later runs overwrite earlier ones, matching apply().
+    std::uint32_t lo = ~0u, hi = 0;
+    for (const DiffRun &r : d.runs) {
+        lo = std::min(lo, r.offset);
+        hi = std::max(hi, r.offset +
+                              static_cast<std::uint32_t>(r.bytes.size()));
+    }
+    std::vector<std::byte> data(hi - lo);
+    std::vector<bool> mod(hi - lo, false);
+    for (const DiffRun &r : d.runs) {
+        std::memcpy(data.data() + (r.offset - lo), r.bytes.data(),
+                    r.bytes.size());
+        for (std::size_t i = 0; i < r.bytes.size(); ++i)
+            mod[r.offset - lo + i] = true;
+        cs.bytesRebuilt += r.bytes.size();
+    }
+
+    std::size_t before = d.runs.size();
+    d.runs.clear();
+    std::size_t i = 0, n = mod.size();
+    while (i < n) {
+        if (!mod[i]) {
+            ++i;
+            continue;
+        }
+        std::size_t start = i;
+        while (i < n && mod[i])
+            ++i;
+        DiffRun run;
+        run.offset = lo + static_cast<std::uint32_t>(start);
+        run.bytes.assign(data.begin() + start, data.begin() + i);
+        d.runs.push_back(std::move(run));
+    }
+    cs.runsMerged += before - d.runs.size();
+    return cs;
+}
+
+CoalesceStats
+coalesce(std::vector<Diff> &diffs)
+{
+    CoalesceStats cs;
+    std::vector<Diff> out;
+    out.reserve(diffs.size());
+    for (Diff &d : diffs) {
+        Diff *prior = nullptr;
+        for (Diff &o : out) {
+            if (o.page == d.page && o.origin == d.origin &&
+                o.interval == d.interval) {
+                prior = &o;
+                break;
+            }
+        }
+        if (prior) {
+            for (DiffRun &r : d.runs)
+                prior->runs.push_back(std::move(r));
+            cs.pagesMerged++;
+        } else {
+            out.push_back(std::move(d));
+        }
+    }
+    diffs.swap(out);
+    for (Diff &d : diffs)
+        cs += coalesceRuns(d);
+    return cs;
+}
+
+std::vector<std::vector<Diff>>
+pack(std::vector<Diff> diffs, std::uint32_t max_bytes)
+{
+    std::vector<std::vector<Diff>> chunks;
+    std::uint32_t used = 0;
+    for (Diff &d : diffs) {
+        std::uint32_t w = d.wireBytes();
+        if (chunks.empty() || (used + w > max_bytes &&
+                               !chunks.back().empty())) {
+            chunks.emplace_back();
+            used = 0;
+        }
+        used += w;
+        chunks.back().push_back(std::move(d));
+    }
+    return chunks;
+}
+
 } // namespace diff
 } // namespace rsvm

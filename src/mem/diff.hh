@@ -74,6 +74,52 @@ Diff compute(PageId page, NodeId origin, IntervalNum interval,
 /** Apply @p d onto @p target (a full page buffer). */
 void apply(const Diff &d, std::byte *target, std::size_t page_size);
 
+/** What a coalescing pass merged away. */
+struct CoalesceStats
+{
+    /** Whole-page diffs folded into an earlier diff of the same page. */
+    std::size_t pagesMerged = 0;
+    /** Runs eliminated by merging adjacent/overlapping ranges. */
+    std::size_t runsMerged = 0;
+    /** Payload bytes touched while rebuilding run lists. */
+    std::size_t bytesRebuilt = 0;
+
+    CoalesceStats &
+    operator+=(const CoalesceStats &o)
+    {
+        pagesMerged += o.pagesMerged;
+        runsMerged += o.runsMerged;
+        bytesRebuilt += o.bytesRebuilt;
+        return *this;
+    }
+};
+
+/**
+ * Normalize @p d's run list in place: merge adjacent and overlapping
+ * runs into the minimal sorted, disjoint set. Runs are overlaid in
+ * list order, so on overlap the later run's bytes win — exactly the
+ * semantics of apply(), which makes the rewrite behavior-preserving.
+ * (Unordered run lists arise when an early-flushed diff and the
+ * commit-time diff of the same page merge at a release.)
+ */
+CoalesceStats coalesceRuns(Diff &d);
+
+/**
+ * Coalesce a batch of diffs in place: diffs with identical (page,
+ * origin, interval) merge into the first occurrence (later runs win),
+ * then every surviving diff's runs are normalized via coalesceRuns().
+ * Relative order of surviving diffs is preserved.
+ */
+CoalesceStats coalesce(std::vector<Diff> &diffs);
+
+/**
+ * Split @p diffs into wire chunks whose cumulative wireBytes() stay
+ * within @p max_bytes, preserving order (greedy first-fit). A single
+ * diff larger than the budget gets a chunk of its own.
+ */
+std::vector<std::vector<Diff>> pack(std::vector<Diff> diffs,
+                                    std::uint32_t max_bytes);
+
 } // namespace diff
 
 } // namespace rsvm

@@ -235,6 +235,71 @@ Vmmc::depositAsync(SimThread &self, NodeId src, NodeId dst,
 }
 
 CommStatus
+Vmmc::postBatch(SimThread &self, NodeId src, NodeId dst,
+                std::vector<BatchChunk> chunks,
+                CompletionBatch *batch, Comp comp)
+{
+    if (chunks.empty())
+        return CommStatus::Ok;
+
+    PhysNodeId src_phys = host(src);
+    PhysNodeId dst_phys = host(dst);
+    auto on_complete = batch ? batch->slot()
+                             : std::function<void(bool)>();
+
+    if (src_phys == dst_phys) {
+        // Loopback (e.g. an FT node that is its own secondary home, or
+        // a re-hosted logical node): apply all chunks locally in order.
+        self.charge(comp, cfg.postCost *
+                              static_cast<SimTime>(chunks.size()));
+        eng.schedule(cfg.localLoopback,
+                     [chunks = std::move(chunks),
+                      on_complete = std::move(on_complete)]() mutable {
+                         for (auto &c : chunks) {
+                             if (c.apply)
+                                 c.apply();
+                         }
+                         if (on_complete)
+                             on_complete(true);
+                     });
+        return CommStatus::Ok;
+    }
+
+    if (!net.nodeAlive(dst_phys)) {
+        notifyDeath(dst_phys);
+        if (on_complete)
+            eng.schedule(0, [cb = std::move(on_complete)] { cb(false); });
+        return CommStatus::Error;
+    }
+
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        const bool last = i + 1 == chunks.size();
+        Message msg;
+        msg.src = src_phys;
+        msg.dst = dst_phys;
+        msg.payloadBytes = chunks[i].bytes;
+        msg.deliver = std::move(chunks[i].apply);
+        // The channel is FIFO and any failure (dead destination,
+        // killed sender queue) reaches the final chunk's completion,
+        // so one notification on the last chunk covers the batch.
+        if (last && on_complete)
+            msg.onComplete = on_complete;
+        WakeStatus ws = net.nic(src_phys).post(self, std::move(msg),
+                                               comp);
+        if (ws == WakeStatus::Normal)
+            continue;
+        // A failed post never enqueued its message, so the NIC holds
+        // no copy of the completion; release our slot with failure so
+        // a later wait() cannot hang on it.
+        if (on_complete)
+            eng.schedule(0, [cb = std::move(on_complete)] { cb(false); });
+        return ws == WakeStatus::Restarted ? CommStatus::Restarted
+                                           : CommStatus::Error;
+    }
+    return CommStatus::Ok;
+}
+
+CommStatus
 Vmmc::fetch(SimThread &self, NodeId src, NodeId dst,
             std::uint32_t req_bytes, FetchHandler handler, Comp comp)
 {

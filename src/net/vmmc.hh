@@ -125,6 +125,16 @@ class CompletionBatch
     std::shared_ptr<State> st;
 };
 
+/**
+ * One message of a scatter-gather batch: @p bytes on the wire whose
+ * destination effect is @p apply.
+ */
+struct BatchChunk
+{
+    std::uint32_t bytes = 0;
+    std::function<void()> apply;
+};
+
 /** The communication layer bound to a host map. */
 class Vmmc
 {
@@ -175,6 +185,21 @@ class Vmmc
                             std::function<void()> apply,
                             CompletionBatch *batch,
                             Comp comp = Comp::Protocol);
+
+    /**
+     * Scatter-gather batch post: ship every chunk to @p dst in FIFO
+     * order with ONE completion slot in @p batch covering them all.
+     * Channels are FIFO and failures propagate to every queued send,
+     * so completion of the final chunk implies delivery of the whole
+     * batch; one slot per destination replaces one per page. Returns
+     * Ok once every chunk is posted (may block on a full post queue);
+     * on Error/Restarted mid-batch the completion slot is released
+     * with failure so a subsequent wait() cannot hang.
+     */
+    CommStatus postBatch(SimThread &self, NodeId src, NodeId dst,
+                         std::vector<BatchChunk> chunks,
+                         CompletionBatch *batch,
+                         Comp comp = Comp::Diff);
 
     /**
      * Remote fetch: runs @p handler at the destination; blocks until

@@ -187,6 +187,10 @@ Cluster::checkReplicaConsistency() const
         bool committed = phi && phi->committed != nullptr;
         bool tentative = shi && shi->tentative != nullptr;
         if (committed != tentative) {
+            RSVM_LOG(LogComp::Ft,
+                     "replica check: page %u presence mismatch "
+                     "committed=%d tentative=%d",
+                     p, (int)committed, (int)tentative);
             bad++;
             continue;
         }
@@ -195,6 +199,10 @@ Cluster::checkReplicaConsistency() const
         if (!(phi->committedVer == shi->tentativeVer) ||
             std::memcmp(phi->committed.get(), shi->tentative.get(),
                         cfg.pageSize) != 0) {
+            RSVM_LOG(LogComp::Ft,
+                     "replica check: page %u ver %s vs %s",
+                     p, phi->committedVer.toString().c_str(),
+                     shi->tentativeVer.toString().c_str());
             bad++;
         }
     }

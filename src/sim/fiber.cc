@@ -4,11 +4,64 @@
 
 #include "base/panic.hh"
 
+#if defined(__SANITIZE_ADDRESS__)
+#define RSVM_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define RSVM_ASAN 1
+#endif
+#endif
+#ifndef RSVM_ASAN
+#define RSVM_ASAN 0
+#endif
+#if RSVM_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
 namespace rsvm {
 
 namespace {
 /** Target of the next trampoline invocation (single-threaded engine). */
 Fiber *g_starting = nullptr;
+
+/**
+ * Copy raw fiber-stack bytes. The live region legitimately contains
+ * AddressSanitizer red zones of the frames stacked on it; both the
+ * memcpy interceptor and instrumented loads would (falsely) flag
+ * them, so under ASan this copy must be uninstrumented.
+ */
+#if RSVM_ASAN
+__attribute__((no_sanitize_address)) void
+rawStackCopy(void *dst, const void *src, std::size_t n)
+{
+    auto *d = static_cast<unsigned char *>(dst);
+    const auto *s = static_cast<const unsigned char *>(src);
+    for (std::size_t i = 0; i < n; ++i)
+        d[i] = s[i];
+}
+#else
+void
+rawStackCopy(void *dst, const void *src, std::size_t n)
+{
+    std::memcpy(dst, src, n);
+}
+#endif
+
+/**
+ * Clear shadow poison left on a fiber stack by its previous occupant
+ * (red zones of frames that will never unwind). Fresh execution or a
+ * restored snapshot re-poisons as frames are entered.
+ */
+void
+unpoisonStack(std::byte *base, std::size_t size)
+{
+#if RSVM_ASAN
+    __asan_unpoison_memory_region(base, size);
+#else
+    (void)base;
+    (void)size;
+#endif
+}
 } // namespace
 
 Fiber::Fiber(std::size_t stack_size)
@@ -41,6 +94,7 @@ Fiber::prepare(std::function<void()> fn)
 {
     entry = std::move(fn);
     restoredFlag = false;
+    unpoisonStack(stack.get(), size);
     rsvm_assert(getcontext(&ctx) == 0);
     ctx.uc_stack.ss_sp = stack.get();
     ctx.uc_stack.ss_size = size;
@@ -85,8 +139,8 @@ Fiber::captureFrom(const ucontext_t &c) const
                     "context stack pointer outside fiber stack");
     std::size_t live = base + size - snap.sp;
     snap.stack.resize(live);
-    std::memcpy(snap.stack.data(), reinterpret_cast<void *>(snap.sp),
-                live);
+    rawStackCopy(snap.stack.data(), reinterpret_cast<void *>(snap.sp),
+                 live);
     return snap;
 }
 
@@ -118,8 +172,9 @@ Fiber::restore(const Snapshot &snap)
     auto base = reinterpret_cast<std::uintptr_t>(stack.get());
     rsvm_assert(snap.sp > base && snap.sp <= base + size);
     rsvm_assert(snap.sp + snap.stack.size() == base + size);
-    std::memcpy(reinterpret_cast<void *>(snap.sp), snap.stack.data(),
-                snap.stack.size());
+    unpoisonStack(stack.get(), size);
+    rawStackCopy(reinterpret_cast<void *>(snap.sp), snap.stack.data(),
+                 snap.stack.size());
     ctx = snap.ctx;
     entry = nullptr;
     // Parked-thread snapshots resume through the normal yield path and

@@ -213,6 +213,7 @@ BaseProtocolNode::doRelease(SimThread &self, LockId lock,
 {
     releasesActive++;
     CommitResult cr = commitInterval(&self);
+    propagation.stage(&self, cr.diffs);
 
     // Fig. 1 order: hand the lock to the next requester first, then
     // propagate the diffs (version waits at the homes keep fetches
@@ -234,51 +235,20 @@ BaseProtocolNode::doRelease(SimThread &self, LockId lock,
         }
     }
 
-    CompletionBatch batch(self);
-    if (ctx.cfg.batchDiffs) {
-        // §6 optimization: one coalesced message per home.
-        std::unordered_map<NodeId, std::vector<Diff>> per_home;
-        for (Diff &d : cr.diffs) {
-            NodeId home = ctx.as.primaryHome(d.page);
-            rsvm_assert(home != nodeId);
-            per_home[home].push_back(std::move(d));
-        }
-        for (auto &[home, group] : per_home) {
-            std::uint32_t bytes = 0;
-            for (const Diff &d : group)
-                bytes += d.wireBytes();
-            stats.diffMsgsSent++;
-            stats.diffBytesSent += bytes;
-            SvmNode *home_node = ctx.nodes[home];
-            ctx.vmmc.depositAsync(
-                self, nodeId, home, bytes,
-                [home_node, group = std::move(group)] {
-                    for (const Diff &d : group)
-                        home_node->applyIncomingDiff(d, 0);
-                },
-                is_barrier ? &batch : nullptr, Comp::Diff);
-        }
-    } else {
-        for (Diff &d : cr.diffs) {
-            NodeId home = ctx.as.primaryHome(d.page);
-            rsvm_assert(home != nodeId);
-            stats.diffMsgsSent++;
-            stats.diffBytesSent += d.wireBytes();
-            SvmNode *home_node = ctx.nodes[home];
-            std::uint32_t bytes = d.wireBytes();
-            ctx.vmmc.depositAsync(
-                self, nodeId, home, bytes,
-                [home_node, d = std::move(d)] {
-                    home_node->applyIncomingDiff(d, 0);
-                },
-                is_barrier ? &batch : nullptr, Comp::Diff);
-        }
-    }
-    if (is_barrier) {
-        // Flush at barriers: every update visible before the
-        // rendezvous completes.
-        batch.wait(Comp::Diff);
-    }
+    // One-phase pipeline instantiation: every diff goes to its
+    // primary home; completion is awaited only at barriers (flush:
+    // every update visible before the rendezvous completes). A home
+    // never diffs its own pages (written in place), hence the assert.
+    AddressSpace &as = ctx.as;
+    NodeId me = nodeId;
+    propagation.runPhase(
+        self, cr.diffs, 0,
+        [&as, me](const Diff &d) {
+            NodeId home = as.primaryHome(d.page);
+            rsvm_assert(home != me);
+            return home;
+        },
+        /*wait=*/is_barrier);
     releasesActive--;
 }
 

@@ -1,0 +1,151 @@
+#include "svm/propagation.hh"
+
+#include <utility>
+
+#include "sim/engine.hh"
+#include "svm/protocol.hh"
+
+namespace rsvm {
+
+namespace {
+
+const char *
+applyEventName(int phase)
+{
+    switch (phase) {
+      case 1:
+        return "phase1-apply";
+      case 2:
+        return "phase2-apply";
+      default:
+        return "diff-apply";
+    }
+}
+
+} // namespace
+
+void
+PropagationPipeline::stage(SimThread *self, std::vector<Diff> &diffs)
+{
+    if (!ctx.cfg.batchDiffs || diffs.empty())
+        return;
+    diff::CoalesceStats cs = diff::coalesce(diffs);
+    stats.propRunsMerged += cs.runsMerged;
+    stats.propPagesMerged += cs.pagesMerged;
+    if (self && cs.bytesRebuilt) {
+        self->charge(Comp::Diff,
+                     static_cast<SimTime>(
+                         static_cast<double>(cs.bytesRebuilt) *
+                         ctx.cfg.diffApplyNsPerByte));
+    }
+}
+
+CommStatus
+PropagationPipeline::runPhase(SimThread &self,
+                              const std::vector<Diff> &diffs, int phase,
+                              const TargetFn &target, bool wait,
+                              const Hook &after_first_post)
+{
+    stats.propPhases++;
+    const SimTime t0 = ctx.eng.now();
+    CompletionBatch batch(self);
+    SvmContext *cx = &ctx;
+    const char *event = applyEventName(phase);
+    bool first = true;
+
+    auto after_post = [&first, &after_first_post] {
+        if (first) {
+            first = false;
+            if (after_first_post)
+                after_first_post();
+        }
+    };
+
+    if (ctx.cfg.batchDiffs) {
+        // Stage 2b: group per destination home, preserving the diffs'
+        // first-appearance order (per-origin chains stay in order on
+        // each FIFO channel).
+        std::vector<std::pair<NodeId, std::vector<Diff>>> groups;
+        std::vector<int> slot_of(ctx.numNodes(), -1);
+        for (const Diff &d : diffs) {
+            NodeId dst = target(d);
+            if (slot_of[dst] < 0) {
+                slot_of[dst] = static_cast<int>(groups.size());
+                groups.emplace_back(dst, std::vector<Diff>());
+            }
+            groups[static_cast<std::size_t>(slot_of[dst])]
+                .second.push_back(d);
+        }
+
+        for (auto &[dst, group] : groups) {
+            // Stage 3: pack into bounded scatter-gather chunks and
+            // post with one completion slot for the whole batch.
+            std::vector<BatchChunk> chunks;
+            for (auto &cdiffs :
+                 diff::pack(std::move(group), ctx.cfg.maxDiffMsgBytes)) {
+                std::uint32_t bytes = 0;
+                for (const Diff &d : cdiffs)
+                    bytes += d.wireBytes();
+                stats.diffMsgsSent++;
+                stats.diffBytesSent += bytes;
+                stats.propPagesPacked += cdiffs.size();
+                stats.batchBytesHist.sample(bytes);
+                stats.batchPagesHist.sample(cdiffs.size());
+                SvmNode *tnode = ctx.nodes[dst];
+                chunks.push_back(BatchChunk{
+                    bytes,
+                    [cx, tnode, phase, event,
+                     cdiffs = std::move(cdiffs)] {
+                        for (const Diff &d : cdiffs) {
+                            if (cx->traceProbe)
+                                cx->traceProbe(event, d.origin,
+                                               d.interval);
+                            tnode->applyIncomingDiff(d, phase);
+                        }
+                    }});
+            }
+            stats.propDestBatches++;
+            CommStatus st = ctx.vmmc.postBatch(
+                self, nodeId, dst, std::move(chunks), &batch,
+                Comp::Diff);
+            if (st == CommStatus::Restarted)
+                return CommStatus::Restarted;
+            // Error: the slot already completed with failure; keep
+            // posting to the remaining destinations and report once
+            // the batch drains (both protocols retry the whole phase).
+            after_post();
+        }
+    } else {
+        for (const Diff &d : diffs) {
+            NodeId dst = target(d);
+            stats.diffMsgsSent++;
+            stats.diffBytesSent += d.wireBytes();
+            SvmNode *tnode = ctx.nodes[dst];
+            CommStatus st = ctx.vmmc.depositAsync(
+                self, nodeId, dst, d.wireBytes(),
+                [cx, tnode, phase, event, d] {
+                    if (cx->traceProbe)
+                        cx->traceProbe(event, d.origin, d.interval);
+                    tnode->applyIncomingDiff(d, phase);
+                },
+                &batch, Comp::Diff);
+            if (st == CommStatus::Restarted)
+                return CommStatus::Restarted;
+            after_post();
+        }
+    }
+
+    CommStatus result = CommStatus::Ok;
+    if (wait) {
+        result = batch.wait(Comp::Diff);
+        if (result == CommStatus::Restarted)
+            return result;
+    }
+
+    const SimTime dt = ctx.eng.now() - t0;
+    (phase == 1 ? stats.phase1WallNs : stats.phase2WallNs) += dt;
+    stats.phaseWallHist.sample(dt);
+    return result;
+}
+
+} // namespace rsvm

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared diff-propagation pipeline (§3.2 eager propagation, §4.2
+ * two-phase propagation, §6 batching optimization).
+ *
+ * Both protocols end a release the same way: take the interval's
+ * diffs and ship each one to a home chosen per page. Historically
+ * each protocol re-implemented that fan-out inline; this layer
+ * factors it into four explicit stages:
+ *
+ *   stage 1 — collect: the caller commits the interval and hands the
+ *             pipeline the resulting diff set (stage());
+ *   stage 2 — coalesce + group: normalize each diff's run list
+ *             (adjacent/overlapping runs merge, later bytes win) and
+ *             group diffs per destination home in stable order;
+ *   stage 3 — pack + post: split each destination's diffs into
+ *             scatter-gather chunks bounded by Config::maxDiffMsgBytes
+ *             and post them through Vmmc::postBatch with ONE
+ *             completion slot per destination (runPhase());
+ *   stage 4 — hooks + accounting: an after-first-post hook preserves
+ *             the FT protocol's mid-phase failpoints, a context-level
+ *             trace probe observes every delivery, and per-stage
+ *             counters/histograms land in base/stats.
+ *
+ * The base protocol instantiates one phase (primary homes, wait only
+ * at barriers); the FT protocol instantiates the same machinery twice
+ * per release (phase 1 -> tentative copies at secondary homes,
+ * phase 2 -> committed copies at primary homes) with its ordering,
+ * page-locking and failpoint semantics supplied from outside.
+ *
+ * The pipeline is stateless across calls (references only): the base
+ * protocol runs concurrent releases on one node, so all working state
+ * is per-invocation.
+ */
+
+#ifndef RSVM_SVM_PROPAGATION_HH
+#define RSVM_SVM_PROPAGATION_HH
+
+#include <functional>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "mem/diff.hh"
+#include "net/vmmc.hh"
+
+namespace rsvm {
+
+struct SvmContext;
+class SimThread;
+
+/** The shared release-side diff fan-out driven by both protocols. */
+class PropagationPipeline
+{
+  public:
+    /** Chooses the destination home of one diff (phase-dependent). */
+    using TargetFn = std::function<NodeId(const Diff &)>;
+    /** Stage-4 hook; see runPhase(). */
+    using Hook = std::function<void()>;
+
+    PropagationPipeline(SvmContext &context, NodeId node_id,
+                        Counters &counters)
+        : ctx(context), nodeId(node_id), stats(counters)
+    {}
+
+    PropagationPipeline(const PropagationPipeline &) = delete;
+    PropagationPipeline &operator=(const PropagationPipeline &) = delete;
+
+    /**
+     * Stages 1+2a: take ownership of an interval's diff set and
+     * normalize it in place (duplicate (page, origin, interval) diffs
+     * merge, run lists coalesce). No-op unless Config::batchDiffs;
+     * the rebuild cost is charged to @p self (null = engine context,
+     * nothing charged). Safe to call once and retry propagation many
+     * times — coalescing is idempotent.
+     */
+    void stage(SimThread *self, std::vector<Diff> &diffs);
+
+    /**
+     * Stages 2b-4: group @p diffs per destination via @p target, pack
+     * each group into bounded chunks, post the batches and (iff
+     * @p wait) block until every destination confirmed delivery.
+     *
+     * @p after_first_post runs once, after the first message of the
+     * phase has been posted and before the second — the exact point
+     * the FT protocol's kMidPhase1/kMidPhase2 failpoints need.
+     *
+     * Returns Restarted immediately if a post observes a checkpoint
+     * restore (the caller re-issues the whole phase). An Error on one
+     * destination does not stop posting to the others; with @p wait it
+     * is reported once the posted sends drain, matching the retry
+     * discipline both protocols already use. @p phase tags the
+     * delivery (0 = base working copy, 1 = tentative, 2 = committed)
+     * and selects the wall-time bucket (phase 1 vs everything else).
+     */
+    CommStatus runPhase(SimThread &self, const std::vector<Diff> &diffs,
+                        int phase, const TargetFn &target, bool wait,
+                        const Hook &after_first_post = {});
+
+  private:
+    SvmContext &ctx;
+    NodeId nodeId;
+    Counters &stats;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_SVM_PROPAGATION_HH

@@ -27,7 +27,8 @@ wakeWaiters(std::vector<std::pair<SimThread *, std::uint64_t>> &list)
 SvmNode::SvmNode(SvmContext &context, NodeId node_id)
     : ctx(context), nodeId(node_id),
       pt(context.cfg, context.cfg.numNodes),
-      ts(context.cfg.numNodes)
+      ts(context.cfg.numNodes),
+      propagation(context, node_id, stats)
 {
 }
 
@@ -589,8 +590,29 @@ SvmNode::barrierArrive(std::uint64_t epoch, NodeId node,
                        const VectorClock &node_ts)
 {
     BarrierHome &b = barrierHome;
-    if (epoch < b.epoch)
-        return; // stale arrival for a completed epoch
+    RSVM_LOG(LogComp::Barrier,
+             "mgr %u arrive: node=%u epoch=%llu (home epoch=%llu "
+             "count=%u)",
+             nodeId, node, static_cast<unsigned long long>(epoch),
+             static_cast<unsigned long long>(b.epoch), b.count);
+    if (epoch < b.epoch) {
+        // A recovered node replaying an already-completed barrier.
+        // The merged clock of that epoch is gone, but any clock that
+        // dominates it is safe to hand out: applyTimestamp caps each
+        // component by what the peer actually has, and our own ts
+        // absorbed the merge when we completed the epoch ourselves.
+        // Dropping the arrival would livelock the replayer (it
+        // re-sends forever; nobody answers).
+        VectorClock go_ts = ts;
+        go_ts.maxWith(node_ts);
+        SvmNode *dst_node = ctx.nodes[node];
+        ctx.vmmc.depositFromEvent(
+            nodeId, node, 64 + 4 * ctx.cfg.numNodes,
+            [dst_node, epoch, go_ts] {
+                dst_node->barrierGo(epoch, go_ts);
+            });
+        return;
+    }
     if (epoch > b.epoch) {
         b.epoch = epoch;
         b.arrived.assign(ctx.numNodes(), 0);
@@ -628,6 +650,9 @@ SvmNode::barrierArrive(std::uint64_t epoch, NodeId node,
 void
 SvmNode::barrierGo(std::uint64_t epoch, const VectorClock &merged)
 {
+    RSVM_LOG(LogComp::Barrier, "node %u go: epoch=%llu (goEpoch=%llu)",
+             nodeId, static_cast<unsigned long long>(epoch),
+             static_cast<unsigned long long>(barrierGoEpoch));
     if (epoch <= barrierGoEpoch)
         return;
     barrierGoEpoch = epoch;
@@ -683,6 +708,9 @@ SvmNode::barrier(SimThread &self)
             SvmNode *mgr_node = ctx.nodes[mgr];
             VectorClock my_ts = ts;
             NodeId me = nodeId;
+            RSVM_LOG(LogComp::Barrier,
+                     "node %u rep sends arrive epoch=%llu to mgr %u",
+                     nodeId, static_cast<unsigned long long>(e), mgr);
             CommStatus st = ctx.vmmc.deposit(
                 self, nodeId, mgr, 64 + 4 * ctx.cfg.numNodes,
                 [mgr_node, e, me, my_ts] {

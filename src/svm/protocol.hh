@@ -39,6 +39,7 @@
 #include "net/failure.hh"
 #include "net/vmmc.hh"
 #include "svm/locks.hh"
+#include "svm/propagation.hh"
 #include "svm/timestamp.hh"
 
 namespace rsvm {
@@ -83,6 +84,17 @@ struct SvmContext
     std::vector<SvmNode *> nodes;
     ClusterOps *ops = nullptr;
     FailureInjector *injector = nullptr;
+
+    /**
+     * Test/trace hook observing propagation-pipeline events engine-
+     * side: "phase1-apply"/"phase2-apply"/"diff-apply" fire at a home
+     * as a pipeline-delivered diff is applied, "ts-save" fires at the
+     * backup as a releaser's timestamp save lands. Recovery's direct
+     * diff re-application intentionally bypasses it. Null in
+     * production runs.
+     */
+    std::function<void(const char *event, NodeId origin,
+                       IntervalNum interval)> traceProbe;
 
     /** True between failure detection and recovery completion. */
     bool pendingRecovery = false;
@@ -482,6 +494,8 @@ class SvmNode
 
   protected:
     Counters stats;
+    /** Shared release-side diff fan-out (must follow stats). */
+    PropagationPipeline propagation;
 };
 
 /** Wake helpers used by home-side state transitions. */

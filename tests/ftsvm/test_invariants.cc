@@ -9,6 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "apps/app_common.hh"
 #include "net/failure.hh"
 #include "runtime/cluster.hh"
@@ -143,6 +148,130 @@ TEST(Invariants, FailpointRecoveryKeepsReplicasConsistent)
         cluster.debugRead(counter, &v, 8);
         EXPECT_EQ(v, 12u * cfg.totalThreads()) << fp;
     }
+}
+
+TEST(Invariants, NoPhase2ApplyBeforeTimestampSave)
+{
+    // §4.2/§4.5: the saved timestamp declares a release complete, so
+    // the committed (phase-2) copies may only change AFTER the
+    // releaser's timestamp save has landed at its backup. Observe both
+    // events through the propagation pipeline's trace probe and check
+    // the ordering per (origin, interval) under each release-path
+    // failpoint. Recovery's roll-forward re-applies diffs engine-side
+    // and intentionally bypasses the probe.
+    for (const char *fp :
+         {failpoints::kMidPhase1, failpoints::kAfterPhase1,
+          failpoints::kAfterPointB, failpoints::kAfterTsSave,
+          failpoints::kMidPhase2}) {
+        Config cfg;
+        cfg.protocol = ProtocolKind::FaultTolerant;
+        cfg.numNodes = 4;
+        Cluster cluster(cfg);
+        Addr counter = cluster.mem().alloc(8);
+        cluster.injector().armFailpoint(2, fp, 4);
+
+        std::vector<std::string> violations;
+        std::map<NodeId, IntervalNum> maxSaved;
+        std::uint64_t tsSaves = 0, phase2Applies = 0;
+        cluster.node(0).context().traceProbe =
+            [&](const char *event, NodeId origin, IntervalNum iv) {
+                if (std::string_view(event) == "ts-save") {
+                    tsSaves++;
+                    if (iv > maxSaved[origin])
+                        maxSaved[origin] = iv;
+                } else if (std::string_view(event) == "phase2-apply") {
+                    phase2Applies++;
+                    if (maxSaved[origin] < iv) {
+                        violations.push_back(
+                            "phase2 apply of origin " +
+                            std::to_string(origin) + " interval " +
+                            std::to_string(iv) +
+                            " before its ts-save (saved up to " +
+                            std::to_string(maxSaved[origin]) + ")");
+                    }
+                }
+            };
+
+        cluster.spawn([counter](AppThread &t) {
+            for (int i = 0; i < 12; ++i) {
+                t.lock(1);
+                std::uint64_t v = t.get<std::uint64_t>(counter);
+                t.put<std::uint64_t>(counter, v + 1);
+                t.unlock(1);
+                t.compute(15 * kMicrosecond);
+            }
+            t.barrier();
+        });
+        cluster.run();
+
+        EXPECT_TRUE(violations.empty())
+            << fp << ": " << violations.size() << " violation(s), first: "
+            << violations.front();
+        // The probe must actually have observed the protocol.
+        EXPECT_GT(tsSaves, 0u) << fp;
+        EXPECT_GT(phase2Applies, 0u) << fp;
+        EXPECT_EQ(cluster.checkReplicaConsistency(), 0u) << fp;
+        std::uint64_t v = 0;
+        cluster.debugRead(counter, &v, 8);
+        EXPECT_EQ(v, 12u * cfg.totalThreads()) << fp;
+    }
+}
+
+TEST(Invariants, NoPhase2ApplyBeforeTimestampSaveBatched)
+{
+    // Same ordering invariant with the batched pipeline path
+    // (coalescing, packing and Vmmc::postBatch) engaged.
+    Config cfg;
+    cfg.protocol = ProtocolKind::FaultTolerant;
+    cfg.numNodes = 4;
+    cfg.threadsPerNode = 2;
+    cfg.batchDiffs = true;
+    Cluster cluster(cfg);
+    Addr data = cluster.mem().allocPageAligned(4096 * 8);
+    cluster.injector().armFailpoint(2, failpoints::kMidPhase2, 4);
+
+    std::vector<std::string> violations;
+    std::map<NodeId, IntervalNum> maxSaved;
+    std::uint64_t phase2Applies = 0;
+    cluster.node(0).context().traceProbe =
+        [&](const char *event, NodeId origin, IntervalNum iv) {
+            if (std::string_view(event) == "ts-save") {
+                if (iv > maxSaved[origin])
+                    maxSaved[origin] = iv;
+            } else if (std::string_view(event) == "phase2-apply") {
+                phase2Applies++;
+                if (maxSaved[origin] < iv) {
+                    violations.push_back("origin " +
+                                         std::to_string(origin) +
+                                         " interval " +
+                                         std::to_string(iv));
+                }
+            }
+        };
+
+    cluster.spawn([data](AppThread &t) {
+        for (int round = 0; round < 4; ++round) {
+            for (int p = 0; p < 8; ++p) {
+                if (static_cast<std::uint32_t>(p) %
+                        t.clusterThreads() == t.id()) {
+                    t.put<std::uint64_t>(data + 4096ull * p,
+                                         round * 10 + p);
+                }
+            }
+            t.lock(3);
+            t.put<std::uint64_t>(data + 8,
+                                 t.get<std::uint64_t>(data + 8) + 1);
+            t.unlock(3);
+            t.barrier();
+        }
+    });
+    cluster.run();
+
+    EXPECT_TRUE(violations.empty())
+        << violations.size() << " violation(s), first: "
+        << violations.front();
+    EXPECT_GT(phase2Applies, 0u);
+    EXPECT_EQ(cluster.checkReplicaConsistency(), 0u);
 }
 
 } // namespace

@@ -111,6 +111,180 @@ TEST(Diff, WireBytesAccountForHeaders)
     EXPECT_EQ(d.wireBytes(), 4u + 8u + 16u);
 }
 
+TEST(Coalesce, CleanRunListIsUntouched)
+{
+    auto twin = filled(4096, 0);
+    auto cur = twin;
+    cur[0] = std::byte{1};
+    cur[2048] = std::byte{2};
+    Diff d = diff::compute(0, 0, 1, cur, twin);
+    ASSERT_EQ(d.runs.size(), 2u);
+    diff::CoalesceStats cs = diff::coalesceRuns(d);
+    EXPECT_EQ(cs.runsMerged, 0u);
+    EXPECT_EQ(cs.bytesRebuilt, 0u);
+    EXPECT_EQ(d.runs.size(), 2u);
+}
+
+TEST(Coalesce, AdjacentRunsMerge)
+{
+    Diff d;
+    d.runs.push_back({0, filled(8, 0xaa)});
+    d.runs.push_back({8, filled(8, 0xbb)});
+    diff::CoalesceStats cs = diff::coalesceRuns(d);
+    EXPECT_EQ(cs.runsMerged, 1u);
+    ASSERT_EQ(d.runs.size(), 1u);
+    EXPECT_EQ(d.runs[0].offset, 0u);
+    ASSERT_EQ(d.runs[0].bytes.size(), 16u);
+    EXPECT_EQ(d.runs[0].bytes[0], std::byte{0xaa});
+    EXPECT_EQ(d.runs[0].bytes[8], std::byte{0xbb});
+}
+
+TEST(Coalesce, OverlappingRunsLaterWins)
+{
+    // Overlap arises when an early-flushed diff and the commit-time
+    // diff of the same page merge; apply() order makes later bytes
+    // win, and coalescing must preserve exactly that.
+    Diff d;
+    d.runs.push_back({0, filled(16, 0x11)});
+    d.runs.push_back({8, filled(16, 0x22)});
+    diff::CoalesceStats cs = diff::coalesceRuns(d);
+    EXPECT_EQ(cs.runsMerged, 1u);
+    ASSERT_EQ(d.runs.size(), 1u);
+    EXPECT_EQ(d.runs[0].offset, 0u);
+    ASSERT_EQ(d.runs[0].bytes.size(), 24u);
+    for (int i = 0; i < 8; ++i)
+        ASSERT_EQ(d.runs[0].bytes[i], std::byte{0x11}) << i;
+    for (int i = 8; i < 24; ++i)
+        ASSERT_EQ(d.runs[0].bytes[i], std::byte{0x22}) << i;
+}
+
+TEST(Coalesce, UnsortedRunsAreNormalized)
+{
+    Diff d;
+    d.runs.push_back({64, filled(4, 3)});
+    d.runs.push_back({0, filled(4, 1)});
+    d.runs.push_back({4, filled(4, 2)});
+    diff::coalesceRuns(d);
+    ASSERT_EQ(d.runs.size(), 2u);
+    EXPECT_EQ(d.runs[0].offset, 0u);
+    EXPECT_EQ(d.runs[0].bytes.size(), 8u);
+    EXPECT_EQ(d.runs[1].offset, 64u);
+    EXPECT_EQ(d.runs[1].bytes.size(), 4u);
+}
+
+TEST(Coalesce, DuplicatePageDiffsMergeIntoFirst)
+{
+    Diff a;
+    a.page = 5;
+    a.origin = 1;
+    a.interval = 2;
+    a.runs.push_back({0, filled(8, 0x11)});
+    Diff b = a; // same (page, origin, interval)
+    b.runs.clear();
+    b.runs.push_back({4, filled(8, 0x22)});
+    Diff other;
+    other.page = 6;
+    other.origin = 1;
+    other.interval = 2;
+    other.runs.push_back({0, filled(4, 0x33)});
+
+    std::vector<Diff> diffs{a, other, b};
+    diff::CoalesceStats cs = diff::coalesce(diffs);
+    EXPECT_EQ(cs.pagesMerged, 1u);
+    ASSERT_EQ(diffs.size(), 2u);
+    EXPECT_EQ(diffs[0].page, 5u);
+    EXPECT_EQ(diffs[1].page, 6u);
+    // b's overlapping bytes won in the merged first occurrence.
+    ASSERT_EQ(diffs[0].runs.size(), 1u);
+    EXPECT_EQ(diffs[0].runs[0].bytes.size(), 12u);
+    EXPECT_EQ(diffs[0].runs[0].bytes[3], std::byte{0x11});
+    EXPECT_EQ(diffs[0].runs[0].bytes[4], std::byte{0x22});
+}
+
+TEST(Coalesce, RoundTripApplyIsByteIdentical)
+{
+    // The acid test: applying the coalesced diff list must produce a
+    // byte-identical page to applying the original messy list.
+    auto mk_run = [](std::uint32_t off, std::size_t len,
+                     unsigned char v) {
+        return DiffRun{off, filled(len, v)};
+    };
+    std::vector<Diff> messy;
+    Diff d1;
+    d1.page = 0;
+    d1.origin = 2;
+    d1.interval = 7;
+    d1.runs = {mk_run(100, 40, 0x01), mk_run(120, 40, 0x02),
+               mk_run(60, 44, 0x03)};
+    Diff d2 = d1; // duplicate key, later runs
+    d2.runs = {mk_run(110, 8, 0x04), mk_run(400, 12, 0x05)};
+    messy.push_back(d1);
+    messy.push_back(d2);
+
+    auto expect = filled(4096, 0x5a);
+    for (const Diff &d : messy)
+        diff::apply(d, expect.data(), expect.size());
+
+    diff::coalesce(messy);
+    auto got = filled(4096, 0x5a);
+    for (const Diff &d : messy)
+        diff::apply(d, got.data(), got.size());
+
+    ASSERT_EQ(messy.size(), 1u);
+    EXPECT_EQ(std::memcmp(got.data(), expect.data(), 4096), 0);
+    // And the result is the minimal disjoint sorted set.
+    for (std::size_t i = 1; i < messy[0].runs.size(); ++i) {
+        ASSERT_GT(messy[0].runs[i].offset,
+                  messy[0].runs[i - 1].offset +
+                      messy[0].runs[i - 1].bytes.size());
+    }
+}
+
+TEST(Pack, RespectsByteBudgetAndOrder)
+{
+    std::vector<Diff> diffs;
+    for (int i = 0; i < 6; ++i) {
+        Diff d;
+        d.page = static_cast<PageId>(i);
+        d.runs.push_back({0, filled(100, 1)});
+        diffs.push_back(std::move(d));
+    }
+    std::uint32_t per = diffs[0].wireBytes(); // 100 + 8 + 16 = 124
+    // Budget fits exactly two diffs per chunk.
+    auto chunks = diff::pack(std::move(diffs), 2 * per);
+    ASSERT_EQ(chunks.size(), 3u);
+    PageId next = 0;
+    for (const auto &c : chunks) {
+        EXPECT_EQ(c.size(), 2u);
+        std::uint32_t bytes = 0;
+        for (const Diff &d : c) {
+            EXPECT_EQ(d.page, next++); // order preserved
+            bytes += d.wireBytes();
+        }
+        EXPECT_LE(bytes, 2 * per);
+    }
+}
+
+TEST(Pack, OversizedDiffGetsOwnChunk)
+{
+    std::vector<Diff> diffs;
+    Diff small;
+    small.page = 0;
+    small.runs.push_back({0, filled(8, 1)});
+    Diff big;
+    big.page = 1;
+    big.runs.push_back({0, filled(4096, 2)});
+    diffs.push_back(small);
+    diffs.push_back(big);
+    diffs.push_back(small);
+    auto chunks = diff::pack(std::move(diffs), 256);
+    ASSERT_EQ(chunks.size(), 3u);
+    EXPECT_EQ(chunks[0].size(), 1u);
+    EXPECT_EQ(chunks[1].size(), 1u);
+    EXPECT_EQ(chunks[1][0].page, 1u);
+    EXPECT_EQ(chunks[2].size(), 1u);
+}
+
 TEST(PageTable, EntryCreationAndStates)
 {
     Config cfg;

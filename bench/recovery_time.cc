@@ -22,9 +22,10 @@ run()
     using namespace rsvm::bench;
     std::printf("# Recovery time vs live shared data (extended "
                 "protocol, 8 nodes; kill node 2 mid-run)\n");
-    std::printf("%10s %14s %14s %12s %12s %12s %14s\n", "pages",
-                "recovery(ms)", "reReplicated", "rolledFwd",
-                "rolledBack", "restored", "slowdown");
+    std::printf("%10s %14s %14s %12s %12s %12s %12s %14s %14s\n",
+                "pages", "recovery(ms)", "reReplicated", "rolledFwd",
+                "rolledBack", "restored", "locksClean", "reReplKB",
+                "slowdown");
 
     for (std::uint32_t pages : {16u, 64u, 256u, 1024u, 4096u}) {
         SimTime clean_wall = 0;
@@ -77,7 +78,8 @@ run()
         auto clean = run_once(false);
         clean_wall = clean.wall;
         auto failed = run_once(true);
-        std::printf("%10u %14.3f %14llu %12llu %12llu %12llu %13.2fx\n",
+        std::printf("%10u %14.3f %14llu %12llu %12llu %12llu %12llu "
+                    "%14llu %13.2fx\n",
                     pages, ms(failed.recovery),
                     static_cast<unsigned long long>(
                         failed.c.pagesReReplicated),
@@ -87,8 +89,22 @@ run()
                         failed.c.pagesRolledBack),
                     static_cast<unsigned long long>(
                         failed.c.threadsRestored),
+                    static_cast<unsigned long long>(
+                        failed.c.locksCleaned),
+                    static_cast<unsigned long long>(
+                        failed.c.reReplicationBytes / 1024),
                     static_cast<double>(failed.wall) /
                         static_cast<double>(clean.wall));
+        if (pages == 4096u) {
+            std::printf("# per-step simulated time: %s\n",
+                        failed.c.recoveryStepNsHist.toString().c_str());
+            std::printf("# per-cycle simulated time: %s\n",
+                        failed.c.recoveryTimeNsHist.toString().c_str());
+            std::printf("# recovery restarts (passes aborted by a "
+                        "second failure): %llu\n",
+                        static_cast<unsigned long long>(
+                            failed.c.recoveryRestarts));
+        }
     }
     std::printf("\n# Expectation: recovery time grows with the number "
                 "of pages to re-replicate\n# (reconfiguration, not "

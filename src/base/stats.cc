@@ -159,10 +159,13 @@ Counters::operator+=(const Counters &other)
     heartbeatsSent += other.heartbeatsSent;
     failuresDetected += other.failuresDetected;
     recoveries += other.recoveries;
+    recoveryRestarts += other.recoveryRestarts;
     pagesReReplicated += other.pagesReReplicated;
     pagesRolledForward += other.pagesRolledForward;
     pagesRolledBack += other.pagesRolledBack;
     threadsRestored += other.threadsRestored;
+    locksCleaned += other.locksCleaned;
+    reReplicationBytes += other.reReplicationBytes;
     propPhases += other.propPhases;
     propDestBatches += other.propDestBatches;
     propPagesPacked += other.propPagesPacked;
@@ -173,6 +176,8 @@ Counters::operator+=(const Counters &other)
     batchBytesHist += other.batchBytesHist;
     batchPagesHist += other.batchPagesHist;
     phaseWallHist += other.phaseWallHist;
+    recoveryStepNsHist += other.recoveryStepNsHist;
+    recoveryTimeNsHist += other.recoveryTimeNsHist;
     return *this;
 }
 
@@ -202,10 +207,13 @@ Counters::toString() const
        << " heartbeats=" << heartbeatsSent
        << " failures=" << failuresDetected
        << " recoveries=" << recoveries
+       << " recoveryRestarts=" << recoveryRestarts
        << " reReplicated=" << pagesReReplicated
        << " rolledFwd=" << pagesRolledForward
        << " rolledBack=" << pagesRolledBack
        << " restored=" << threadsRestored
+       << " locksCleaned=" << locksCleaned
+       << " reReplBytes=" << reReplicationBytes
        << " propPhases=" << propPhases
        << " propBatches=" << propDestBatches
        << " propPagesPacked=" << propPagesPacked
@@ -215,7 +223,9 @@ Counters::toString() const
        << " phase2WallNs=" << phase2WallNs
        << " batchBytes{" << batchBytesHist.toString() << "}"
        << " batchPages{" << batchPagesHist.toString() << "}"
-       << " phaseWall{" << phaseWallHist.toString() << "}";
+       << " phaseWall{" << phaseWallHist.toString() << "}"
+       << " recoveryStepNs{" << recoveryStepNsHist.toString() << "}"
+       << " recoveryTimeNs{" << recoveryTimeNsHist.toString() << "}";
     return os.str();
 }
 

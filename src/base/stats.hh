@@ -169,10 +169,13 @@ struct Counters
     std::uint64_t heartbeatsSent = 0;
     std::uint64_t failuresDetected = 0;
     std::uint64_t recoveries = 0;
+    std::uint64_t recoveryRestarts = 0;
     std::uint64_t pagesReReplicated = 0;
     std::uint64_t pagesRolledForward = 0;
     std::uint64_t pagesRolledBack = 0;
     std::uint64_t threadsRestored = 0;
+    std::uint64_t locksCleaned = 0;
+    std::uint64_t reReplicationBytes = 0;
 
     // Propagation-pipeline instrumentation (one phase = one
     // propagation pass over an interval's diffs to its homes).
@@ -190,6 +193,10 @@ struct Counters
     Histogram batchPagesHist;
     /** Wall-clock ns per propagation phase. */
     Histogram phaseWallHist;
+    /** Simulated ns charged by each recovery step (all passes). */
+    Histogram recoveryStepNsHist;
+    /** Simulated ns per completed recovery cycle. */
+    Histogram recoveryTimeNsHist;
 
     Counters &operator+=(const Counters &other);
     std::string toString() const;

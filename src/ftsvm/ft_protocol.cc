@@ -237,6 +237,13 @@ FtProtocolNode::applyIncomingDiff(const Diff &d, int phase)
                 undo.page = dd.page;
                 undo.origin = dd.origin;
                 undo.interval = dd.interval;
+                // The page's version for this origin BEFORE the
+                // cancelled apply. Rolling back must restore exactly
+                // this value — per-page chains are sparse, so the
+                // origin's last saved interval is NOT in general a
+                // version this page ever had, and inventing it breaks
+                // the prevInterval chain for every later diff.
+                undo.prevInterval = dd.prevInterval;
                 for (const DiffRun &run : dd.runs) {
                     DiffRun old;
                     old.offset = run.offset;
@@ -463,8 +470,11 @@ FtProtocolNode::checkpointSelf(SimThread &self, IntervalNum tag)
     // Point-B images resume inside the thread's current restartable
     // operation: record its closure so the restore can rebuild the
     // thread's op bookkeeping (SimThread::restoreFromImage).
-    if (self.inRestartableOp())
+    if (self.inRestartableOp()) {
         ckpt.image.op = self.currentOp();
+        ckpt.image.opCtx = self.opBoundaryContext();
+        ckpt.image.hasOpCtx = true;
+    }
     CompletionBatch batch(self);
     CommStatus st = sendCkpt(self, self.id(), ckpt, &batch);
     if (st == CommStatus::Ok)

@@ -1,6 +1,8 @@
 #include "ftsvm/recovery.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <unordered_set>
 
 #include "base/log.hh"
 #include "base/panic.hh"
@@ -20,13 +22,41 @@ RecoveryManager::ft(NodeId n) const
     return static_cast<FtProtocolNode *>(ctx.nodes[n]);
 }
 
+bool
+RecoveryManager::hostAlive(NodeId n) const
+{
+    return ctx.ops->physAlive(ctx.ops->hostOf(n));
+}
+
+std::vector<NodeId>
+RecoveryManager::failedNodes() const
+{
+    std::vector<NodeId> out;
+    for (NodeId n = 0; n < ctx.numNodes(); ++n) {
+        if (!hostAlive(n))
+            out.push_back(n);
+    }
+    return out;
+}
+
+IntervalNum
+RecoveryManager::limitOf(NodeId f) const
+{
+    auto it = salvage.find(f);
+    if (it == salvage.end() || !it->second.haveStore ||
+        !it->second.store.hasSaved)
+        return 0;
+    return it->second.store.savedTs[f];
+}
+
 void
 RecoveryManager::onPhysFailure(PhysNodeId phys)
 {
+    if (lostDeclared)
+        return;
     RSVM_LOG(LogComp::Recovery, "failure of phys node %u detected",
              phys);
     stats.failuresDetected++;
-    pending.push_back(phys);
     ctx.pendingRecovery = true;
     if (!running) {
         running = true;
@@ -42,7 +72,7 @@ bool
 RecoveryManager::quiesced() const
 {
     for (NodeId n = 0; n < ctx.numNodes(); ++n) {
-        if (!ctx.ops->physAlive(ctx.ops->hostOf(n)))
+        if (!hostAlive(n))
             continue; // dead nodes don't participate
         SvmNode *node = ctx.nodes[n];
         if (node->releaseInProgress() &&
@@ -55,6 +85,8 @@ RecoveryManager::quiesced() const
 void
 RecoveryManager::pollQuiesce()
 {
+    if (lostDeclared)
+        return;
     if (!quiesced()) {
         if (Logger::instance().enabled(LogComp::Recovery)) {
             for (NodeId n = 0; n < ctx.numNodes(); ++n) {
@@ -71,186 +103,613 @@ RecoveryManager::pollQuiesce()
         ctx.eng.schedule(50 * kMicrosecond, [this] { pollQuiesce(); });
         return;
     }
-    performRecovery();
+    runPasses();
 }
 
 void
-RecoveryManager::performRecovery()
+RecoveryManager::declareLost(const std::string &reason)
 {
-    rsvm_assert(!pending.empty());
-    PhysNodeId phys = pending.front();
-    pending.pop_front();
-
-    SimTime start = ctx.eng.now();
-    accumCost = ctx.cfg.recoveryFixedCost;
-
-    // Snapshot the hosted list first: rehosting changes it.
-    std::vector<NodeId> failed = ctx.ops->logicalNodesOn(phys);
-    for (NodeId f : failed)
-        recoverNode(f);
-
-    lastDuration = accumCost;
-    stats.recoveries++;
-
-    // Model the elapsed reconfiguration time, then release the cluster.
-    ctx.eng.schedule(accumCost, [this, start] {
-        (void)start;
-        if (pending.empty()) {
-            ctx.pendingRecovery = false;
-            ctx.recoveryEpoch++;
-            running = false;
-            wakeWaiters(ctx.recoveryWaiters);
-            RSVM_LOG(LogComp::Recovery, "recovery complete at %llu",
-                     static_cast<unsigned long long>(ctx.eng.now()));
-        } else {
-            // Another failure queued meanwhile: recover it too.
-            wakeWaiters(ctx.recoveryWaiters);
-            pollQuiesce();
-        }
-    });
+    if (lostDeclared)
+        return;
+    lostDeclared = true;
+    running = false;
+    ctx.pendingRecovery = false;
+    RSVM_LOG(LogComp::Recovery, "unrecoverable: %s", reason.c_str());
+    ctx.ops->clusterLost(reason);
 }
 
 void
-RecoveryManager::recoverNode(NodeId failed)
+RecoveryManager::runPasses()
 {
     rsvm_assert_msg(
         ctx.cfg.lockAlgo == LockAlgo::CentralizedPolling,
         "recovery with the queuing lock is unsupported: the paper "
         "abandoned it for its recovery complexity (§4.3); use the "
         "centralized polling lock for fault tolerance");
-    RSVM_LOG(LogComp::Recovery, "recovering logical node %u", failed);
-    const std::uint32_t num_nodes = ctx.cfg.numNodes;
-    NodeId backup = ctx.ops->backupOf(failed);
-    rsvm_assert_msg(ctx.ops->physAlive(ctx.ops->hostOf(backup)),
-                    "backup died with the protected node "
-                    "(simultaneous failures are not tolerated)");
-    FtProtocolNode *bnode = ft(backup);
-    CkptStore *cs = bnode->findStoreFor(failed);
 
-    VectorClock saved_ts(num_nodes);
-    IntervalNum saved_interval = 0;
-    std::uint64_t saved_epoch = 0;
-    if (cs && cs->hasSaved) {
-        saved_ts = cs->savedTs;
-        saved_interval = cs->savedInterval;
-        saved_epoch = cs->savedBarrierEpoch;
-    }
-    IntervalNum limit = saved_ts[failed];
+    accumCost = ctx.cfg.recoveryFixedCost;
+    while (true) {
+        std::vector<NodeId> failed = failedNodes();
+        if (failed.empty())
+            break; // everything already recovered (spurious wakeup)
 
-    // ---- Step 1: restore page consistency (§4.5.2) -------------------
-    // For pages homed away from the failed node, reconcile the two
-    // replicas using the saved timestamp: roll the failed node's last
-    // release forward or backward.
-    PageId num_pages = ctx.as.numPages();
-    std::vector<NodeId> old_prim(num_pages), old_sec(num_pages);
-    for (PageId p = 0; p < num_pages; ++p) {
-        old_prim[p] = ctx.as.primaryHome(p);
-        old_sec[p] = ctx.as.secondaryHome(p);
-    }
+        // Live logical nodes must span at least two physical nodes or
+        // no eligible home/backup placement exists.
+        std::unordered_set<PhysNodeId> live_hosts;
+        for (NodeId n = 0; n < ctx.numNodes(); ++n) {
+            if (hostAlive(n))
+                live_hosts.insert(ctx.ops->hostOf(n));
+        }
+        if (live_hosts.size() < 2) {
+            declareLost("fewer than two physical nodes host live "
+                        "state; replication is impossible");
+            return;
+        }
 
-    for (PageId p = 0; p < num_pages; ++p) {
-        if (old_prim[p] == failed || old_sec[p] == failed)
+        PassResult r = runPass(failed);
+        if (r == PassResult::Lost)
+            return;
+        if (r == PassResult::Aborted) {
+            stats.recoveryRestarts++;
+            accumCost += ctx.cfg.recoveryFixedCost;
+            RSVM_LOG(LogComp::Recovery,
+                     "recovery pass aborted by a new failure; "
+                     "restarting over the enlarged failed set");
             continue;
-        FtProtocolNode *pn = ft(old_prim[p]);
-        FtProtocolNode *sn = ft(old_sec[p]);
-        HomeInfo *phi = pn->findHomeInfo(p);
-        HomeInfo *shi = sn->findHomeInfo(p);
-        IntervalNum tv = shi ? shi->tentativeVer[failed] : 0;
-        IntervalNum cv = phi ? phi->committedVer[failed] : 0;
-        if (tv <= cv)
-            continue;
-        accumCost += ctx.cfg.recoveryPerPageCost;
-        if (tv <= limit) {
-            // Roll forward: the release completed its first phase and
-            // saved its timestamp; the tentative copy is the truth.
-            std::memcpy(pn->committedData(p), sn->tentativeData(p),
-                        ctx.cfg.pageSize);
-            phi = pn->findHomeInfo(p);
-            shi = sn->findHomeInfo(p);
-            phi->committedVer.maxWith(shi->tentativeVer);
-            stats.pagesRolledForward++;
-        } else {
-            // Roll back: cancel the partially propagated updates.
-            std::memcpy(sn->tentativeData(p), pn->committedData(p),
-                        ctx.cfg.pageSize);
-            phi = pn->findHomeInfo(p);
-            shi = sn->findHomeInfo(p);
-            shi->tentativeVer = phi->committedVer;
-            stats.pagesRolledBack++;
+        }
+        break;
+    }
+
+    stats.recoveries++;
+    lastDuration = accumCost;
+    stats.recoveryTimeNsHist.sample(accumCost);
+
+    // Model the elapsed reconfiguration time, then release the cluster.
+    ctx.eng.schedule(accumCost, [this] { finishCycle(); });
+}
+
+void
+RecoveryManager::finishCycle()
+{
+    if (lostDeclared)
+        return;
+    if (!failedNodes().empty()) {
+        // Another failure landed inside the charged window: the cycle
+        // continues (salvaged state is retained).
+        wakeWaiters(ctx.recoveryWaiters);
+        accumCost = ctx.cfg.recoveryFixedCost;
+        pollQuiesce();
+        return;
+    }
+    ctx.pendingRecovery = false;
+    ctx.recoveryEpoch++;
+    running = false;
+    salvage.clear();
+    lockSalvage.clear();
+    wakeWaiters(ctx.recoveryWaiters);
+    RSVM_LOG(LogComp::Recovery, "recovery complete at %llu",
+             static_cast<unsigned long long>(ctx.eng.now()));
+}
+
+bool
+RecoveryManager::firePoint(const char *name,
+                           std::vector<bool> &live_before)
+{
+    if (ctx.injector) {
+        for (PhysNodeId p = 0; p < ctx.cfg.numNodes; ++p) {
+            if (ctx.ops->physAlive(p))
+                ctx.injector->failpoint(p, name);
         }
     }
+    bool any = false;
+    for (PhysNodeId p = 0; p < ctx.cfg.numNodes; ++p) {
+        if (live_before[p] && !ctx.ops->physAlive(p)) {
+            live_before[p] = false;
+            any = true;
+            stats.failuresDetected++;
+            // Handled within this cycle: a later sweep must not
+            // re-announce the carcass through the peer-death hook.
+            ctx.vmmc.markDeathObserved(p);
+            RSVM_LOG(LogComp::Recovery,
+                     "phys node %u died at recovery point '%s'", p,
+                     name);
+        }
+    }
+    return any;
+}
 
-    // ---- Step 2: remap and re-replicate page homes (§4.5.1) --------------
-    auto eligible = [this](NodeId cand, NodeId other) {
-        return ctx.ops->physAlive(ctx.ops->hostOf(cand)) &&
-               ctx.ops->hostOf(cand) != ctx.ops->hostOf(other);
-    };
-    std::vector<PageId> moved;
-    ctx.as.remapHomes(failed, eligible,
-                      [&moved](PageId p, NodeId) { moved.push_back(p); });
-    for (PageId p : moved) {
-        // Untouched pages (no home state anywhere) need no data
-        // movement: fresh zero-filled copies materialize lazily.
-        {
-            NodeId survivor_home =
-                (old_prim[p] == failed) ? old_sec[p] : old_prim[p];
-            if (!ft(survivor_home)->findHomeInfo(p))
+RecoveryManager::PassResult
+RecoveryManager::runPass(const std::vector<NodeId> &failed)
+{
+    RSVM_LOG(LogComp::Recovery, "recovery pass over %zu failed nodes",
+             failed.size());
+    std::vector<bool> live_before(ctx.cfg.numNodes);
+    for (PhysNodeId p = 0; p < ctx.cfg.numNodes; ++p)
+        live_before[p] = ctx.ops->physAlive(p);
+
+    SimTime t0 = accumCost;
+    salvageStores(failed);
+    salvageLocks();
+    if (!checkStoresUsable(failed))
+        return PassResult::Lost;
+    stats.recoveryStepNsHist.sample(accumCost - t0);
+    if (firePoint(failpoints::kRecQuiesce, live_before))
+        return PassResult::Aborted;
+
+    t0 = accumCost;
+    stepPageRestore(failed);
+    stats.recoveryStepNsHist.sample(accumCost - t0);
+    if (firePoint(failpoints::kRecPageRestore, live_before))
+        return PassResult::Aborted;
+
+    t0 = accumCost;
+    stepRemapHomes(failed);
+    stats.recoveryStepNsHist.sample(accumCost - t0);
+    if (lostDeclared)
+        return PassResult::Lost;
+    if (firePoint(failpoints::kRecHomeRemap, live_before))
+        return PassResult::Aborted;
+
+    t0 = accumCost;
+    stepReReplicate(failed);
+    stats.recoveryStepNsHist.sample(accumCost - t0);
+    if (lostDeclared)
+        return PassResult::Lost;
+    if (firePoint(failpoints::kRecReReplicate, live_before))
+        return PassResult::Aborted;
+
+    t0 = accumCost;
+    stepLocks(failed);
+    stats.recoveryStepNsHist.sample(accumCost - t0);
+    if (lostDeclared)
+        return PassResult::Lost;
+    if (firePoint(failpoints::kRecLockCleanup, live_before))
+        return PassResult::Aborted;
+
+    t0 = accumCost;
+    stepDiscard(failed);
+    stepResume(failed);
+    stats.recoveryStepNsHist.sample(accumCost - t0);
+    if (firePoint(failpoints::kRecResume, live_before))
+        return PassResult::Aborted;
+
+    t0 = accumCost;
+    stepReProtect(failed);
+    stats.recoveryStepNsHist.sample(accumCost - t0);
+    if (lostDeclared)
+        return PassResult::Lost;
+    if (firePoint(failpoints::kRecReProtect, live_before))
+        return PassResult::Aborted;
+
+    // Deferred fetches can now be satisfiable (or were capped): nudge
+    // every home.
+    for (NodeId n = 0; n < ctx.numNodes(); ++n)
+        ft(n)->serviceAllWaiters();
+    return PassResult::Done;
+}
+
+// --------------------------------------------------------------- salvage
+
+void
+RecoveryManager::salvageStores(const std::vector<NodeId> &failed)
+{
+    for (NodeId f : failed) {
+        NodeId b = ctx.ops->backupOf(f);
+        if (hostAlive(b)) {
+            CkptStore *cs = ft(b)->findStoreFor(f);
+            if (cs) {
+                accumCost += ctx.cfg.wireTime(ctx.cfg.pageSize);
+                salvage[f] = Salvaged{true, *cs};
                 continue;
+            }
         }
-        accumCost += ctx.cfg.recoveryPerPageCost +
-                     ctx.cfg.wireTime(ctx.cfg.pageSize);
-        NodeId new_prim = ctx.as.primaryHome(p);
-        NodeId new_sec = ctx.as.secondaryHome(p);
-        FtProtocolNode *np = ft(new_prim);
-        FtProtocolNode *ns = ft(new_sec);
+        // Backup dead (the backup-chain case) or store-less: keep any
+        // copy salvaged earlier in this cycle.
+        salvage.try_emplace(f);
+    }
+}
 
-        // Locate the surviving authoritative copy.
-        std::byte *bytes = nullptr;
-        VectorClock ver(num_nodes);
-        if (old_prim[p] == failed) {
-            // Promote the old secondary's tentative copy. If the
-            // failed node's last release was cancelled (its phase-1
-            // updates reached this tentative copy but the timestamp
-            // was never saved), apply the recorded phase-1 undo so the
-            // cancelled writes do not leak into the promoted copy
-            // (guarantee 3 of §4; a replayed read-modify-write would
-            // otherwise double-apply).
-            FtProtocolNode *survivor = ft(old_sec[p]);
-            bytes = survivor->tentativeData(p);
-            HomeInfo &shi = survivor->homeInfo(p);
-            ver = shi.tentativeVer;
-            if (ver[failed] > limit) {
-                auto undo_it = shi.tentUndo.find(failed);
-                if (undo_it != shi.tentUndo.end() &&
-                    undo_it->second.interval == ver[failed]) {
-                    diff::apply(undo_it->second, bytes,
+void
+RecoveryManager::salvageLocks()
+{
+    const std::uint32_t num_locks = ctx.locks.numLocks();
+    for (LockId l = 0; l < num_locks; ++l) {
+        const PollLockHome *prim = nullptr, *sec = nullptr;
+        NodeId hp = ctx.locks.primaryHome(l);
+        NodeId hs = ctx.locks.secondaryHome(l);
+        if (hostAlive(hp)) {
+            auto it = ft(hp)->pollLocks.find(l);
+            if (it != ft(hp)->pollLocks.end())
+                prim = &it->second;
+        }
+        if (hostAlive(hs)) {
+            auto it = ft(hs)->pollLocks.find(l);
+            if (it != ft(hs)->pollLocks.end())
+                sec = &it->second;
+        }
+        if (!prim && !sec)
+            continue;
+        // Merge: slot writes go secondary-first and both sides retry,
+        // so the element-wise max is the conservative contending view;
+        // the timestamp is monotonic.
+        PollLockHome merged = prim ? *prim : *sec;
+        if (prim && sec) {
+            for (std::uint32_t i = 0; i < merged.slots.size(); ++i)
+                merged.slots[i] =
+                    std::max(merged.slots[i], sec->slots[i]);
+            merged.ts.maxWith(sec->ts);
+        }
+        lockSalvage.insert_or_assign(
+            l, SalvagedLock{std::move(merged), ctx.eng.now()});
+    }
+}
+
+IntervalNum
+RecoveryManager::evidentCommitted(
+    NodeId f, const std::vector<NodeId> &failed) const
+{
+    IntervalNum ev = 0;
+    auto bump = [&ev](IntervalNum v) {
+        if (v > ev)
+            ev = v;
+    };
+    for (NodeId n = 0; n < ctx.numNodes(); ++n) {
+        if (n == f)
+            continue;
+        if (std::find(failed.begin(), failed.end(), n) != failed.end()) {
+            // A dead peer's salvaged restore point may itself have
+            // observed f's intervals; the restored node will require
+            // them again.
+            auto it = salvage.find(n);
+            if (it != salvage.end() && it->second.haveStore &&
+                it->second.store.hasSaved)
+                bump(it->second.store.savedTs[f]);
+            continue;
+        }
+        FtProtocolNode *node = ft(n);
+        bump(node->ts[f]);
+        for (const auto &[page, hi] : node->homePages) {
+            (void)page;
+            if (hi.committedVer.size())
+                bump(hi.committedVer[f]);
+        }
+        for (const auto &[lock, pl] : node->pollLocks) {
+            (void)lock;
+            if (pl.ts.size())
+                bump(pl.ts[f]);
+        }
+        for (const auto &[page, entry] : node->pt) {
+            (void)page;
+            if (f < entry.reqVer.size())
+                bump(entry.reqVer[f]);
+        }
+    }
+    return ev;
+}
+
+bool
+RecoveryManager::checkStoresUsable(const std::vector<NodeId> &failed)
+{
+    for (NodeId f : failed) {
+        IntervalNum limit = limitOf(f);
+        IntervalNum ev = evidentCommitted(f, failed);
+        if (ev > limit) {
+            // Survivors observed committed intervals the (missing or
+            // stale) store cannot reproduce: rolling the node back
+            // would strand them, rolling them back is impossible.
+            declareLost("checkpoint store for node " +
+                        std::to_string(f) +
+                        " is missing or stale (covers interval " +
+                        std::to_string(limit) + ", survivors saw " +
+                        std::to_string(ev) + ")");
+            return false;
+        }
+    }
+    return true;
+}
+
+// ------------------------------------------------------------ pass steps
+
+void
+RecoveryManager::stepPageRestore(const std::vector<NodeId> &failed)
+{
+    // For pages whose both homes survive, reconcile the two replicas
+    // against each failed node's saved timestamp: roll its last
+    // release forward or backward (§4.5.2). Idempotent: a reconciled
+    // pair satisfies tentativeVer <= committedVer for the origin.
+    const PageId num_pages = ctx.as.numPages();
+    for (NodeId f : failed) {
+        IntervalNum limit = limitOf(f);
+        for (PageId p = 0; p < num_pages; ++p) {
+            NodeId prim = ctx.as.primaryHome(p);
+            NodeId sec = ctx.as.secondaryHome(p);
+            if (!hostAlive(prim) || !hostAlive(sec))
+                continue; // re-replication handles these
+            FtProtocolNode *pn = ft(prim);
+            FtProtocolNode *sn = ft(sec);
+            HomeInfo *phi = pn->findHomeInfo(p);
+            HomeInfo *shi = sn->findHomeInfo(p);
+            IntervalNum tv = shi ? shi->tentativeVer[f] : 0;
+            IntervalNum cv = phi ? phi->committedVer[f] : 0;
+            if (tv <= cv)
+                continue;
+            accumCost += ctx.cfg.recoveryPerPageCost;
+            // The tentative copy may simultaneously hold OTHER live
+            // origins' pending phase-1 updates (their releases are
+            // merely parked, not cancelled), so both directions must
+            // be surgical: touch only the failed origin's bytes, via
+            // the undo recorded at its phase-1 apply. Wholesale
+            // page/vector copies are only a last resort when no undo
+            // survived — they clobber innocent origins' pending state,
+            // which is unrecoverable later (a restored node's pending
+            // phase-2 diff list is runtime state, not checkpointed, so
+            // this reconciliation is the only path that ever commits a
+            // ts-saved interval).
+            auto undo_it = shi->tentUndo.find(f);
+            bool haveUndo = undo_it != shi->tentUndo.end() &&
+                            undo_it->second.interval == tv;
+            if (tv <= limit) {
+                // Roll forward: the release completed its first phase
+                // and saved its timestamp; the tentative copy is the
+                // truth for this origin's runs.
+                if (haveUndo) {
+                    const std::byte *src = sn->tentativeData(p);
+                    std::byte *dst = pn->committedData(p);
+                    for (const DiffRun &run : undo_it->second.runs)
+                        std::memcpy(dst + run.offset, src + run.offset,
+                                    run.bytes.size());
+                    phi = pn->findHomeInfo(p);
+                    phi->committedVer[f] = tv;
+                    shi->tentUndo.erase(undo_it);
+                } else {
+                    std::memcpy(pn->committedData(p), sn->tentativeData(p),
                                 ctx.cfg.pageSize);
-                    shi.tentUndo.erase(undo_it);
+                    phi = pn->findHomeInfo(p);
+                    phi->committedVer.maxWith(shi->tentativeVer);
+                }
+                stats.pagesRolledForward++;
+            } else {
+                // Roll back: cancel the partially propagated updates,
+                // restoring this origin's pre-apply bytes and per-page
+                // chain position (the cancelled diff's prevInterval,
+                // NOT the saved limit — per-page chains are sparse).
+                if (haveUndo) {
+                    diff::apply(undo_it->second, sn->tentativeData(p),
+                                ctx.cfg.pageSize);
+                    shi->tentativeVer[f] = undo_it->second.prevInterval;
+                    shi->tentUndo.erase(undo_it);
+                } else {
+                    std::memcpy(sn->tentativeData(p), pn->committedData(p),
+                                ctx.cfg.pageSize);
+                    shi->tentativeVer = phi->committedVer;
                 }
                 stats.pagesRolledBack++;
             }
-        } else {
-            FtProtocolNode *survivor = ft(old_prim[p]);
-            bytes = survivor->committedData(p);
-            ver = survivor->homeInfo(p).committedVer;
         }
-        if (ver[failed] > limit)
-            ver[failed] = limit;
+    }
+}
 
-        std::memcpy(np->committedData(p), bytes, ctx.cfg.pageSize);
-        np->homeInfo(p).committedVer = ver;
-        std::memcpy(ns->tentativeData(p), bytes, ctx.cfg.pageSize);
-        ns->homeInfo(p).tentativeVer = ver;
-        stats.pagesReReplicated++;
+void
+RecoveryManager::stepRemapHomes(const std::vector<NodeId> &failed)
+{
+    auto eligible = [this](NodeId cand, NodeId other) {
+        return hostAlive(cand) &&
+               ctx.ops->hostOf(cand) != ctx.ops->hostOf(other);
+    };
+    for (NodeId f : failed)
+        ctx.as.remapHomes(f, eligible, [](PageId, NodeId) {});
+}
+
+void
+RecoveryManager::stepReReplicate(const std::vector<NodeId> &failed)
+{
+    const PageId num_pages = ctx.as.numPages();
+    const std::uint32_t num_nodes = ctx.numNodes();
+
+    // Pages whose content provably matters: named by a surviving write
+    // notice, a survivor's own interval record, or a salvaged restore
+    // point's interval pages. Anything else may lazily re-materialize
+    // zero-filled.
+    std::unordered_set<PageId> referenced;
+    for (NodeId n = 0; n < num_nodes; ++n) {
+        if (!hostAlive(n))
+            continue;
+        FtProtocolNode *node = ft(n);
+        for (const auto &[page, entry] : node->pt) {
+            for (IntervalNum v : entry.reqVer) {
+                if (v > 0) {
+                    referenced.insert(page);
+                    break;
+                }
+            }
+        }
+        for (const auto &rec : node->intervalTable)
+            referenced.insert(rec.pages.begin(), rec.pages.end());
+    }
+    for (NodeId f : failed) {
+        auto it = salvage.find(f);
+        if (it == salvage.end() || !it->second.haveStore)
+            continue;
+        for (const auto &[interval, pages] : it->second.store.intervalPages) {
+            (void)interval;
+            referenced.insert(pages.begin(), pages.end());
+        }
     }
 
-    // The failed node was its own SECONDARY home for some pages: the
+    for (PageId p = 0; p < num_pages; ++p) {
+        // Normalize surviving tentative copies: cancel any failed
+        // origin's unsaved phase-1 updates (apply the recorded undo,
+        // cap the version) so tentative copies become valid sources.
+        for (NodeId n = 0; n < num_nodes; ++n) {
+            if (!hostAlive(n))
+                continue;
+            HomeInfo *hi = ft(n)->findHomeInfo(p);
+            if (!hi || !hi->tentative)
+                continue;
+            for (NodeId f : failed) {
+                IntervalNum limit = limitOf(f);
+                if (hi->tentativeVer[f] <= limit)
+                    continue;
+                auto undo_it = hi->tentUndo.find(f);
+                if (undo_it != hi->tentUndo.end() &&
+                    undo_it->second.interval == hi->tentativeVer[f]) {
+                    // The undo restores the exact pre-apply state:
+                    // bytes AND per-page chain position. Per-page
+                    // version chains are sparse, so the rolled-back
+                    // version is the cancelled diff's prevInterval —
+                    // capping to the origin's saved limit would invent
+                    // a version this page never had and permanently
+                    // defer the re-executed interval's diffs.
+                    diff::apply(undo_it->second, hi->tentative.get(),
+                                ctx.cfg.pageSize);
+                    hi->tentativeVer[f] = undo_it->second.prevInterval;
+                    hi->tentUndo.erase(undo_it);
+                } else {
+                    // No matching undo (copy predates the cancelled
+                    // apply, or the undo travelled elsewhere): the
+                    // bytes are already pre-apply, so only clamp the
+                    // version into the saved range.
+                    hi->tentativeVer[f] = limit;
+                }
+                stats.pagesRolledBack++;
+                accumCost += ctx.cfg.recoveryPerPageCost;
+            }
+        }
+
+        // Gather every surviving copy, by role. Committed and
+        // tentative copies are NOT interchangeable: a live node's
+        // parked release legitimately leaves its phase-1 bits in
+        // tentative copies only, and they must not be committed early.
+        struct Cand
+        {
+            const std::byte *bytes;
+            VectorClock ver;
+            HomeInfo *src; ///< for tentative sources: undo transfer
+        };
+        std::vector<Cand> ccands, tcands;
+        for (NodeId n = 0; n < num_nodes; ++n) {
+            if (!hostAlive(n))
+                continue;
+            HomeInfo *hi = ft(n)->findHomeInfo(p);
+            if (!hi)
+                continue;
+            if (hi->committed) {
+                VectorClock v = hi->committedVer;
+                for (NodeId f : failed) {
+                    if (v[f] > limitOf(f))
+                        v[f] = limitOf(f);
+                }
+                ccands.push_back(Cand{hi->committed.get(), v, nullptr});
+            }
+            if (hi->tentative)
+                tcands.push_back(
+                    Cand{hi->tentative.get(), hi->tentativeVer, hi});
+        }
+        if (ccands.empty() && tcands.empty()) {
+            if (referenced.count(p)) {
+                declareLost("page " + std::to_string(p) +
+                            ": both replicas and the owning store are "
+                            "gone");
+                return;
+            }
+            continue; // untouched page, zero-fill on demand
+        }
+
+        auto dominant = [num_nodes](std::vector<Cand> &cands)
+            -> const Cand * {
+            if (cands.empty())
+                return nullptr;
+            VectorClock want(num_nodes);
+            for (const Cand &c : cands)
+                want.maxWith(c.ver);
+            for (const Cand &c : cands) {
+                if (c.ver == want)
+                    return &c;
+            }
+            // Incomparable survivors should be impossible on a
+            // quiesced, reconciled cluster; degrade deterministically
+            // rather than crash.
+            RSVM_LOG(LogComp::Ft,
+                     "recovery: incomparable surviving copies");
+            const Cand *best = &cands.front();
+            for (const Cand &c : cands) {
+                if (!best->ver.dominates(c.ver))
+                    best = &c;
+            }
+            return best;
+        };
+
+        // Committed copy at the primary home. If no committed copy
+        // survived anywhere, promote the dominant tentative one (its
+        // failed-origin bits were normalized above; a live origin's
+        // in-flight bits replay idempotently when its parked release
+        // retries).
+        const Cand *best_c = dominant(ccands);
+        const Cand *best_t = dominant(tcands);
+        const Cand *for_committed = best_c ? best_c : best_t;
+        NodeId prim = ctx.as.primaryHome(p);
+        NodeId sec = ctx.as.secondaryHome(p);
+        HomeInfo *phi = ft(prim)->findHomeInfo(p);
+        if (!phi || !phi->committed ||
+            !(phi->committedVer == for_committed->ver)) {
+            std::byte *dst = ft(prim)->committedData(p);
+            if (dst != for_committed->bytes)
+                std::memcpy(dst, for_committed->bytes,
+                            ctx.cfg.pageSize);
+            ft(prim)->homeInfo(p).committedVer = for_committed->ver;
+            accumCost += ctx.cfg.recoveryPerPageCost +
+                         ctx.cfg.wireTime(ctx.cfg.pageSize);
+            stats.pagesReReplicated++;
+            stats.reReplicationBytes += ctx.cfg.pageSize;
+        }
+
+        // Tentative copy at the secondary home: the freshest copy of
+        // either role (in-flight phase-1 bits belong here). Matching
+        // phase-1 undos travel with it so a later roll-back of the
+        // writing origin stays possible.
+        const Cand *for_tent = for_committed;
+        if (best_t && best_c && best_t->ver.dominates(best_c->ver))
+            for_tent = best_t;
+        HomeInfo *shi = ft(sec)->findHomeInfo(p);
+        if (!shi || !shi->tentative ||
+            !(shi->tentativeVer == for_tent->ver)) {
+            std::byte *dst = ft(sec)->tentativeData(p);
+            if (dst != for_tent->bytes)
+                std::memcpy(dst, for_tent->bytes, ctx.cfg.pageSize);
+            HomeInfo &dhi = ft(sec)->homeInfo(p);
+            dhi.tentativeVer = for_tent->ver;
+            if (&dhi != for_tent->src) {
+                dhi.tentUndo.clear();
+                if (for_tent->src) {
+                    for (const auto &[o, d] : for_tent->src->tentUndo) {
+                        if (d.interval == for_tent->ver[o])
+                            dhi.tentUndo[o] = d;
+                    }
+                }
+            }
+            accumCost += ctx.cfg.recoveryPerPageCost +
+                         ctx.cfg.wireTime(ctx.cfg.pageSize);
+            stats.pagesReReplicated++;
+            stats.reReplicationBytes += ctx.cfg.pageSize;
+        }
+    }
+
+    // A failed node was its own SECONDARY home for some pages: the
     // tentative copies of its last release died with it. If that
     // release rolled forward (timestamp saved), complete it from the
-    // diffs replicated alongside the timestamp at the backup.
-    if (cs && cs->hasSaved && cs->savedDiffsInterval == saved_interval) {
-        for (const Diff &d : cs->savedDiffs) {
-            rsvm_assert(d.origin == failed);
+    // diffs replicated alongside the timestamp (salvaged with the
+    // store, so this survives the backup-chain case too). The
+    // per-origin chain guard makes replay across passes idempotent.
+    for (NodeId f : failed) {
+        auto it = salvage.find(f);
+        if (it == salvage.end() || !it->second.haveStore)
+            continue;
+        const CkptStore &cs = it->second.store;
+        if (!cs.hasSaved || cs.savedDiffsInterval != cs.savedInterval)
+            continue;
+        IntervalNum limit = limitOf(f);
+        for (const Diff &d : cs.savedDiffs) {
+            rsvm_assert(d.origin == f);
             if (d.interval > limit)
                 continue; // cancelled release: roll back instead
             ft(ctx.as.primaryHome(d.page))->applyIncomingDiff(d, 2);
@@ -259,105 +718,258 @@ RecoveryManager::recoverNode(NodeId failed)
             stats.pagesRolledForward++;
         }
     }
+}
 
-    // ---- Step 3: remap and re-replicate lock homes (§4.5.1) -----------
-    std::uint32_t num_locks = ctx.locks.numLocks();
-    std::vector<NodeId> old_lprim(num_locks), old_lsec(num_locks);
+void
+RecoveryManager::stepLocks(const std::vector<NodeId> &failed)
+{
+    const std::uint32_t num_locks = ctx.locks.numLocks();
+    const std::uint32_t num_nodes = ctx.numNodes();
+    auto in_failed = [&failed](NodeId n) {
+        return std::find(failed.begin(), failed.end(), n) !=
+               failed.end();
+    };
+    auto eligible = [this](NodeId cand, NodeId other) {
+        return hostAlive(cand) &&
+               ctx.ops->hostOf(cand) != ctx.ops->hostOf(other);
+    };
+
+    // Snapshot the pre-remap homes: surviving copies live at the OLD
+    // homes, and must be read from there after the directory moves.
+    std::vector<NodeId> old_prim(num_locks), old_sec(num_locks);
     for (LockId l = 0; l < num_locks; ++l) {
-        old_lprim[l] = ctx.locks.primaryHome(l);
-        old_lsec[l] = ctx.locks.secondaryHome(l);
+        old_prim[l] = ctx.locks.primaryHome(l);
+        old_sec[l] = ctx.locks.secondaryHome(l);
     }
-    std::vector<LockId> moved_locks;
-    ctx.locks.remapHomes(failed, eligible,
-                         [&moved_locks](LockId l, NodeId) {
-                             moved_locks.push_back(l);
-                         });
-    for (LockId l : moved_locks) {
-        accumCost += 2 * ctx.cfg.wireLatency;
-        NodeId survivor_node =
-            (old_lprim[l] == failed) ? old_lsec[l] : old_lprim[l];
-        PollLockHome copy = ft(survivor_node)->pollHome(l);
-        // The failed node's slot is preserved (§4.3: the stateless
-        // algorithm makes this safe — its replayed thread either still
-        // logically holds the lock or re-contends normally).
-        ft(ctx.locks.primaryHome(l))->pollHome(l) = copy;
-        ft(ctx.locks.secondaryHome(l))->pollHome(l) = copy;
+    std::unordered_set<LockId> relocated;
+    for (NodeId f : failed) {
+        ctx.locks.remapHomes(f, eligible,
+                             [&relocated](LockId l, NodeId) {
+                                 relocated.insert(l);
+                             });
     }
 
-    // ---- Step 4: discard cancelled write notices/versions (§4.5.2) ---
-    for (NodeId n = 0; n < num_nodes; ++n) {
-        if (n == failed)
+    for (LockId l : relocated) {
+        // The home slice moves wholesale: the wire cost is paid per
+        // relocated lock whether or not it ever materialized state.
+        accumCost += 2 * ctx.cfg.wireLatency;
+        NodeId prim = ctx.locks.primaryHome(l);
+        NodeId sec = ctx.locks.secondaryHome(l);
+        const PollLockHome *src = nullptr;
+        auto live_copy = [this, l](NodeId n) -> const PollLockHome * {
+            if (!hostAlive(n))
+                return nullptr;
+            auto it = ft(n)->pollLocks.find(l);
+            return it == ft(n)->pollLocks.end() ? nullptr
+                                                : &it->second;
+        };
+        src = live_copy(old_prim[l]);
+        if (!src)
+            src = live_copy(old_sec[l]);
+        if (src) {
+            PollLockHome copy = *src;
+            // The failed nodes' slots are preserved (§4.3: the
+            // stateless algorithm makes this safe — a replayed holder
+            // still logically owns the lock, a replayed contender
+            // re-contends and rewrites its slot).
+            ft(prim)->pollHome(l) = copy;
+            ft(sec)->pollHome(l) = copy;
+            stats.locksCleaned++;
+            continue;
+        }
+
+        // No current home survived. Usable salvage?
+        auto sv = lockSalvage.find(l);
+        if (sv != lockSalvage.end() &&
+            sv->second.when == ctx.eng.now()) {
+            // Snapshot from this same quiesced instant: exact.
+            ft(prim)->pollHome(l) = sv->second.home;
+            ft(sec)->pollHome(l) = sv->second.home;
+            stats.locksCleaned++;
+            continue;
+        }
+
+        // Stale or missing salvage: ownership may have changed since
+        // the snapshot (or was never captured). If anyone might hold
+        // or contend the lock we cannot reconstruct who — declare the
+        // loss rather than risk mutual-exclusion violation or a stuck
+        // slot.
+        bool in_use = false;
+        for (NodeId n = 0; n < num_nodes && !in_use; ++n) {
+            auto it = ft(n)->nodeLocks.find(l);
+            if (it == ft(n)->nodeLocks.end())
+                continue;
+            if (in_failed(n) ||
+                it->second.status != NodeLockState::Status::Free)
+                in_use = true;
+        }
+        if (sv != lockSalvage.end()) {
+            for (std::uint8_t s : sv->second.home.slots)
+                in_use = in_use || s != 0;
+        }
+        if (in_use) {
+            declareLost("lock " + std::to_string(l) +
+                        ": both homes and the salvaged ownership "
+                        "state are gone");
+            return;
+        }
+        // Provably idle: rebuild a fresh home with a conservative
+        // (over-approximated, monotonic) timestamp so no invalidation
+        // is ever missed.
+        bool ever_used = sv != lockSalvage.end();
+        for (NodeId n = 0; n < num_nodes && !ever_used; ++n)
+            ever_used = ft(n)->nodeLocks.count(l) != 0;
+        if (!ever_used)
+            continue; // never materialized; created free on demand
+        PollLockHome fresh(num_nodes);
+        if (sv != lockSalvage.end())
+            fresh.ts.maxWith(sv->second.home.ts);
+        for (NodeId n = 0; n < num_nodes; ++n) {
+            if (hostAlive(n))
+                fresh.ts.maxWith(ft(n)->ts);
+        }
+        for (NodeId f : failed) {
+            if (fresh.ts[f] > limitOf(f))
+                fresh.ts[f] = limitOf(f);
+        }
+        ft(prim)->pollHome(l) = fresh;
+        ft(sec)->pollHome(l) = fresh;
+        stats.locksCleaned++;
+    }
+}
+
+void
+RecoveryManager::stepDiscard(const std::vector<NodeId> &failed)
+{
+    // Discard write notices and version entries of cancelled intervals
+    // everywhere (§4.5.2). Failed nodes are reset wholesale in resume.
+    for (NodeId n = 0; n < ctx.numNodes(); ++n) {
+        if (!hostAlive(n))
             continue;
         FtProtocolNode *node = ft(n);
-        node->capOriginVersions(failed, limit);
-        for (auto &[lock, pl] : node->pollLocks) {
-            if (pl.ts.size() && pl.ts[failed] > limit)
-                pl.ts[failed] = limit;
-        }
-    }
-
-    // ---- Step 5: re-host and reset the failed node (§4.5.3) ------------
-    PhysNodeId new_host = ctx.ops->hostOf(backup);
-    ctx.ops->rehost(failed, new_host);
-    static const std::unordered_map<IntervalNum, std::vector<PageId>>
-        kNoPages;
-    ft(failed)->resetForRehost(saved_ts, saved_interval, saved_epoch,
-                               cs ? cs->intervalPages : kNoPages);
-
-    // Restore the threads from the checkpoints tagged with the saved
-    // interval (roll-forward uses the current release's checkpoints,
-    // roll-back the previous release's).
-    for (SimThread *t : ctx.ops->computeThreads(failed)) {
-        const ThreadCkpt *ck =
-            (cs && saved_interval > 0) ? cs->find(t->id(), saved_interval)
-                                       : nullptr;
-        accumCost += ctx.cfg.ckptCaptureCost;
-        if (!ck) {
-            // No checkpoint yet: restart the thread from the top.
-            rsvm_assert_msg(static_cast<bool>(restartHook),
-                            "no restart hook installed");
-            restartHook(t->id());
-            stats.threadsRestored++;
-        } else if (ck->finished) {
-            // The thread had already finished at the restore point.
-        } else {
-            t->restoreFromImage(ck->image);
-            stats.threadsRestored++;
-        }
-    }
-
-    // ---- Step 6: re-protect (fresh backups and checkpoints) -----------
-    // The restored node's new host is its old backup's host, so its
-    // checkpoints must move to a different physical node.
-    for (std::uint32_t step = 1; step <= num_nodes; ++step) {
-        NodeId cand = (failed + step) % num_nodes;
-        if (cand != failed && eligible(cand, failed)) {
-            ctx.ops->setBackupOf(failed, cand);
-            break;
-        }
-    }
-    bnode->dropStoreFor(failed);
-    recoveryCheckpoint(failed);
-
-    // Nodes whose checkpoint storage lived on the failed node need a
-    // new backup and a fresh consistent checkpoint.
-    for (NodeId g = 0; g < num_nodes; ++g) {
-        if (g == failed || ctx.ops->backupOf(g) != failed)
-            continue;
-        for (std::uint32_t step = 1; step <= num_nodes; ++step) {
-            NodeId cand = (g + step) % num_nodes;
-            if (cand != g && eligible(cand, g)) {
-                ctx.ops->setBackupOf(g, cand);
-                break;
+        for (NodeId f : failed) {
+            IntervalNum limit = limitOf(f);
+            node->capOriginVersions(f, limit);
+            for (auto &[lock, pl] : node->pollLocks) {
+                (void)lock;
+                if (pl.ts.size() && pl.ts[f] > limit)
+                    pl.ts[f] = limit;
             }
         }
-        recoveryCheckpoint(g);
     }
+}
 
-    // Deferred fetches can now be satisfiable (or were capped): nudge
-    // every home.
-    for (NodeId n = 0; n < num_nodes; ++n)
-        ft(n)->serviceAllWaiters();
+void
+RecoveryManager::stepResume(const std::vector<NodeId> &failed)
+{
+    static const std::unordered_map<IntervalNum, std::vector<PageId>>
+        kNoPages;
+    for (NodeId f : failed) {
+        Salvaged &sv = salvage[f];
+        CkptStore *cs = sv.haveStore ? &sv.store : nullptr;
+        VectorClock saved_ts(ctx.cfg.numNodes);
+        IntervalNum saved_interval = 0;
+        std::uint64_t saved_epoch = 0;
+        if (cs && cs->hasSaved) {
+            saved_ts = cs->savedTs;
+            saved_interval = cs->savedInterval;
+            saved_epoch = cs->savedBarrierEpoch;
+        }
+
+        // Re-host: the backup's host per §4.5.3; if the backup died
+        // too (backup-chain case), the least-loaded live host.
+        NodeId b = ctx.ops->backupOf(f);
+        PhysNodeId new_host = kInvalidNode;
+        if (hostAlive(b)) {
+            new_host = ctx.ops->hostOf(b);
+        } else {
+            std::size_t best_load = 0;
+            for (PhysNodeId p = 0; p < ctx.cfg.numNodes; ++p) {
+                if (!ctx.ops->physAlive(p))
+                    continue;
+                std::size_t load = ctx.ops->logicalNodesOn(p).size();
+                if (new_host == kInvalidNode || load < best_load) {
+                    new_host = p;
+                    best_load = load;
+                }
+            }
+        }
+        rsvm_assert(new_host != kInvalidNode);
+        ctx.ops->rehost(f, new_host);
+        ft(f)->resetForRehost(saved_ts, saved_interval, saved_epoch,
+                              cs ? cs->intervalPages : kNoPages);
+
+        // Restore the threads from the checkpoints tagged with the
+        // saved interval (roll-forward uses the current release's
+        // checkpoints, roll-back the previous release's).
+        for (SimThread *t : ctx.ops->computeThreads(f)) {
+            const ThreadCkpt *ck =
+                (cs && saved_interval > 0)
+                    ? cs->find(t->id(), saved_interval)
+                    : nullptr;
+            accumCost += ctx.cfg.ckptCaptureCost;
+            if (!ck) {
+                if (t->state() == ThreadState::Finished)
+                    continue; // ran to completion before any save
+                rsvm_assert_msg(static_cast<bool>(restartHook),
+                                "no restart hook installed");
+                restartHook(t->id());
+                stats.threadsRestored++;
+            } else if (ck->finished) {
+                // The thread had already finished at the restore point.
+            } else {
+                t->restoreFromImage(ck->image);
+                stats.threadsRestored++;
+            }
+        }
+    }
+}
+
+void
+RecoveryManager::stepReProtect(const std::vector<NodeId> &failed)
+{
+    auto eligible = [this](NodeId cand, NodeId other) {
+        return hostAlive(cand) &&
+               ctx.ops->hostOf(cand) != ctx.ops->hostOf(other);
+    };
+    auto in_failed = [&failed](NodeId n) {
+        return std::find(failed.begin(), failed.end(), n) !=
+               failed.end();
+    };
+    // Comprehensive by design: an aborted pass may have resumed a node
+    // without re-protecting it, and that node is no longer in the
+    // failed set on replay. Scan every live node instead.
+    for (NodeId g = 0; g < ctx.numNodes(); ++g) {
+        if (!hostAlive(g))
+            continue;
+        NodeId b = ctx.ops->backupOf(g);
+        bool need_new = b == g || !eligible(b, g);
+        if (need_new) {
+            NodeId cand = kInvalidNode;
+            for (std::uint32_t step = 1; step <= ctx.numNodes();
+                 ++step) {
+                NodeId c = (g + step) % ctx.numNodes();
+                if (c != g && eligible(c, g)) {
+                    cand = c;
+                    break;
+                }
+            }
+            if (cand == kInvalidNode) {
+                declareLost("no eligible backup for node " +
+                            std::to_string(g));
+                return;
+            }
+            if (hostAlive(b) && b != g)
+                ft(b)->dropStoreFor(g);
+            ctx.ops->setBackupOf(g, cand);
+            recoveryCheckpoint(g);
+        } else if (!ft(b)->findStoreFor(g) || in_failed(g)) {
+            // Backup fine but its store is missing (the backup was
+            // itself reset by recovery) or the node was just resumed:
+            // take a fresh consistent checkpoint.
+            recoveryCheckpoint(g);
+        }
+    }
 }
 
 void

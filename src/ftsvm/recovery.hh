@@ -1,46 +1,69 @@
 /**
  * @file
- * The recovery manager (§4.5).
+ * The recovery manager (§4.5), restructured as a restartable,
+ * epoch-guarded state machine so that recovery itself is a failure
+ * domain: a second fail-stop may land at any recovery step.
  *
- * When any communication operation detects a dead physical node, the
- * Vmmc peer-death hook lands here. Recovery then:
+ * A recovery *cycle* begins when a death is detected and ends when the
+ * cluster resumes with no dead logical node. A cycle consists of one
+ * or more *passes*; each pass recovers the full current failed set
+ * (every logical node whose host is dead) through the steps below, and
+ * fires a `recovery:*` failpoint after each step. A failure observed
+ * at a failpoint aborts the pass; the cycle restarts with the
+ * enlarged failed set. Per-origin version guards (applyDiffChain's
+ * duplicate check, version-equality skips on page installs, full-copy
+ * lock-home installs) make replayed steps idempotent.
  *
- *  1. waits for the cluster to quiesce — every live node has either no
- *     release in flight or its releaser parked waiting for recovery
- *     (the paper's precondition that no updates are being propagated
- *     by any node other than the failed one, §4.5.2);
- *  2. restores page consistency: for every page carrying the failed
- *     node's partially propagated last release, rolls forward
- *     (tentative -> committed) if the failed node's remotely saved
- *     timestamp covers that release, otherwise rolls back
- *     (committed -> tentative);
- *  3. re-assigns primary/secondary homes for all pages and locks the
- *     failed node homed, re-replicating from the surviving copy so
- *     both replicas again live on distinct physical nodes (§4.5.1);
- *  4. discards write notices and version entries of the failed node's
- *     cancelled intervals everywhere;
- *  5. re-hosts the failed logical node on its backup's physical node,
- *     resets its volatile state to the saved timestamp, and resumes
- *     its threads from the checkpoints tagged with the saved interval
- *     (§4.5.3);
- *  6. re-protects: nodes whose checkpoint storage died with the failed
- *     node get a new backup and a fresh, engine-side consistent
- *     checkpoint (a forced commit point, so no un-replayable execution
- *     precedes the new images).
+ * Pass steps, at one simulated instant on a quiesced cluster:
  *
- * All state surgery happens atomically at one simulated instant (the
- * cluster is quiesced); the modelled elapsed recovery time is charged
- * before the cluster is released.
+ *  0. salvage — copy every failed node's checkpoint store from its
+ *     backup (and every materialized lock home) into the manager.
+ *     This models the coordinator fetching remote recovery state
+ *     first, and is what survives the *backup-chain* case: if the
+ *     backup dies later in the cycle, the salvaged copy still
+ *     restores the protected node. An unusable store (none, or older
+ *     than committed state some survivor has observed) is the
+ *     genuinely unrecoverable case: ClusterLostError via
+ *     ClusterOps::clusterLost, never an assert;
+ *  1. page restore — for pages with both homes alive, roll the failed
+ *     node's partially propagated last release forward (tentative ->
+ *     committed) if its saved timestamp covers it, else back;
+ *  2. home remap — re-assign primary/secondary homes away from failed
+ *     nodes (metadata only);
+ *  3. re-replicate — scan every referenced page, pick the dominant
+ *     surviving copy (committed or normalized tentative, wherever it
+ *     lives), and install it at the current homes; a referenced page
+ *     with no surviving copy is unrecoverable. Completes the failed
+ *     node's own self-secondary release from the diffs saved with its
+ *     timestamp;
+ *  4. lock cleanup — remap lock homes, installing a surviving or
+ *     salvaged copy (failed nodes' slots preserved, §4.3);
+ *  5. discard — cap every survivor's version state for each failed
+ *     node at its saved timestamp (cancels unsaved intervals);
+ *  6. resume — re-host each failed node (backup's host, else the
+ *     least-loaded live host), reset its volatile state to the saved
+ *     timestamp and restore its threads from the salvaged checkpoints;
+ *  7. re-protect — every live node gets an eligible backup and a
+ *     fresh, consistent checkpoint wherever one is missing (covers
+ *     aborted-pass leftovers, resumed nodes and orphaned protectees).
+ *
+ * The modelled elapsed time of all passes is charged before the
+ * cluster is released; a failure inside that window extends the same
+ * cycle (salvaged state is retained until the cycle completes).
  */
 
 #ifndef RSVM_FTSVM_RECOVERY_HH
 #define RSVM_FTSVM_RECOVERY_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "base/stats.hh"
+#include "ftsvm/checkpoint.hh"
+#include "svm/locks.hh"
 #include "svm/protocol.hh"
 
 namespace rsvm {
@@ -63,26 +86,89 @@ class RecoveryManager
     /** Counters accumulated across recoveries. */
     const Counters &counters() const { return stats; }
 
-    /** Simulated duration of the last recovery. */
+    /** Simulated duration of the last recovery cycle. */
     SimTime lastRecoveryTime() const { return lastDuration; }
 
+    /** True once the cluster was declared unrecoverable. */
+    bool clusterLost() const { return lostDeclared; }
+
   private:
+    enum class PassResult { Done, Aborted, Lost };
+
+    /** A failed node's checkpoint store, copied out of its backup. */
+    struct Salvaged
+    {
+        bool haveStore = false;
+        CkptStore store;
+    };
+
+    /** A lock home's state, copied out of a (then) live home. */
+    struct SalvagedLock
+    {
+        PollLockHome home;
+        SimTime when; ///< snapshot instant (staleness detection)
+    };
+
     void pollQuiesce();
     bool quiesced() const;
-    void performRecovery();
-    void recoverNode(NodeId failed);
+
+    /** Run passes until one completes, aborts into a retry, or the
+     *  cluster is lost; schedules finishCycle() on success. */
+    void runPasses();
+    PassResult runPass(const std::vector<NodeId> &failed);
+    void finishCycle();
+
+    // ---- Pass steps ------------------------------------------------------
+    void salvageStores(const std::vector<NodeId> &failed);
+    void salvageLocks();
+    bool checkStoresUsable(const std::vector<NodeId> &failed);
+    void stepPageRestore(const std::vector<NodeId> &failed);
+    void stepRemapHomes(const std::vector<NodeId> &failed);
+    void stepReReplicate(const std::vector<NodeId> &failed);
+    void stepLocks(const std::vector<NodeId> &failed);
+    void stepDiscard(const std::vector<NodeId> &failed);
+    void stepResume(const std::vector<NodeId> &failed);
+    void stepReProtect(const std::vector<NodeId> &failed);
+
     /** Engine-side forced commit + propagation + fresh checkpoints. */
     void recoveryCheckpoint(NodeId node);
+
+    /**
+     * Fire @p name on every live physical node, then fold any node it
+     * killed into the bookkeeping. Returns true if the pass must
+     * abort (the failed set grew).
+     */
+    bool firePoint(const char *name, std::vector<bool> &live_before);
+
+    /** Unrecoverable: surface through the runtime, never assert. */
+    void declareLost(const std::string &reason);
+
+    // ---- Queries ---------------------------------------------------------
+    std::vector<NodeId> failedNodes() const;
+    bool hostAlive(NodeId n) const;
+    /** Saved-timestamp cap for a failed node (0 without a store). */
+    IntervalNum limitOf(NodeId f) const;
+    /**
+     * Highest interval of @p f some survivor (or salvaged store of
+     * another failed node) has observed as committed. A usable store
+     * must cover it.
+     */
+    IntervalNum evidentCommitted(NodeId f,
+                                 const std::vector<NodeId> &failed) const;
 
     FtProtocolNode *ft(NodeId n) const;
 
     SvmContext &ctx;
     std::function<void(ThreadId)> restartHook;
-    std::deque<PhysNodeId> pending;
     bool running = false;
+    bool lostDeclared = false;
     SimTime accumCost = 0;
     SimTime lastDuration = 0;
     Counters stats;
+
+    /** Per-cycle salvage, cleared when the cycle completes. */
+    std::unordered_map<NodeId, Salvaged> salvage;
+    std::unordered_map<LockId, SalvagedLock> lockSalvage;
 };
 
 } // namespace rsvm

@@ -16,10 +16,13 @@ FailureInjector::FailureInjector(Engine &engine)
 void
 FailureInjector::killAt(PhysNodeId node, SimTime when)
 {
-    timedKills++;
-    eng.at(when, [this, node] {
-        timedKills--;
-        killNow(node);
+    auto rec = std::make_shared<TimedKill>(TimedKill{node, true});
+    timed.push_back(rec);
+    eng.at(when, [this, rec] {
+        if (!rec->live)
+            return; // the victim already died through another kill
+        rec->live = false;
+        killNow(rec->node);
     });
 }
 
@@ -55,9 +58,33 @@ FailureInjector::killNow(PhysNodeId node)
         killedNodes.end())
         return;
     killedNodes.push_back(node);
+    // Retire every kill still aimed at the (now dead) victim, so
+    // anyArmed() does not report them forever and a later timed kill
+    // does not re-run the kill action.
+    for (auto &rec : timed) {
+        if (rec->node == node)
+            rec->live = false;
+    }
+    armed.erase(std::remove_if(armed.begin(), armed.end(),
+                               [node](const Armed &a) {
+                                   return a.node == node;
+                               }),
+                armed.end());
     rsvm_assert_msg(static_cast<bool>(killAction),
                     "no kill action installed");
     killAction(node);
+}
+
+bool
+FailureInjector::anyArmed() const
+{
+    if (!armed.empty())
+        return true;
+    for (const auto &rec : timed) {
+        if (rec->live)
+            return true;
+    }
+    return false;
 }
 
 } // namespace rsvm

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,29 @@ inline constexpr const char *kAfterRelease = "release:after";
 inline constexpr const char *kInBarrier = "barrier:inside";
 inline constexpr const char *kInCompute = "compute";
 inline constexpr const char *kInAcquire = "acquire:inside";
+
+// Recovery-path failpoints (§4.5): fired by the RecoveryManager after
+// each recovery step, so a second fail-stop can land mid-recovery.
+inline constexpr const char *kRecQuiesce = "recovery:quiesce";
+inline constexpr const char *kRecPageRestore = "recovery:page-restore";
+inline constexpr const char *kRecHomeRemap = "recovery:home-remap";
+inline constexpr const char *kRecReReplicate = "recovery:re-replicate";
+inline constexpr const char *kRecLockCleanup = "recovery:lock-cleanup";
+inline constexpr const char *kRecResume = "recovery:resume";
+inline constexpr const char *kRecReProtect = "recovery:re-protect";
+
+/** Release-path failpoints, in protocol order (for sweeps/campaigns). */
+inline constexpr const char *kReleasePoints[] = {
+    kBeforeRelease, kAfterCommit,  kAfterPointA, kMidPhase1,
+    kAfterPhase1,   kAfterTsSave,  kAfterPointB, kMidPhase2,
+    kAfterRelease,  kInAcquire,
+};
+
+/** Recovery-path failpoints, in recovery-step order. */
+inline constexpr const char *kRecoveryPoints[] = {
+    kRecQuiesce,    kRecPageRestore, kRecHomeRemap, kRecReReplicate,
+    kRecLockCleanup, kRecResume,     kRecReProtect,
+};
 } // namespace failpoints
 
 /** Schedules and triggers fail-stop node failures. */
@@ -70,7 +94,7 @@ class FailureInjector
     void killNow(PhysNodeId node);
 
     /** True if any time- or failpoint-based kill is armed. */
-    bool anyArmed() const { return !armed.empty() || timedKills > 0; }
+    bool anyArmed() const;
 
     /** Nodes killed so far, in order. */
     const std::vector<PhysNodeId> &killed() const { return killedNodes; }
@@ -83,11 +107,22 @@ class FailureInjector
         std::uint64_t remaining;
     };
 
+    /**
+     * One pending timed kill. Kept behind a shared_ptr so killNow()
+     * can retire kills aimed at a node that already died through a
+     * failpoint: the engine callback still fires but becomes a no-op.
+     */
+    struct TimedKill
+    {
+        PhysNodeId node;
+        bool live = true;
+    };
+
     Engine &eng;
     std::function<void(PhysNodeId)> killAction;
     std::vector<Armed> armed;
+    std::vector<std::shared_ptr<TimedKill>> timed;
     std::vector<PhysNodeId> killedNodes;
-    int timedKills = 0;
 };
 
 } // namespace rsvm

@@ -149,6 +149,13 @@ Vmmc::notifyDeath(PhysNodeId phys)
     }
 }
 
+void
+Vmmc::markDeathObserved(PhysNodeId phys)
+{
+    if (phys < deathNotified.size())
+        deathNotified[phys] = true;
+}
+
 bool
 Vmmc::sweepForFailures(SimThread &self, PhysNodeId *dead_out)
 {

@@ -165,6 +165,15 @@ class Vmmc
     void setRecoveryPendingCheck(std::function<bool()> check)
     { recoveryPending = std::move(check); }
 
+    /**
+     * Mark a death as already observed without firing the peer-death
+     * hook. Used by the recovery manager for failures it detects
+     * itself (a node dying at a recovery failpoint): the enlarged
+     * failed set is handled in the current recovery cycle, so a later
+     * sweep must not re-announce the carcass.
+     */
+    void markDeathObserved(PhysNodeId phys);
+
     // ---- Blocking operations (call from fibers) --------------------------
 
     /**

@@ -82,6 +82,27 @@ void
 Cluster::run()
 {
     eng.run();
+    if (lost())
+        throw ClusterLostError(lostReason_);
+}
+
+void
+Cluster::clusterLost(const std::string &reason)
+{
+    if (lost())
+        return;
+    lostReason_ = reason;
+    RSVM_LOG(LogComp::Recovery, "cluster lost: %s", reason.c_str());
+    // Tear down every remaining compute thread so the engine drains
+    // and run() can report the loss instead of hanging.
+    for (auto &t : threads) {
+        SimThread &st = t->sim();
+        if (&st == eng.current())
+            continue;
+        if (st.state() != ThreadState::Finished &&
+            st.state() != ThreadState::Dead)
+            st.kill();
+    }
 }
 
 void

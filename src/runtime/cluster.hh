@@ -23,6 +23,8 @@
 
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "base/config.hh"
@@ -39,6 +41,21 @@
 
 namespace rsvm {
 
+/**
+ * Thrown by Cluster::run() when recovery determined the cluster is
+ * genuinely unrecoverable (§4.5): some state's checkpoint store and
+ * both page replicas are gone, or fewer than two physical nodes
+ * survive. This is the clean, reportable alternative to crashing.
+ */
+class ClusterLostError : public std::runtime_error
+{
+  public:
+    explicit ClusterLostError(const std::string &reason)
+        : std::runtime_error("cluster lost: " + reason)
+    {
+    }
+};
+
 /** A complete simulated SVM cluster. */
 class Cluster : public ClusterOps
 {
@@ -51,8 +68,15 @@ class Cluster : public ClusterOps
     /** Create and start every compute thread running @p fn. */
     void spawn(AppFn fn);
 
-    /** Run the simulation to completion. */
+    /**
+     * Run the simulation to completion. Throws ClusterLostError if
+     * recovery declared the cluster unrecoverable.
+     */
     void run();
+
+    /** True once recovery declared the cluster unrecoverable. */
+    bool lost() const { return !lostReason_.empty(); }
+    const std::string &lostReason() const { return lostReason_; }
 
     // ---- Accessors -----------------------------------------------------------
     Engine &engine() { return eng; }
@@ -104,6 +128,7 @@ class Cluster : public ClusterOps
     NodeId backupOf(NodeId node) const override;
     void setBackupOf(NodeId node, NodeId backup) override;
     void paranoidCheck() override;
+    void clusterLost(const std::string &reason) override;
 
   private:
     void killPhysNode(PhysNodeId phys);
@@ -124,6 +149,7 @@ class Cluster : public ClusterOps
     std::vector<PhysNodeId> hostMap;
     std::vector<NodeId> backupMap;
     AppFn appFn;
+    std::string lostReason_;
 };
 
 } // namespace rsvm

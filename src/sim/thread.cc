@@ -186,6 +186,15 @@ SimThread::restoreFromImage(const CkptImage &image)
         opActive = true;
         opRestartFlag = true;
         hasPendingWake = false;
+        // Re-anchor the boundary context to the restored stack. The
+        // member still describes the context of the LAST op this fiber
+        // executed before it was killed, which can sit at a different
+        // stack depth than the restored image; a checkpoint captured
+        // through the stale anchor before the thread runs again (the
+        // recovery manager re-protects resumed nodes in the same
+        // engine instant) would marry that context to mismatched
+        // stack bytes and corrupt the stored image.
+        restartCtx = image.snap.ctx;
     } else if (image.op) {
         // Point-B image: execution resumes *inside* the operation the
         // image recorded; restore the member bookkeeping to match so
@@ -195,6 +204,14 @@ SimThread::restoreFromImage(const CkptImage &image)
         opRestartFlag = false;
         pendingWake = WakeStatus::Restarted;
         hasPendingWake = true;
+        // Re-anchor the boundary to the op the restored stack is
+        // actually inside (the image recorded it at capture time).
+        // Without this, a boundary capture of the restored thread goes
+        // through whatever op this object last entered — potentially a
+        // different incarnation at a different stack depth.
+        rsvm_assert_msg(image.hasOpCtx,
+                        "point-B image lacks its boundary context");
+        restartCtx = image.opCtx;
     } else {
         restartOp = nullptr;
         opActive = false;

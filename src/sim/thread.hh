@@ -127,6 +127,17 @@ class SimThread
         bool atBoundary = false;
         bool finished = false;
         std::function<void()> op;
+        /**
+         * Boundary context of the operation a point-B image sits
+         * inside (op != nullptr, atBoundary == false). Restores must
+         * re-anchor the thread's boundary to this context: the thread
+         * object's own anchor may describe a different incarnation at
+         * a different stack depth, and a later boundary capture taken
+         * through a stale anchor weds its registers to unrelated stack
+         * bytes — an image that crashes when resumed.
+         */
+        bool hasOpCtx = false;
+        ucontext_t opCtx{};
         std::size_t bytes() const { return snap.bytes() + 64; }
     };
 
@@ -143,6 +154,13 @@ class SimThread
 
     /** Copy of the current restartable operation closure. */
     std::function<void()> currentOp() const { return restartOp; }
+
+    /**
+     * Boundary context of the current restartable operation. Point-B
+     * images record it (CkptImage::opCtx) so a restore can re-anchor
+     * the thread's boundary to the restored stack.
+     */
+    const ucontext_t &opBoundaryContext() const { return restartCtx; }
 
     /** Capture an image of a non-running thread (point A, §4.4). */
     CkptImage captureForCkpt() const;

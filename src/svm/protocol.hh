@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -71,6 +72,15 @@ class ClusterOps
      * representatives after their rendezvous completes.
      */
     virtual void paranoidCheck() {}
+
+    /**
+     * Recovery determined the cluster cannot continue (checkpoint
+     * store and both replicas of some state are gone, or too few
+     * physical nodes survive). The runtime records the reason, tears
+     * the remaining threads down and reports the loss to the caller
+     * of run() — it must not assert or crash.
+     */
+    virtual void clusterLost(const std::string &reason) { (void)reason; }
 };
 
 /** Cluster-wide state shared by every SvmNode. */

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Recovery-under-fire tests: a second fail-stop failure lands WHILE
+ * the recovery manager is mid-cycle, at every recovery step. The
+ * required behavior is binary and crash-free: either the cluster
+ * recovers and the computation's final state is exact, or recovery
+ * cleanly declares the cluster unrecoverable (ClusterLostError from
+ * Cluster::run()). An assert, hang, or wrong result is a bug.
+ *
+ * The headline scenario is the backup-chain case: the victim's BACKUP
+ * dies after the victim but before re-protection finished, so the
+ * checkpoint store's only live replica disappears mid-recovery. The
+ * manager must fall back to the salvaged copy it took at pass start.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "net/failure.hh"
+#include "runtime/cluster.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+namespace {
+
+Config
+ftConfig(std::uint32_t nodes = 4, std::uint32_t tpn = 1)
+{
+    Config cfg;
+    cfg.protocol = ProtocolKind::FaultTolerant;
+    cfg.numNodes = nodes;
+    cfg.threadsPerNode = tpn;
+    cfg.sharedBytes = 16u << 20;
+    return cfg;
+}
+
+/** Lock-counter workload returning {counter value, lost?}. */
+struct RunOutcome
+{
+    std::uint64_t value = 0;
+    bool lost = false;
+    std::string reason;
+};
+
+RunOutcome
+runCounter(Cluster &cluster, int iters)
+{
+    Addr counter = cluster.mem().alloc(8);
+    cluster.spawn([counter, iters](AppThread &t) {
+        for (int i = 0; i < iters; ++i) {
+            t.lock(1);
+            std::uint64_t v = t.get<std::uint64_t>(counter);
+            t.compute(3 * kMicrosecond);
+            t.put<std::uint64_t>(counter, v + 1);
+            t.unlock(1);
+            t.compute(20 * kMicrosecond);
+        }
+        t.barrier();
+    });
+    RunOutcome out;
+    try {
+        cluster.run();
+    } catch (const ClusterLostError &e) {
+        out.lost = true;
+        out.reason = e.what();
+        return out;
+    }
+    cluster.debugRead(counter, &out.value, 8);
+    return out;
+}
+
+// ---- Double-kill sweep: release point x recovery point ---------------
+
+class RecoveryUnderFire
+    : public testing::TestWithParam<
+          std::tuple<const char *, const char *>>
+{
+};
+
+TEST_P(RecoveryUnderFire, VerifiedResumeOrCleanLoss)
+{
+    const char *release_fp = std::get<0>(GetParam());
+    const char *recovery_fp = std::get<1>(GetParam());
+    Config cfg = ftConfig();
+    Cluster cluster(cfg);
+    // Kill node 2 at a release-path point; then its backup (node 3,
+    // which holds node 2's checkpoint store) at a recovery-path point
+    // of the resulting cycle.
+    cluster.injector().armFailpoint(2, release_fp, 2);
+    cluster.injector().armFailpoint(3, recovery_fp, 1);
+
+    RunOutcome out = runCounter(cluster, 15);
+    if (out.lost) {
+        // A clean, reasoned loss is acceptable under a double kill —
+        // but only when both kills actually happened.
+        EXPECT_EQ(cluster.injector().killed().size(), 2u)
+            << "declared lost without the double kill: " << out.reason;
+        EXPECT_FALSE(out.reason.empty());
+        return;
+    }
+    EXPECT_EQ(out.value, 15u * cfg.totalThreads())
+        << "release=" << release_fp << " recovery=" << recovery_fp;
+    if (!cluster.injector().killed().empty())
+        EXPECT_GE(cluster.totalCounters().recoveries, 1u);
+    // A second kill mid-recovery must have aborted and restarted the
+    // pass, never crashed it.
+    if (cluster.injector().killed().size() == 2)
+        EXPECT_GE(cluster.totalCounters().recoveryRestarts, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RecoveryUnderFire,
+    testing::Combine(testing::ValuesIn(failpoints::kReleasePoints),
+                     testing::ValuesIn(failpoints::kRecoveryPoints)),
+    [](const testing::TestParamInfo<
+        std::tuple<const char *, const char *>> &info) {
+        std::string s = std::get<0>(info.param);
+        s += "_then_";
+        s += std::get<1>(info.param);
+        for (char &c : s)
+            if (c == ':' || c == '-')
+                c = '_';
+        return s;
+    });
+
+// ---- The backup-chain case ------------------------------------------
+
+TEST(BackupChain, SalvagedStoreRestoresProtectedNode)
+{
+    // Node 2 dies with a saved timestamp; its backup node 3 dies at
+    // the resume step of node 2's recovery — after the store's only
+    // live replica was already consumed, before re-protection copied
+    // it anywhere. The salvaged copy taken at pass start must restore
+    // node 2; losing the cluster here is a bug.
+    Config cfg = ftConfig();
+    Cluster cluster(cfg);
+    cluster.injector().armFailpoint(2, failpoints::kAfterTsSave, 2);
+    cluster.injector().armFailpoint(3, failpoints::kRecResume, 1);
+
+    RunOutcome out = runCounter(cluster, 15);
+    ASSERT_FALSE(out.lost) << out.reason;
+    EXPECT_EQ(out.value, 15u * cfg.totalThreads());
+    if (cluster.injector().killed().size() == 2) {
+        Counters c = cluster.totalCounters();
+        EXPECT_GE(c.recoveryRestarts, 1u);
+        EXPECT_GE(c.recoveries, 1u);
+        // All four logical nodes live somewhere healthy again.
+        for (NodeId n = 0; n < cfg.numNodes; ++n)
+            EXPECT_TRUE(cluster.physAlive(cluster.hostOf(n)))
+                << "node " << n;
+    }
+}
+
+TEST(BackupChain, SimultaneousVictimAndBackupDeath)
+{
+    // Victim and backup die at the same instant: the quiesce sees both
+    // at once, and the backup's store copy is salvageable only through
+    // the OTHER nodes' evidence. Either a verified result or a clean
+    // loss is acceptable; a crash is not.
+    Config cfg = ftConfig();
+    Cluster cluster(cfg);
+    cluster.injector().killAt(2, 2 * kMillisecond);
+    cluster.injector().killAt(3, 2 * kMillisecond);
+
+    RunOutcome out = runCounter(cluster, 15);
+    if (out.lost) {
+        EXPECT_FALSE(out.reason.empty());
+        return;
+    }
+    EXPECT_EQ(out.value, 15u * cfg.totalThreads());
+    EXPECT_GE(cluster.totalCounters().recoveries, 1u);
+}
+
+TEST(BackupChain, CascadeAcrossEveryRecoveryPointStillEnds)
+{
+    // Chain three kills: victim, backup-at-resume, then another node
+    // at re-protect of the SECOND cycle. Recovery must still converge
+    // (possibly to a clean loss once < 2 physical hosts survive).
+    Config cfg = ftConfig(5, 1);
+    Cluster cluster(cfg);
+    cluster.injector().armFailpoint(2, failpoints::kAfterTsSave, 2);
+    cluster.injector().armFailpoint(3, failpoints::kRecResume, 1);
+    cluster.injector().armFailpoint(4, failpoints::kRecReProtect, 1);
+
+    RunOutcome out = runCounter(cluster, 20);
+    if (out.lost) {
+        EXPECT_FALSE(out.reason.empty());
+        return;
+    }
+    EXPECT_EQ(out.value, 20u * cfg.totalThreads());
+}
+
+// ---- Injector bookkeeping -------------------------------------------
+
+TEST(InjectorBookkeeping, TimedKillOnDeadNodeDoesNotReKill)
+{
+    Config cfg;
+    Engine eng(cfg);
+    FailureInjector inj(eng);
+    int kills = 0;
+    PhysNodeId last = 0;
+    inj.setKillAction([&](PhysNodeId p) {
+        kills++;
+        last = p;
+    });
+
+    // Two timed kills aimed at the same node, plus an earlier direct
+    // kill: the action must run exactly once, and the armed state must
+    // drain to empty so quiesce-side spin loops terminate.
+    inj.killAt(1, 100);
+    inj.killAt(1, 200);
+    EXPECT_TRUE(inj.anyArmed());
+    eng.at(50, [&] { inj.killNow(1); });
+    eng.run(/*tolerate_parked=*/true);
+
+    EXPECT_EQ(kills, 1);
+    EXPECT_EQ(last, 1u);
+    EXPECT_FALSE(inj.anyArmed());
+    ASSERT_EQ(inj.killed().size(), 1u);
+    EXPECT_EQ(inj.killed()[0], 1u);
+}
+
+TEST(InjectorBookkeeping, FailpointKillRetiresPendingTimedKill)
+{
+    Config cfg;
+    Engine eng(cfg);
+    FailureInjector inj(eng);
+    int kills = 0;
+    inj.setKillAction([&](PhysNodeId) { kills++; });
+
+    inj.killAt(2, 500);
+    inj.armFailpoint(2, "release:mid-phase1", 1);
+    // The failpoint fires first; the later timed kill must become a
+    // no-op instead of double-killing or underflowing bookkeeping.
+    EXPECT_TRUE(inj.failpoint(2, "release:mid-phase1"));
+    EXPECT_EQ(kills, 1);
+    EXPECT_FALSE(inj.anyArmed());
+    eng.run(true);
+    EXPECT_EQ(kills, 1);
+    EXPECT_FALSE(inj.anyArmed());
+}
+
+TEST(InjectorBookkeeping, ArmedPointsForOtherNodesSurvive)
+{
+    Config cfg;
+    Engine eng(cfg);
+    FailureInjector inj(eng);
+    int kills = 0;
+    inj.setKillAction([&](PhysNodeId) { kills++; });
+
+    inj.killAt(1, 100);
+    inj.killAt(3, 300);
+    eng.runUntil(150);
+    EXPECT_EQ(kills, 1);
+    EXPECT_TRUE(inj.anyArmed()) << "node 3's kill is still pending";
+    eng.run(true);
+    EXPECT_EQ(kills, 2);
+    EXPECT_FALSE(inj.anyArmed());
+}
+
+} // namespace
+} // namespace rsvm

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Deterministic fault-injection campaign orchestrator.
+ *
+ * Enumerates kill schedules — every release-path failpoint at one or
+ * two occurrences on a victim node, and (with --max-kills >= 2)
+ * double-kill schedules pairing a release-path kill with a second kill
+ * of the victim's BACKUP at every recovery-path failpoint (the
+ * backup-chain case) — and runs each schedule in-process against a
+ * real application kernel, verifying the final shared state against
+ * the serial reference.
+ *
+ * Every scenario must end in one of three clean outcomes:
+ *  - "pass":          the run completed and verified bit-exact;
+ *  - "unrecoverable": recovery declared a clean ClusterLostError
+ *                     (acceptable: the schedule destroyed all copies);
+ *  - "not-triggered": the armed failpoint was never reached.
+ * A verification mismatch, unexpected exception, or crash is "fail"
+ * and makes the process exit non-zero. Asserts abort the process,
+ * which CI reports as failure — the campaign's core claim is that no
+ * schedule can crash the runtime.
+ *
+ * Usage:
+ *   fault_campaign [--apps fft,lu] [--max-kills 2] [--nodes 4]
+ *                  [--out matrix.json]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "apps/app_common.hh"
+#include "net/failure.hh"
+#include "runtime/cluster.hh"
+
+namespace {
+
+using namespace rsvm;
+
+struct Kill
+{
+    PhysNodeId node;
+    const char *point;
+    std::uint64_t occurrence;
+};
+
+struct Scenario
+{
+    std::string app;
+    std::vector<Kill> kills;
+};
+
+struct Outcome
+{
+    std::string verdict; // pass | unrecoverable | not-triggered | fail
+    std::string detail;
+    std::size_t killsFired = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t restarts = 0;
+};
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > pos)
+            out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+Outcome
+runScenario(const Scenario &sc, std::uint32_t nodes)
+{
+    Outcome out;
+    try {
+        Config cfg;
+        cfg.protocol = ProtocolKind::FaultTolerant;
+        cfg.numNodes = nodes;
+        cfg.sharedBytes = 64u << 20;
+
+        apps::AppParams params = apps::defaultParams(sc.app);
+        apps::AppInstance inst = apps::makeApp(sc.app, params);
+
+        Cluster cluster(cfg);
+        for (const Kill &k : sc.kills)
+            cluster.injector().armFailpoint(k.node, k.point,
+                                            k.occurrence);
+        inst.setup(cluster);
+        cluster.spawn(inst.threadFn);
+        cluster.run();
+
+        out.killsFired = cluster.injector().killed().size();
+        Counters c = cluster.totalCounters();
+        out.recoveries = c.recoveries;
+        out.restarts = c.recoveryRestarts;
+        if (out.killsFired == 0) {
+            out.verdict = "not-triggered";
+            return out;
+        }
+        apps::AppResult r = inst.verify(cluster);
+        if (r.ok) {
+            out.verdict = "pass";
+        } else {
+            out.verdict = "fail";
+            out.detail = r.detail;
+        }
+    } catch (const ClusterLostError &e) {
+        // The clean unrecoverable outcome: the schedule really did
+        // destroy every copy of some state, and recovery said so.
+        out.verdict = "unrecoverable";
+        out.detail = e.what();
+    } catch (const std::exception &e) {
+        out.verdict = "fail";
+        out.detail = std::string("unexpected exception: ") + e.what();
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> app_list = {"fft", "lu"};
+    int max_kills = 2;
+    std::uint32_t nodes = 4;
+    std::string out_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--apps") {
+            app_list = splitList(value());
+        } else if (arg == "--max-kills") {
+            max_kills = std::atoi(value());
+        } else if (arg == "--nodes") {
+            nodes = static_cast<std::uint32_t>(std::atoi(value()));
+        } else if (arg == "--out") {
+            out_path = value();
+        } else {
+            std::fprintf(stderr,
+                         "usage: fault_campaign [--apps a,b] "
+                         "[--max-kills N] [--nodes N] [--out f.json]\n");
+            return 2;
+        }
+    }
+    if (nodes < 4) {
+        std::fprintf(stderr, "need >= 4 nodes for double kills\n");
+        return 2;
+    }
+
+    // The victim and (initial) backup of the victim: logical node n
+    // starts on phys n with backup n+1.
+    const PhysNodeId victim = 2;
+    const PhysNodeId backup = 3;
+
+    std::vector<Scenario> scenarios;
+    for (const std::string &app : app_list) {
+        for (const char *rp : failpoints::kReleasePoints) {
+            for (std::uint64_t occ : {1ull, 2ull})
+                scenarios.push_back({app, {{victim, rp, occ}}});
+        }
+        if (max_kills >= 2) {
+            for (const char *rp : failpoints::kReleasePoints) {
+                for (const char *cp : failpoints::kRecoveryPoints) {
+                    scenarios.push_back(
+                        {app, {{victim, rp, 1}, {backup, cp, 1}}});
+                }
+            }
+        }
+    }
+
+    std::string json = "{\n  \"scenarios\": [\n";
+    int n_pass = 0, n_lost = 0, n_idle = 0, n_fail = 0;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const Scenario &sc = scenarios[i];
+        Outcome o = runScenario(sc, nodes);
+        if (o.verdict == "pass")
+            n_pass++;
+        else if (o.verdict == "unrecoverable")
+            n_lost++;
+        else if (o.verdict == "not-triggered")
+            n_idle++;
+        else
+            n_fail++;
+
+        std::string kills;
+        for (std::size_t k = 0; k < sc.kills.size(); ++k) {
+            if (k)
+                kills += ", ";
+            kills += "{\"node\": " +
+                     std::to_string(sc.kills[k].node) +
+                     ", \"point\": \"" + sc.kills[k].point +
+                     "\", \"occurrence\": " +
+                     std::to_string(sc.kills[k].occurrence) + "}";
+        }
+        json += "    {\"app\": \"" + sc.app + "\", \"kills\": [" +
+                kills + "], \"outcome\": \"" + o.verdict +
+                "\", \"kills_fired\": " + std::to_string(o.killsFired) +
+                ", \"recoveries\": " + std::to_string(o.recoveries) +
+                ", \"recovery_restarts\": " +
+                std::to_string(o.restarts) + ", \"detail\": \"" +
+                jsonEscape(o.detail) + "\"}";
+        json += (i + 1 < scenarios.size()) ? ",\n" : "\n";
+
+        std::fprintf(stderr, "[%3zu/%zu] %-8s %-50s %s\n", i + 1,
+                     scenarios.size(), sc.app.c_str(), kills.c_str(),
+                     o.verdict.c_str());
+    }
+    json += "  ],\n  \"summary\": {\"pass\": " +
+            std::to_string(n_pass) +
+            ", \"unrecoverable\": " + std::to_string(n_lost) +
+            ", \"not_triggered\": " + std::to_string(n_idle) +
+            ", \"fail\": " + std::to_string(n_fail) + "}\n}\n";
+
+    if (!out_path.empty()) {
+        std::FILE *f = std::fopen(out_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+            return 2;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+    } else {
+        std::fwrite(json.data(), 1, json.size(), stdout);
+    }
+
+    std::fprintf(stderr,
+                 "campaign: %d pass, %d unrecoverable, %d not-triggered"
+                 ", %d FAIL\n",
+                 n_pass, n_lost, n_idle, n_fail);
+    return n_fail == 0 ? 0 : 1;
+}

@@ -18,6 +18,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -96,7 +97,37 @@ scaledParams(const std::string &name, double scale,
     return p;
 }
 
-/** Run one application once and collect everything. */
+/**
+ * Run one application on a caller-built Config. @p post_setup (if
+ * given) runs after the app's setup — i.e. after its explicit home
+ * assignment — and before the threads spawn, so benchmarks can
+ * perturb page placement without touching the apps.
+ */
+inline RunResult
+runApp(const std::string &name, const Config &config, double scale,
+       const std::function<void(Cluster &)> &post_setup = {})
+{
+    Cluster cluster(config);
+    apps::AppParams p =
+        scaledParams(name, scale, config.totalThreads());
+    apps::AppInstance app = apps::makeApp(name, p);
+    app.setup(cluster);
+    if (post_setup)
+        post_setup(cluster);
+    cluster.spawn(app.threadFn);
+    cluster.run();
+
+    RunResult r;
+    r.app = name;
+    r.protocol = config.protocol;
+    r.wall = cluster.wallTime();
+    r.avg = cluster.avgBreakdown();
+    r.counters = cluster.totalCounters();
+    r.verified = app.verify(cluster).ok;
+    return r;
+}
+
+/** Run one application once on the paper's default geometry. */
 inline RunResult
 runApp(const std::string &name, ProtocolKind protocol,
        std::uint32_t nodes, std::uint32_t tpn, double scale)
@@ -106,22 +137,7 @@ runApp(const std::string &name, ProtocolKind protocol,
     cfg.numNodes = nodes;
     cfg.threadsPerNode = tpn;
     cfg.sharedBytes = 256u << 20;
-
-    Cluster cluster(cfg);
-    apps::AppParams p = scaledParams(name, scale, cfg.totalThreads());
-    apps::AppInstance app = apps::makeApp(name, p);
-    app.setup(cluster);
-    cluster.spawn(app.threadFn);
-    cluster.run();
-
-    RunResult r;
-    r.app = name;
-    r.protocol = protocol;
-    r.wall = cluster.wallTime();
-    r.avg = cluster.avgBreakdown();
-    r.counters = cluster.totalCounters();
-    r.verified = app.verify(cluster).ok;
-    return r;
+    return runApp(name, cfg, scale);
 }
 
 inline const char *

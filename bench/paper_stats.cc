@@ -22,9 +22,11 @@ run()
     double scale = benchScale();
     std::printf("# Per-application statistics under the extended "
                 "protocol (8 nodes x 1 thread)\n");
-    std::printf("%-11s %10s %10s %10s %12s %10s %10s %12s %12s %s\n",
+    std::printf("%-11s %10s %10s %10s %12s %10s %10s %12s %12s %12s "
+                "%s\n",
                 "app", "releases", "barriers", "ckpts", "avgCkptB",
-                "faults", "fetches", "pagesDiffed", "homeDiff%", "ok");
+                "faults", "fetches", "pagesDiffed", "homeDiff%",
+                "misHomedB", "ok");
 
     int failures = 0;
     for (const std::string &app : benchApps()) {
@@ -42,7 +44,7 @@ run()
                       static_cast<double>(c.checkpointsTaken)
                 : 0.0;
         std::printf("%-11s %10llu %10llu %10llu %12.0f %10llu %10llu "
-                    "%12llu %11.1f%% %s\n",
+                    "%12llu %11.1f%% %12llu %s\n",
                     app.c_str(),
                     static_cast<unsigned long long>(c.releases),
                     static_cast<unsigned long long>(c.barriers),
@@ -52,7 +54,10 @@ run()
                     static_cast<unsigned long long>(
                         c.remotePageFetches),
                     static_cast<unsigned long long>(c.pagesDiffed),
-                    home_pct, r.verified ? "ok" : "VERIFY-FAILED");
+                    home_pct,
+                    static_cast<unsigned long long>(
+                        c.misHomedDiffBytes),
+                    r.verified ? "ok" : "VERIFY-FAILED");
         if (!r.verified)
             failures++;
     }
@@ -60,6 +65,39 @@ run()
                 "dominated by home-page diffs;\n# Water-Nsq has by far "
                 "the most releases (hence checkpoints); Radix diffs "
                 "the\n# smallest home-page fraction.\n");
+
+    // Adaptive home placement (svm/homing): the same suite with the
+    // online page-migration subsystem enabled, against the apps'
+    // native (already tuned) home assignment. misHomedB shrinking
+    // relative to the static table above means the profiler found
+    // residual mis-homed traffic worth chasing; 0 migrations on the
+    // well-homed apps means the hysteresis is doing its job.
+    std::printf("\n# Adaptive placement (dynamicHoming=1, same "
+                "geometry)\n");
+    std::printf("%-11s %10s %12s %12s %10s %-30s %s\n", "app",
+                "homeMigr", "migratedB", "misHomedB", "fwdFetch",
+                "migr/epoch", "ok");
+    for (const std::string &app : benchApps()) {
+        Config cfg;
+        cfg.protocol = ProtocolKind::FaultTolerant;
+        cfg.numNodes = 8;
+        cfg.threadsPerNode = 1;
+        cfg.sharedBytes = 256u << 20;
+        cfg.dynamicHoming = true;
+        RunResult r = runApp(app, cfg, scale);
+        const Counters &c = r.counters;
+        std::printf("%-11s %10llu %12llu %12llu %10llu %-30s %s\n",
+                    app.c_str(),
+                    static_cast<unsigned long long>(c.homeMigrations),
+                    static_cast<unsigned long long>(c.migratedBytes),
+                    static_cast<unsigned long long>(
+                        c.misHomedDiffBytes),
+                    static_cast<unsigned long long>(c.fetchForwards),
+                    c.epochMigrationsHist.toString().c_str(),
+                    r.verified ? "ok" : "VERIFY-FAILED");
+        if (!r.verified)
+            failures++;
+    }
     return failures;
 }
 

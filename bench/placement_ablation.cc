@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Static vs dynamic home placement ablation.
+ *
+ * Both arms run the application suite with every shared page's primary
+ * home scrambled round-robin AFTER the app's own (tuned) assignment —
+ * the adversarial placement a real application gets when its sharing
+ * pattern is unknown at allocation time. The static arm lives with it;
+ * the dynamic arm turns on the homing subsystem (svm/homing) and lets
+ * the profiler/policy/migration pipeline re-home hot pages online.
+ *
+ * The reproduction target: on the write-mostly applications the
+ * dynamic arm migrates the mis-homed hot pages back and slashes
+ * misHomedDiffBytes (and usually wall time); on apps whose sharing is
+ * genuinely all-to-all the two arms converge.
+ *
+ * Results go to stdout as a table and to BENCH_placement.json
+ * (machine-readable, one record per app x arm; override the path with
+ * RSVM_BENCH_OUT) so runs can be tracked in-repo.
+ */
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+
+namespace {
+
+using namespace rsvm;
+using namespace rsvm::bench;
+
+struct ArmResult
+{
+    RunResult run;
+    bool dynamic = false;
+};
+
+/** Round-robin every allocated page's primary home (post-setup). */
+void
+scrambleHomes(Cluster &cluster)
+{
+    AddressSpace &as = cluster.mem();
+    PageId last = as.pageOf(as.used() == 0 ? 0 : as.used() - 1);
+    for (PageId p = 0; p <= last; ++p)
+        as.setPrimaryHome(p, p % cluster.config().numNodes);
+}
+
+ArmResult
+runArm(const std::string &app, bool dynamic, double scale)
+{
+    Config cfg;
+    cfg.protocol = ProtocolKind::FaultTolerant;
+    cfg.numNodes = 8;
+    cfg.threadsPerNode = 1;
+    cfg.sharedBytes = 256u << 20;
+    cfg.dynamicHoming = dynamic;
+    if (dynamic) {
+        // Migration pays off within a short run only if epochs are
+        // dense relative to the apps' phase lengths.
+        cfg.homingEpoch = 200 * kMicrosecond;
+        cfg.homingMinBytes = 1024;
+        cfg.homingBudget = 256;
+    }
+    ArmResult a;
+    a.dynamic = dynamic;
+    a.run = runApp(app, cfg, scale, scrambleHomes);
+    return a;
+}
+
+void
+appendJson(std::string &json, const ArmResult &a)
+{
+    const Counters &c = a.run.counters;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  {\"app\": \"%s\", \"arm\": \"%s\", \"wallNs\": %llu, "
+        "\"misHomedDiffBytes\": %llu, \"diffBytesSent\": %llu, "
+        "\"homeMigrations\": %llu, \"migratedBytes\": %llu, "
+        "\"fetchForwards\": %llu, \"verified\": %s}",
+        a.run.app.c_str(), a.dynamic ? "dynamic" : "static",
+        static_cast<unsigned long long>(a.run.wall),
+        static_cast<unsigned long long>(c.misHomedDiffBytes),
+        static_cast<unsigned long long>(c.diffBytesSent),
+        static_cast<unsigned long long>(c.homeMigrations),
+        static_cast<unsigned long long>(c.migratedBytes),
+        static_cast<unsigned long long>(c.fetchForwards),
+        a.run.verified ? "true" : "false");
+    if (!json.empty())
+        json += ",\n";
+    json += buf;
+}
+
+int
+run()
+{
+    double scale = benchScale();
+    std::printf("# Placement ablation: round-robin scrambled homes, "
+                "static vs dynamic (8 nodes x 1 thread)\n");
+    std::printf("%-11s %12s %12s %8s %10s %12s %10s %10s %s\n", "app",
+                "misHomed(s)", "misHomed(d)", "reduc%", "homeMigr",
+                "migratedB", "wall(s)ms", "wall(d)ms", "ok");
+
+    int failures = 0;
+    std::string json;
+    for (const std::string &app : benchApps()) {
+        ArmResult stat = runArm(app, false, scale);
+        ArmResult dyn = runArm(app, true, scale);
+        appendJson(json, stat);
+        appendJson(json, dyn);
+
+        std::uint64_t ms_bytes = stat.run.counters.misHomedDiffBytes;
+        std::uint64_t md_bytes = dyn.run.counters.misHomedDiffBytes;
+        double reduc =
+            ms_bytes ? 100.0 *
+                           (static_cast<double>(ms_bytes) -
+                            static_cast<double>(md_bytes)) /
+                           static_cast<double>(ms_bytes)
+                     : 0.0;
+        bool ok = stat.run.verified && dyn.run.verified;
+        std::printf("%-11s %12llu %12llu %7.1f%% %10llu %12llu %10.2f "
+                    "%10.2f %s\n",
+                    app.c_str(),
+                    static_cast<unsigned long long>(ms_bytes),
+                    static_cast<unsigned long long>(md_bytes), reduc,
+                    static_cast<unsigned long long>(
+                        dyn.run.counters.homeMigrations),
+                    static_cast<unsigned long long>(
+                        dyn.run.counters.migratedBytes),
+                    ms(stat.run.wall), ms(dyn.run.wall),
+                    ok ? "ok" : "VERIFY-FAILED");
+        if (!ok)
+            failures++;
+    }
+
+    const char *out = std::getenv("RSVM_BENCH_OUT");
+    if (!out)
+        out = "BENCH_placement.json";
+    if (std::FILE *f = std::fopen(out, "w")) {
+        std::fprintf(f, "[\n%s\n]\n", json.c_str());
+        std::fclose(f);
+        std::printf("\n# wrote %s\n", out);
+    } else {
+        std::printf("\n# FAILED to write %s\n", out);
+        failures++;
+    }
+    return failures;
+}
+
+} // namespace
+
+int
+main()
+{
+    return run() ? 1 : 0;
+}

@@ -54,6 +54,13 @@ Config::applyOverride(const std::string &kv)
     else if (key == "ckptCaptureCost") ckptCaptureCost = as_u64();
     else if (key == "recoveryPerPageCost") recoveryPerPageCost = as_u64();
     else if (key == "recoveryFixedCost") recoveryFixedCost = as_u64();
+    else if (key == "dynamicHoming") dynamicHoming = (val == "1" ||
+                                                      val == "true");
+    else if (key == "homingEpoch") homingEpoch = as_u64();
+    else if (key == "homingBudget") homingBudget = as_u64();
+    else if (key == "homingHysteresis") homingHysteresis = as_f();
+    else if (key == "homingMinBytes") homingMinBytes = as_u64();
+    else if (key == "homingCooldownEpochs") homingCooldownEpochs = as_u64();
     else if (key == "smpComputeInflation") smpComputeInflation = as_f();
     else if (key == "seed") seed = as_u64();
     else if (key == "paranoidChecks") paranoidChecks = (val == "1" ||
@@ -81,6 +88,12 @@ Config::toString() const
        << " nicPostQueue=" << nicPostQueue
        << " batchDiffs=" << batchDiffs
        << " maxDiffMsgBytes=" << maxDiffMsgBytes
+       << " dynamicHoming=" << dynamicHoming
+       << " homingEpoch=" << homingEpoch
+       << " homingBudget=" << homingBudget
+       << " homingHysteresis=" << homingHysteresis
+       << " homingMinBytes=" << homingMinBytes
+       << " homingCooldownEpochs=" << homingCooldownEpochs
        << " seed=" << seed;
     return os.str();
 }

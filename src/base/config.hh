@@ -129,6 +129,30 @@ struct Config
     /** Fixed per-node cost of the recovery barrier/reconfiguration. */
     SimTime recoveryFixedCost = 500 * kMicrosecond;
 
+    // ---- Adaptive home placement (svm/homing) -----------------------------
+    /**
+     * Enable the online page-migration subsystem: profile per-page
+     * sharing, elect better homes every epoch and live-migrate
+     * mis-homed hot pages. Requires the fault-tolerant protocol (the
+     * handoff transfers both replicas atomically at a quiescent
+     * instant).
+     */
+    bool dynamicHoming = false;
+    /** Placement epoch length: profile aggregation + policy period. */
+    SimTime homingEpoch = 1 * kMillisecond;
+    /** Maximum pages migrated per epoch (migration budget). */
+    std::uint32_t homingBudget = 64;
+    /**
+     * Hysteresis factor: a candidate home must see at least this
+     * multiple of the current home's epoch traffic before the page
+     * moves (keeps ping-ponging pages put).
+     */
+    double homingHysteresis = 1.5;
+    /** Minimum epoch traffic (bytes) before a page is considered. */
+    std::uint64_t homingMinBytes = 8192;
+    /** Epochs a migrated page stays put before it may move again. */
+    std::uint32_t homingCooldownEpochs = 2;
+
     // ---- SMP contention model ---------------------------------------------
     /**
      * Fractional compute-time inflation per additional concurrently

@@ -166,6 +166,11 @@ Counters::operator+=(const Counters &other)
     threadsRestored += other.threadsRestored;
     locksCleaned += other.locksCleaned;
     reReplicationBytes += other.reReplicationBytes;
+    homeMigrations += other.homeMigrations;
+    migratedBytes += other.migratedBytes;
+    misHomedDiffBytes += other.misHomedDiffBytes;
+    migrationsRolledBack += other.migrationsRolledBack;
+    fetchForwards += other.fetchForwards;
     propPhases += other.propPhases;
     propDestBatches += other.propDestBatches;
     propPagesPacked += other.propPagesPacked;
@@ -178,6 +183,8 @@ Counters::operator+=(const Counters &other)
     phaseWallHist += other.phaseWallHist;
     recoveryStepNsHist += other.recoveryStepNsHist;
     recoveryTimeNsHist += other.recoveryTimeNsHist;
+    epochMigrationsHist += other.epochMigrationsHist;
+    epochMisHomedBytesHist += other.epochMisHomedBytesHist;
     return *this;
 }
 
@@ -214,6 +221,11 @@ Counters::toString() const
        << " restored=" << threadsRestored
        << " locksCleaned=" << locksCleaned
        << " reReplBytes=" << reReplicationBytes
+       << " homeMigrations=" << homeMigrations
+       << " migratedBytes=" << migratedBytes
+       << " misHomedDiffBytes=" << misHomedDiffBytes
+       << " migrationsRolledBack=" << migrationsRolledBack
+       << " fetchForwards=" << fetchForwards
        << " propPhases=" << propPhases
        << " propBatches=" << propDestBatches
        << " propPagesPacked=" << propPagesPacked
@@ -225,7 +237,10 @@ Counters::toString() const
        << " batchPages{" << batchPagesHist.toString() << "}"
        << " phaseWall{" << phaseWallHist.toString() << "}"
        << " recoveryStepNs{" << recoveryStepNsHist.toString() << "}"
-       << " recoveryTimeNs{" << recoveryTimeNsHist.toString() << "}";
+       << " recoveryTimeNs{" << recoveryTimeNsHist.toString() << "}"
+       << " epochMigrations{" << epochMigrationsHist.toString() << "}"
+       << " epochMisHomedBytes{" << epochMisHomedBytesHist.toString()
+       << "}";
     return os.str();
 }
 

@@ -177,6 +177,18 @@ struct Counters
     std::uint64_t locksCleaned = 0;
     std::uint64_t reReplicationBytes = 0;
 
+    // Adaptive home placement (svm/homing). misHomedDiffBytes counts
+    // the wire bytes of every committed-copy diff whose destination
+    // home is not the writer itself (re-sent diffs after a failure
+    // count again, like diffBytesSent); it is maintained regardless of
+    // Config::dynamicHoming so static runs provide the baseline.
+    std::uint64_t homeMigrations = 0;
+    std::uint64_t migratedBytes = 0;
+    std::uint64_t misHomedDiffBytes = 0;
+    std::uint64_t migrationsRolledBack = 0;
+    /** Fetches that arrived at a former home and were forwarded. */
+    std::uint64_t fetchForwards = 0;
+
     // Propagation-pipeline instrumentation (one phase = one
     // propagation pass over an interval's diffs to its homes).
     std::uint64_t propPhases = 0;
@@ -197,6 +209,10 @@ struct Counters
     Histogram recoveryStepNsHist;
     /** Simulated ns per completed recovery cycle. */
     Histogram recoveryTimeNsHist;
+    /** Pages migrated per evaluated placement epoch. */
+    Histogram epochMigrationsHist;
+    /** Mis-homed diff bytes observed per placement epoch. */
+    Histogram epochMisHomedBytesHist;
 
     Counters &operator+=(const Counters &other);
     std::string toString() const;

@@ -7,6 +7,7 @@
 #include "base/log.hh"
 #include "base/panic.hh"
 #include "sim/engine.hh"
+#include "svm/homing/profiler.hh"
 
 namespace rsvm {
 
@@ -91,6 +92,8 @@ FtProtocolNode::fetchPage(SimThread &self, PageId page)
                 stats.localPageFetches++;
                 return;
             }
+            if (ctx.homing)
+                ctx.homing->recordFetch(page, nodeId);
             std::byte *commit = committedData(page);
             std::byte *work = pt.ensureData(e2);
             std::memcpy(work, commit, ctx.cfg.pageSize);
@@ -112,6 +115,8 @@ FtProtocolNode::fetchPage(SimThread &self, PageId page)
             },
             Comp::DataWait);
         if (st == CommStatus::Ok) {
+            if (ctx.homing)
+                ctx.homing->recordFetch(page, nodeId);
             PageEntry &e2 = pt.entry(page);
             if (e2.state != PageState::Invalid) {
                 // Another local thread faulted the page in while we
@@ -164,6 +169,26 @@ FtProtocolNode::handleFetch(PageId page, const VectorClock &req_ver,
                             std::shared_ptr<Replier> rep,
                             std::shared_ptr<std::vector<std::byte>> out)
 {
+    if (ctx.cfg.dynamicHoming) {
+        NodeId prim = ctx.as.primaryHome(page);
+        if (prim != nodeId) {
+            // The page's home moved while this fetch was in flight
+            // (the requester's closure captured the old primary):
+            // forward it to the current one. Each hop re-reads the
+            // directory, so a chain of migrations still converges.
+            stats.fetchForwards++;
+            SvmNode *home_node = ctx.nodes[prim];
+            VectorClock req = req_ver;
+            ctx.vmmc.depositFromEvent(
+                nodeId, prim, 64 + 4 * ctx.cfg.numNodes,
+                [home_node, page, req = std::move(req),
+                 rep = std::move(rep), out = std::move(out)]() mutable {
+                    home_node->handleFetch(page, req, std::move(rep),
+                                           std::move(out));
+                });
+            return;
+        }
+    }
     HomeInfo &hi = homeInfo(page);
     if (hi.committedVer.dominates(req_ver)) {
         replyWithCommitted(page, std::move(rep), std::move(out));

@@ -163,6 +163,7 @@ class FtProtocolNode : public SvmNode
     std::unordered_map<NodeId, CkptStore> backupStores;
 
     friend class RecoveryManager;
+    friend class HomingManager;
 };
 
 } // namespace rsvm

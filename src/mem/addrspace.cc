@@ -42,6 +42,18 @@ AddressSpace::setPrimaryHome(PageId page, NodeId home)
     primary[page] = home;
     if (nodes > 1 && secondary[page] == home)
         secondary[page] = (home + 1) % nodes;
+    placementGen++;
+}
+
+void
+AddressSpace::setHomes(PageId page, NodeId prim, NodeId sec)
+{
+    rsvm_assert(page < pages && prim < nodes && sec < nodes);
+    rsvm_assert_msg(nodes == 1 || prim != sec,
+                    "replica homes must be distinct logical nodes");
+    primary[page] = prim;
+    secondary[page] = sec;
+    placementGen++;
 }
 
 void
@@ -110,8 +122,10 @@ AddressSpace::remapHomes(
                                         eligible);
             changed = true;
         }
-        if (changed)
+        if (changed) {
+            placementGen++;
             moved(p, primary[p]);
+        }
     }
 }
 

@@ -57,6 +57,21 @@ class AddressSpace
     NodeId secondaryHome(PageId page) const;
 
     /**
+     * Atomically commit a migrated page's new home pair (the homing
+     * subsystem's directory flip). Unlike setPrimaryHome, the caller
+     * chooses both homes; they must be distinct on multi-node spaces.
+     */
+    void setHomes(PageId page, NodeId prim, NodeId sec);
+
+    /**
+     * Generation counter of the home directory: bumped on every
+     * placement change (explicit assignment, migration commit,
+     * recovery remap). Cached home lookups are only valid while the
+     * generation they were taken under is current.
+     */
+    std::uint64_t placementVersion() const { return placementGen; }
+
+    /**
      * Recompute both homes for every page after logical node
      * @p failed lost its memory. @p eligible says whether a logical
      * node may serve as a home (its physical host is alive and it is
@@ -80,6 +95,7 @@ class AddressSpace
     std::uint64_t capacity;
     std::vector<NodeId> primary;
     std::vector<NodeId> secondary;
+    std::uint64_t placementGen = 0;
 };
 
 } // namespace rsvm

@@ -47,6 +47,13 @@ struct PageEntry
      * new writes on the page stall until cleared.
      */
     bool locked = false;
+    /**
+     * Migration lock (svm/homing): set while the page's homes are
+     * being handed off. Same stall semantics as `locked`, but owned by
+     * the homing manager so a release's unlockPages and a handoff's
+     * unlock event can never clear each other's lock.
+     */
+    bool migLocked = false;
     /** Page is recorded in the current interval's update list. */
     bool inUpdateList = false;
     /**

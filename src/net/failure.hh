@@ -40,6 +40,15 @@ inline constexpr const char *kInBarrier = "barrier:inside";
 inline constexpr const char *kInCompute = "compute";
 inline constexpr const char *kInAcquire = "acquire:inside";
 
+// Home-migration failpoints: fired by the HomingManager around each
+// step of a live home handoff (svm/homing). A kill at kMigPlan or
+// kMigTransfer rolls the migration back to the old homes; a kill at
+// kMigCommit or kMigCleanup rolls forward to the new ones.
+inline constexpr const char *kMigPlan = "migration:plan";
+inline constexpr const char *kMigTransfer = "migration:transfer";
+inline constexpr const char *kMigCommit = "migration:commit";
+inline constexpr const char *kMigCleanup = "migration:cleanup";
+
 // Recovery-path failpoints (§4.5): fired by the RecoveryManager after
 // each recovery step, so a second fail-stop can land mid-recovery.
 inline constexpr const char *kRecQuiesce = "recovery:quiesce";
@@ -61,6 +70,11 @@ inline constexpr const char *kReleasePoints[] = {
 inline constexpr const char *kRecoveryPoints[] = {
     kRecQuiesce,    kRecPageRestore, kRecHomeRemap, kRecReReplicate,
     kRecLockCleanup, kRecResume,     kRecReProtect,
+};
+
+/** Home-migration failpoints, in handoff order. */
+inline constexpr const char *kMigrationPoints[] = {
+    kMigPlan, kMigTransfer, kMigCommit, kMigCleanup,
 };
 } // namespace failpoints
 

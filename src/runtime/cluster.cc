@@ -7,6 +7,7 @@
 #include "ftsvm/ft_protocol.hh"
 #include "net/nic.hh"
 #include "svm/base_protocol.hh"
+#include "svm/homing/homing.hh"
 
 namespace rsvm {
 
@@ -48,6 +49,19 @@ Cluster::Cluster(const Config &config)
         vm.setPeerDeathHook(
             [this](PhysNodeId p) { recov->onPhysFailure(p); });
         vm.setRecoveryPendingCheck([this] { return ctx.pendingRecovery; });
+    }
+
+    if (cfg.dynamicHoming) {
+        rsvm_assert_msg(
+            cfg.protocol == ProtocolKind::FaultTolerant,
+            "dynamic homing requires the fault-tolerant protocol: "
+            "migration relies on replicated page copies and release "
+            "quiescence, which the base protocol does not provide");
+        homing = std::make_unique<HomingManager>(ctx);
+        homing->setDeathHook(
+            [this](PhysNodeId p) { recov->onPhysFailure(p); });
+        ctx.homing = &homing->profiler();
+        homing->start();
     }
 }
 
@@ -93,6 +107,8 @@ Cluster::clusterLost(const std::string &reason)
         return;
     lostReason_ = reason;
     RSVM_LOG(LogComp::Recovery, "cluster lost: %s", reason.c_str());
+    if (homing)
+        homing->stop();
     // Tear down every remaining compute thread so the engine drains
     // and run() can report the loss instead of hanging.
     for (auto &t : threads) {
@@ -137,6 +153,8 @@ Cluster::totalCounters() const
         total += net.nic(p).counters();
     if (recov)
         total += recov->counters();
+    if (homing)
+        total += homing->counters();
     return total;
 }
 

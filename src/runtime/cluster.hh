@@ -41,6 +41,8 @@
 
 namespace rsvm {
 
+class HomingManager;
+
 /**
  * Thrown by Cluster::run() when recovery determined the cluster is
  * genuinely unrecoverable (§4.5): some state's checkpoint store and
@@ -85,6 +87,8 @@ class Cluster : public ClusterOps
     Network &network() { return net; }
     FailureInjector &injector() { return inj; }
     RecoveryManager *recovery() { return recov.get(); }
+    /** Adaptive-placement manager (null unless Config::dynamicHoming). */
+    HomingManager *homingManager() { return homing.get(); }
     const Config &config() const { return cfg; }
     SvmNode &node(NodeId n) { return *nodes[n]; }
     AppThread &appThread(ThreadId t) { return *threads[t]; }
@@ -144,6 +148,7 @@ class Cluster : public ClusterOps
     SvmContext ctx;
     FailureInjector inj;
     std::unique_ptr<RecoveryManager> recov;
+    std::unique_ptr<HomingManager> homing;
     std::vector<std::unique_ptr<SvmNode>> nodes;
     std::vector<std::unique_ptr<AppThread>> threads;
     std::vector<PhysNodeId> hostMap;

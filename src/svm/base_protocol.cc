@@ -5,6 +5,7 @@
 #include "base/log.hh"
 #include "base/panic.hh"
 #include "sim/engine.hh"
+#include "svm/homing/profiler.hh"
 
 namespace rsvm {
 
@@ -59,6 +60,8 @@ BaseProtocolNode::fetchPage(SimThread &self, PageId page)
             },
             Comp::DataWait);
         if (st == CommStatus::Ok) {
+            if (ctx.homing)
+                ctx.homing->recordFetch(page, nodeId);
             PageEntry &e2 = pt.entry(page);
             if (e2.state != PageState::Invalid) {
                 // Another local thread faulted the page in while we

@@ -1,0 +1,365 @@
+#include "svm/homing/homing.hh"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "base/log.hh"
+#include "base/panic.hh"
+#include "ftsvm/ft_protocol.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+
+HomingManager::HomingManager(SvmContext &context)
+    : ctx(context), prof(context.cfg.numNodes, context.cfg.pageSize),
+      policy(context.cfg)
+{
+}
+
+FtProtocolNode *
+HomingManager::ft(NodeId n) const
+{
+    return static_cast<FtProtocolNode *>(ctx.nodes[n]);
+}
+
+bool
+HomingManager::hostAlive(NodeId n) const
+{
+    return ctx.ops->physAlive(ctx.ops->hostOf(n));
+}
+
+void
+HomingManager::start()
+{
+    ctx.eng.schedule(ctx.cfg.homingEpoch, [this] { tick(); });
+}
+
+bool
+HomingManager::anyComputeAlive() const
+{
+    for (NodeId n = 0; n < ctx.numNodes(); ++n) {
+        for (SimThread *t : ctx.ops->computeThreads(n)) {
+            // Dead (killed, awaiting restore) still counts as alive:
+            // recovery will revive it and the run continues.
+            if (t->state() != ThreadState::Finished)
+                return true;
+        }
+    }
+    return false;
+}
+
+bool
+HomingManager::quiescedForMigration() const
+{
+    // Stricter than recovery's quiesce: migration moves committed
+    // state, so it needs a cluster with NO release propagating and no
+    // failure in any stage of detection or repair. A long-dead phys
+    // node whose logical nodes were re-hosted does NOT block: only an
+    // unrecovered death (some logical node still on a dead host) does.
+    if (ctx.pendingRecovery)
+        return false;
+    for (NodeId n = 0; n < ctx.numNodes(); ++n) {
+        if (!hostAlive(n))
+            return false;
+    }
+    for (SvmNode *n : ctx.nodes) {
+        if (n->releaseInProgress())
+            return false;
+    }
+    return true;
+}
+
+void
+HomingManager::tick()
+{
+    if (stopped || !anyComputeAlive())
+        return; // application done or cluster lost: let the engine drain
+    if (!quiescedForMigration()) {
+        // Retry at the recovery poll cadence; if the cluster never
+        // goes idle, skip this epoch rather than spin.
+        if (++quiesceRetries <= kMaxQuiesceRetries) {
+            ctx.eng.schedule(50 * kMicrosecond, [this] { tick(); });
+        } else {
+            quiesceRetries = 0;
+            ctx.eng.schedule(ctx.cfg.homingEpoch, [this] { tick(); });
+        }
+        return;
+    }
+    quiesceRetries = 0;
+    runEpoch();
+    ctx.eng.schedule(ctx.cfg.homingEpoch, [this] { tick(); });
+}
+
+bool
+HomingManager::firePoint(const char *name)
+{
+    if (!ctx.injector)
+        return false;
+    std::vector<bool> live(ctx.cfg.numNodes);
+    for (PhysNodeId p = 0; p < ctx.cfg.numNodes; ++p)
+        live[p] = ctx.ops->physAlive(p);
+    for (PhysNodeId p = 0; p < ctx.cfg.numNodes; ++p) {
+        if (live[p])
+            ctx.injector->failpoint(p, name);
+    }
+    bool any = false;
+    for (PhysNodeId p = 0; p < ctx.cfg.numNodes; ++p) {
+        if (live[p] && !ctx.ops->physAlive(p)) {
+            any = true;
+            RSVM_LOG(LogComp::Ft,
+                     "phys node %u died at migration point '%s'", p,
+                     name);
+            // The hook (RecoveryManager::onPhysFailure) counts the
+            // detection and schedules its quiesce poll at delay 0 —
+            // i.e. after this epoch finishes rolling back or forward.
+            // A later heartbeat sweep must not re-announce the death.
+            ctx.vmmc.markDeathObserved(p);
+            if (deathHook)
+                deathHook(p);
+        }
+    }
+    return any;
+}
+
+void
+HomingManager::lockEntry(NodeId n, PageId page)
+{
+    PageEntry &e = ctx.nodes[n]->pageTable().entry(page);
+    if (e.migLocked)
+        return; // still frozen by a pending unlock; keep that owner
+    e.migLocked = true;
+    lockedByUs.push_back({n, page});
+}
+
+void
+HomingManager::scheduleUnlock()
+{
+    SimTime cost = epochCost;
+    epochCost = 0;
+    if (lockedByUs.empty())
+        return;
+    auto locked = std::move(lockedByUs);
+    lockedByUs.clear();
+    SvmContext *cx = &ctx;
+    ctx.eng.schedule(cost, [cx, locked = std::move(locked)] {
+        for (const auto &[n, p] : locked) {
+            // find(), not entry(): a re-hosted node's page table was
+            // reset and must not grow a fresh entry here.
+            if (PageEntry *e = cx->nodes[n]->pageTable().find(p))
+                e->migLocked = false;
+        }
+        std::vector<bool> woken(cx->numNodes(), false);
+        for (const auto &[n, p] : locked) {
+            if (!woken[n]) {
+                woken[n] = true;
+                cx->nodes[n]->wakePageLockWaiters();
+            }
+        }
+    });
+}
+
+void
+HomingManager::clearCommittedRole(FtProtocolNode *n, PageId page) const
+{
+    if (HomeInfo *hi = n->findHomeInfo(page)) {
+        hi->committed.reset();
+        // Zeroed, NOT empty: every HomeInfo clock is sized numNodes
+        // (protocol code indexes them unconditionally).
+        hi->committedVer = VectorClock(ctx.cfg.numNodes);
+        hi->deferredDiffs[0].clear();
+    }
+}
+
+void
+HomingManager::clearTentativeRole(FtProtocolNode *n, PageId page) const
+{
+    if (HomeInfo *hi = n->findHomeInfo(page)) {
+        hi->tentative.reset();
+        hi->tentativeVer = VectorClock(ctx.cfg.numNodes);
+        hi->deferredDiffs[1].clear();
+        hi->tentUndo.clear();
+    }
+}
+
+void
+HomingManager::runEpoch()
+{
+    epoch++;
+    prof.noteEpoch(epoch);
+    stats.epochMisHomedBytesHist.sample(prof.epochMisHomedBytes());
+
+    if (ctx.recoveryEpoch != seenRecoveryEpoch) {
+        // A recovery remapped homes underneath the profile; what it
+        // describes no longer exists. Start over.
+        seenRecoveryEpoch = ctx.recoveryEpoch;
+        prof.clear();
+        stats.epochMigrationsHist.sample(0);
+        return;
+    }
+
+    auto eligible = [this](NodeId cand, NodeId other) {
+        return hostAlive(cand) &&
+               ctx.ops->hostOf(cand) != ctx.ops->hostOf(other);
+    };
+    const bool want_secondary =
+        ctx.cfg.protocol == ProtocolKind::FaultTolerant;
+    std::vector<Placement> picks =
+        policy.plan(prof, ctx.as, ctx.numNodes(), want_secondary,
+                    eligible, epoch);
+
+    std::uint64_t before = stats.homeMigrations;
+    if (!firePoint(failpoints::kMigPlan)) {
+        for (const Placement &pl : picks) {
+            if (migratePage(pl))
+                break; // a failpoint killed a node: epoch over
+        }
+    }
+    stats.epochMigrationsHist.sample(stats.homeMigrations - before);
+    prof.decay();
+    scheduleUnlock();
+}
+
+bool
+HomingManager::migratePage(const Placement &pl)
+{
+    const PageId page = pl.page;
+    const NodeId oldPrim = ctx.as.primaryHome(page);
+    const NodeId oldSec = ctx.as.secondaryHome(page);
+    const NodeId newPrim = pl.newPrimary;
+    const NodeId newSec = pl.newSecondary;
+    if (newPrim == oldPrim && newSec == oldSec)
+        return false;
+    rsvm_assert(newPrim != oldPrim);
+
+    RSVM_LOG(LogComp::Ft,
+             "migrating page %u homes (%u,%u) -> (%u,%u)", page,
+             oldPrim, oldSec, newPrim, newSec);
+
+    FtProtocolNode *src_p = ft(oldPrim);
+    FtProtocolNode *src_s = ft(oldSec);
+    FtProtocolNode *dst_p = ft(newPrim);
+    FtProtocolNode *dst_s = ft(newSec);
+
+    // Freeze the page at every involved node for the handoff window.
+    lockEntry(oldPrim, page);
+    lockEntry(oldSec, page);
+    lockEntry(newPrim, page);
+    lockEntry(newSec, page);
+
+    // Snapshot both role states into locals before installing: the
+    // installs create HomeInfo entries, and an unordered_map rehash
+    // would invalidate any reference still pointing into a source
+    // node's table (newSec may be the old primary, newPrim the old
+    // secondary).
+    const std::uint32_t psz = ctx.cfg.pageSize;
+    struct RoleSnap
+    {
+        bool have = false;
+        std::vector<std::byte> bytes;
+        VectorClock ver;
+        std::unordered_map<NodeId, std::vector<Diff>> deferred;
+        std::unordered_map<NodeId, Diff> undo;
+    };
+    RoleSnap cs, tsnap;
+    // A source that never materialized a HomeInfo contributes a zeroed
+    // (but properly sized) clock, matching homeInfo()'s own init.
+    cs.ver = VectorClock(ctx.cfg.numNodes);
+    tsnap.ver = VectorClock(ctx.cfg.numNodes);
+    if (HomeInfo *hi = src_p->findHomeInfo(page)) {
+        if (hi->committed) {
+            cs.have = true;
+            cs.bytes.assign(hi->committed.get(),
+                            hi->committed.get() + psz);
+        }
+        cs.ver = hi->committedVer;
+        cs.deferred = hi->deferredDiffs[0];
+    }
+    // An unchanged secondary keeps its tentative copy in place.
+    const bool move_tent = newSec != oldSec;
+    if (move_tent) {
+        if (HomeInfo *hi = src_s->findHomeInfo(page)) {
+            if (hi->tentative) {
+                tsnap.have = true;
+                tsnap.bytes.assign(hi->tentative.get(),
+                                   hi->tentative.get() + psz);
+            }
+            tsnap.ver = hi->tentativeVer;
+            tsnap.deferred = hi->deferredDiffs[1];
+            tsnap.undo = hi->tentUndo;
+        }
+    }
+
+    // Transfer: install the roles at the new homes (old copies intact).
+    std::uint64_t moved = 0;
+    {
+        HomeInfo &hi = dst_p->homeInfo(page);
+        if (cs.have) {
+            std::memcpy(dst_p->committedData(page), cs.bytes.data(),
+                        psz);
+            moved += psz;
+        }
+        hi.committedVer = cs.ver;
+        hi.deferredDiffs[0] = cs.deferred;
+    }
+    if (move_tent) {
+        HomeInfo &hi = dst_s->homeInfo(page);
+        if (tsnap.have) {
+            std::memcpy(dst_s->tentativeData(page), tsnap.bytes.data(),
+                        psz);
+            moved += psz;
+        }
+        hi.tentativeVer = tsnap.ver;
+        hi.deferredDiffs[1] = tsnap.deferred;
+        hi.tentUndo = tsnap.undo;
+    }
+
+    if (firePoint(failpoints::kMigTransfer)) {
+        // Roll back: the directory still names the old homes; discard
+        // the copies just installed. Role-wise clearing keeps any
+        // other role the destination nodes legitimately hold.
+        clearCommittedRole(dst_p, page);
+        if (move_tent)
+            clearTentativeRole(dst_s, page);
+        stats.migrationsRolledBack++;
+        return true;
+    }
+
+    // Commit: flip the directory. The single atomic step after which
+    // the new homes are authoritative.
+    ctx.as.setHomes(page, newPrim, newSec);
+    stats.homeMigrations++;
+    stats.migratedBytes += moved;
+    epochCost += ctx.cfg.wireTime(moved + 128);
+    prof.setCooldown(page, epoch + ctx.cfg.homingCooldownEpochs);
+
+    if (firePoint(failpoints::kMigCommit)) {
+        // Roll forward: skip cleanup. The stale old copies stay behind
+        // as dominated orphans — the same shape recovery's co-host
+        // remap already leaves — and recovery (which runs next) treats
+        // them like any other non-home copy. Local waiters at the old
+        // primary re-read the directory when woken.
+        if (HomeInfo *hi = src_p->findHomeInfo(page))
+            wakeWaiters(hi->localWaiters);
+        return true;
+    }
+
+    // Cleanup: retire the old copies and move the fetch waiters. At a
+    // quiesced instant both waiter lists are normally empty (every
+    // committed version a fetch could require has been applied), but
+    // handle them anyway: deferred remote fetches follow the committed
+    // role, local waiters re-evaluate the directory on wake.
+    if (HomeInfo *hi = src_p->findHomeInfo(page)) {
+        for (auto &w : hi->waiters)
+            dst_p->homeInfo(page).waiters.push_back(std::move(w));
+        hi->waiters.clear();
+        wakeWaiters(hi->localWaiters);
+    }
+    clearCommittedRole(src_p, page);
+    if (move_tent)
+        clearTentativeRole(src_s, page);
+    dst_p->serviceFetchWaiters(page);
+
+    return firePoint(failpoints::kMigCleanup);
+}
+
+} // namespace rsvm

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The homing manager: epoch-driven online page migration.
+ *
+ * Every Config::homingEpoch of simulated time, on a quiescent cluster
+ * (no release in flight, no failure pending), the manager asks the
+ * placement policy for mis-homed hot pages and performs a live home
+ * handoff for each elected page:
+ *
+ *  1. plan      — elect (page, newPrimary, newSecondary) moves;
+ *  2. transfer  — freeze the page at every involved node (migration
+ *                 lock, same stall machinery as release page locks),
+ *                 then copy the committed role (bytes, version,
+ *                 deferred-diff chains) to the new primary and the
+ *                 tentative role (plus undo records) to the new
+ *                 secondary. Old copies stay intact;
+ *  3. commit    — flip the directory (AddressSpace::setHomes), the
+ *                 single atomic step that makes the new homes
+ *                 authoritative;
+ *  4. cleanup   — retire the old copies, hand deferred remote fetches
+ *                 to the new primary, wake local waiters (their fetch
+ *                 loops re-read the directory).
+ *
+ * A migration:* failpoint fires after each step on every live physical
+ * node. A fail-stop before the directory flip rolls the handoff back
+ * (remove the new copies, old homes still authoritative); one at or
+ * after the flip rolls it forward (the old copies are left behind as
+ * dominated orphans, exactly like the orphan tentative copies
+ * recovery's co-host remap already produces). Either way the epoch
+ * aborts and the death is handed to the recovery manager, which runs
+ * after the current engine event — i.e. after the handoff reached a
+ * consistent side.
+ *
+ * The modelled handoff latency is charged by keeping the migration
+ * locks set until a single unlock event at now + cost; data movement
+ * itself happens at one engine instant, so no protocol message can
+ * interleave with a half-moved page.
+ */
+
+#ifndef RSVM_SVM_HOMING_HOMING_HH
+#define RSVM_SVM_HOMING_HOMING_HH
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "base/stats.hh"
+#include "svm/homing/policy.hh"
+#include "svm/homing/profiler.hh"
+#include "svm/protocol.hh"
+
+namespace rsvm {
+
+class FtProtocolNode;
+
+/** Drives profiling epochs and live home migrations (one per cluster). */
+class HomingManager
+{
+  public:
+    explicit HomingManager(SvmContext &context);
+
+    /** Death sink for failpoint kills (RecoveryManager::onPhysFailure). */
+    void setDeathHook(std::function<void(PhysNodeId)> hook)
+    { deathHook = std::move(hook); }
+
+    /** Schedule the first epoch tick. */
+    void start();
+
+    /**
+     * Stop ticking permanently (cluster declared lost). Without this
+     * the epoch timer would keep the engine alive forever: killed
+     * compute threads sit in Dead — not Finished — state, so the
+     * is-the-app-done check cannot tell a lost cluster from one whose
+     * recovery is about to revive them.
+     */
+    void stop() { stopped = true; }
+
+    /** The profiler the protocol hot paths feed. */
+    HomingProfiler &profiler() { return prof; }
+
+    const Counters &counters() const { return stats; }
+
+    /** Epochs actually evaluated (quiesced ticks). */
+    std::uint64_t epochsEvaluated() const { return epoch; }
+
+  private:
+    /** Quiesce retries (50 us apart) before an epoch is skipped. */
+    static constexpr int kMaxQuiesceRetries = 20;
+
+    void tick();
+    void runEpoch();
+    /** One page's handoff; true when a failpoint death aborts the epoch. */
+    bool migratePage(const Placement &pl);
+
+    bool quiescedForMigration() const;
+    bool anyComputeAlive() const;
+    bool hostAlive(NodeId n) const;
+    FtProtocolNode *ft(NodeId n) const;
+
+    /** Set the migration lock (records it for the unlock event). */
+    void lockEntry(NodeId n, PageId page);
+    /** One event at now + accumulated handoff cost clears every lock. */
+    void scheduleUnlock();
+
+    void clearCommittedRole(FtProtocolNode *n, PageId page) const;
+    void clearTentativeRole(FtProtocolNode *n, PageId page) const;
+
+    /** Fire a migration failpoint on every live physical node; true if
+     *  it killed someone (death already routed to the hook). */
+    bool firePoint(const char *name);
+
+    SvmContext &ctx;
+    HomingProfiler prof;
+    PlacementPolicy policy;
+    std::function<void(PhysNodeId)> deathHook;
+    Counters stats;
+
+    bool stopped = false;
+    std::uint64_t epoch = 0;
+    /** ctx.recoveryEpoch as of the last evaluated epoch. */
+    std::uint64_t seenRecoveryEpoch = 0;
+    int quiesceRetries = 0;
+    /** Modelled cost of this epoch's handoffs (drives the unlock). */
+    SimTime epochCost = 0;
+    /** (node, page) pairs whose migration lock we set this epoch. */
+    std::vector<std::pair<NodeId, PageId>> lockedByUs;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_SVM_HOMING_HOMING_HH

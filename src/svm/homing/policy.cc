@@ -1,0 +1,86 @@
+#include "svm/homing/policy.hh"
+
+#include <algorithm>
+
+namespace rsvm {
+
+std::vector<Placement>
+PlacementPolicy::plan(const HomingProfiler &prof, const AddressSpace &as,
+                      std::uint32_t num_nodes, bool want_secondary,
+                      const EligibleFn &eligible,
+                      std::uint64_t epoch) const
+{
+    std::vector<Placement> out;
+    for (const auto &[page, p] : prof.profiles()) {
+        if (p.cooldownUntilEpoch > epoch)
+            continue;
+        if (p.diffBytes.empty())
+            continue;
+
+        NodeId cur = as.primaryHome(page);
+        NodeId best = 0;
+        std::uint64_t best_t = 0, total = 0;
+        for (NodeId n = 0; n < num_nodes; ++n) {
+            std::uint64_t t = prof.traffic(p, n);
+            total += t;
+            // Ties break toward the lower node id: deterministic, and
+            // a tie with the current home keeps the page put below.
+            if (t > best_t) {
+                best_t = t;
+                best = n;
+            }
+        }
+        if (total < cfg.homingMinBytes || best == cur)
+            continue;
+
+        std::uint64_t cur_t = prof.traffic(p, cur);
+        double threshold =
+            cfg.homingHysteresis * static_cast<double>(
+                                       cur_t ? cur_t : 1);
+        if (static_cast<double>(best_t) < threshold)
+            continue;
+
+        Placement pl;
+        pl.page = page;
+        pl.newPrimary = best;
+        pl.newSecondary = best; // overwritten below
+        pl.score = best_t - cur_t;
+        if (want_secondary) {
+            // Prefer swapping with the old primary: it already holds
+            // the committed bytes, so the pair flips without creating
+            // a third copy site.
+            NodeId sec = num_nodes; // sentinel: none found
+            if (cur != best && eligible(cur, best)) {
+                sec = cur;
+            } else {
+                // Next-best traffic node on a distinct physical host.
+                std::uint64_t sec_t = 0;
+                for (NodeId n = 0; n < num_nodes; ++n) {
+                    if (n == best || !eligible(n, best))
+                        continue;
+                    std::uint64_t t = prof.traffic(p, n);
+                    if (sec == num_nodes || t > sec_t) {
+                        sec = n;
+                        sec_t = t;
+                    }
+                }
+            }
+            if (sec == num_nodes)
+                continue; // no eligible secondary: page stays put
+            pl.newSecondary = sec;
+        }
+        out.push_back(pl);
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const Placement &a, const Placement &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  return a.page < b.page;
+              });
+    if (out.size() > cfg.homingBudget)
+        out.resize(cfg.homingBudget);
+    return out;
+}
+
+} // namespace rsvm

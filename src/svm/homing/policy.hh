@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Epoch-driven placement policy: elect new homes for mis-homed hot
+ * pages.
+ *
+ * Given the profiler's per-page traffic view and the current
+ * directory, the policy nominates (page, newPrimary, newSecondary)
+ * moves subject to:
+ *
+ *  - activity floor: pages below Config::homingMinBytes of epoch
+ *    traffic stay put (migration costs two page transfers);
+ *  - hysteresis: the candidate must out-weigh the current home by
+ *    Config::homingHysteresis, so pages with oscillating ownership
+ *    do not ping-pong;
+ *  - cooldown: a freshly migrated page is ineligible for
+ *    Config::homingCooldownEpochs epochs;
+ *  - budget: at most Config::homingBudget moves per epoch, highest
+ *    traffic advantage first;
+ *  - secondary distinctness: the new secondary must be a different
+ *    logical node on a different *physical* host than the new primary
+ *    (the same eligibility rule recovery's home remap uses). The old
+ *    primary is preferred — it already holds the page bytes, so a
+ *    swap keeps a warm copy site.
+ *
+ * Pure function of its inputs; no protocol dependencies, so tests
+ * drive it directly.
+ */
+
+#ifndef RSVM_SVM_HOMING_POLICY_HH
+#define RSVM_SVM_HOMING_POLICY_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/config.hh"
+#include "base/types.hh"
+#include "mem/addrspace.hh"
+#include "svm/homing/profiler.hh"
+
+namespace rsvm {
+
+/** One elected migration. */
+struct Placement
+{
+    PageId page;
+    NodeId newPrimary;
+    NodeId newSecondary;
+    /** Traffic advantage of the new primary over the current home. */
+    std::uint64_t score;
+};
+
+/** The placement engine (stateless between plan() calls). */
+class PlacementPolicy
+{
+  public:
+    /** Same contract as AddressSpace::remapHomes eligibility. */
+    using EligibleFn = std::function<bool(NodeId cand, NodeId other)>;
+
+    explicit PlacementPolicy(const Config &config) : cfg(config) {}
+
+    /**
+     * Elect this epoch's migrations. @p want_secondary selects the FT
+     * dual-home form (a page without an eligible distinct secondary is
+     * skipped). Results are sorted by descending score and truncated
+     * to the migration budget.
+     */
+    std::vector<Placement>
+    plan(const HomingProfiler &prof, const AddressSpace &as,
+         std::uint32_t num_nodes, bool want_secondary,
+         const EligibleFn &eligible, std::uint64_t epoch) const;
+
+  private:
+    const Config &cfg;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_SVM_HOMING_POLICY_HH

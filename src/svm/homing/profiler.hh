@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Per-page sharing profiler for adaptive home placement.
+ *
+ * The existing release/fetch paths feed it two cheap signals:
+ *
+ *  - recordDiff: a committed-copy diff left a writer for its page's
+ *    primary home (diff bytes per origin; a self-targeted diff is the
+ *    home's own write traffic, so "home-local writes" fall out of the
+ *    same table);
+ *  - recordFetch: a node pulled a remote copy of a page.
+ *
+ * Counters accumulate into per-page profiles and age by halving at
+ * every epoch boundary, so the policy sees an exponentially weighted
+ * view of recent sharing rather than all-time totals. Pure
+ * bookkeeping: no engine, protocol, or directory dependencies.
+ */
+
+#ifndef RSVM_SVM_HOMING_PROFILER_HH
+#define RSVM_SVM_HOMING_PROFILER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace rsvm {
+
+/** One page's accumulated sharing profile. */
+struct PageProfile
+{
+    /** Diff bytes produced per origin node (aged). */
+    std::vector<std::uint64_t> diffBytes;
+    /** Remote fetches issued per requesting node (aged). */
+    std::vector<std::uint64_t> fetches;
+    /** Epoch before which the page may not migrate again. */
+    std::uint64_t cooldownUntilEpoch = 0;
+};
+
+/** Cluster-wide access profiler (one per HomingManager). */
+class HomingProfiler
+{
+  public:
+    HomingProfiler(std::uint32_t num_nodes, std::uint32_t page_size)
+        : nodes(num_nodes), pageBytes(page_size)
+    {
+    }
+
+    void
+    recordDiff(PageId page, NodeId origin, std::uint32_t bytes,
+               bool mis_homed)
+    {
+        profileOf(page).diffBytes[origin] += bytes;
+        if (mis_homed)
+            epochMisHomed += bytes;
+    }
+
+    void
+    recordFetch(PageId page, NodeId requester)
+    {
+        profileOf(page).fetches[requester]++;
+    }
+
+    /**
+     * A node's traffic weight on a page: diff bytes written plus one
+     * page worth of bytes per remote fetch (a fetch moves a full
+     * page, so both signals share one unit).
+     */
+    std::uint64_t
+    traffic(const PageProfile &p, NodeId n) const
+    {
+        return p.diffBytes[n] + pageBytes * p.fetches[n];
+    }
+
+    const std::unordered_map<PageId, PageProfile> &
+    profiles() const
+    {
+        return table;
+    }
+
+    PageProfile *
+    find(PageId page)
+    {
+        auto it = table.find(page);
+        return it == table.end() ? nullptr : &it->second;
+    }
+
+    /** Mis-homed diff bytes observed since the last decay(). */
+    std::uint64_t epochMisHomedBytes() const { return epochMisHomed; }
+
+    /**
+     * Epoch boundary: halve every counter (exponential aging) and
+     * drop pages whose profile decayed to nothing. Cooldown stamps
+     * survive until they expire.
+     */
+    void
+    decay()
+    {
+        epochMisHomed = 0;
+        for (auto it = table.begin(); it != table.end();) {
+            PageProfile &p = it->second;
+            std::uint64_t remaining = 0;
+            for (NodeId n = 0; n < nodes; ++n) {
+                p.diffBytes[n] /= 2;
+                p.fetches[n] /= 2;
+                remaining += p.diffBytes[n] + p.fetches[n];
+            }
+            if (remaining == 0 && p.cooldownUntilEpoch <= curEpoch)
+                it = table.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    /** Forget everything (recovery remapped homes under us). */
+    void
+    clear()
+    {
+        table.clear();
+        epochMisHomed = 0;
+    }
+
+    void
+    setCooldown(PageId page, std::uint64_t until_epoch)
+    {
+        profileOf(page).cooldownUntilEpoch = until_epoch;
+    }
+
+    /** Policy epoch bookkeeping (used by decay's cooldown retention). */
+    void noteEpoch(std::uint64_t epoch) { curEpoch = epoch; }
+
+  private:
+    PageProfile &
+    profileOf(PageId page)
+    {
+        PageProfile &p = table[page];
+        if (p.diffBytes.empty()) {
+            p.diffBytes.assign(nodes, 0);
+            p.fetches.assign(nodes, 0);
+        }
+        return p;
+    }
+
+    std::uint32_t nodes;
+    std::uint32_t pageBytes;
+    std::uint64_t epochMisHomed = 0;
+    std::uint64_t curEpoch = 0;
+    std::unordered_map<PageId, PageProfile> table;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_SVM_HOMING_PROFILER_HH

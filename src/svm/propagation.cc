@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/engine.hh"
+#include "svm/homing/profiler.hh"
 #include "svm/protocol.hh"
 
 namespace rsvm {
@@ -23,6 +24,19 @@ applyEventName(int phase)
 }
 
 } // namespace
+
+void
+PropagationPipeline::recordPlacement(const Diff &d, NodeId dst,
+                                     int phase)
+{
+    if (phase == 1)
+        return;
+    if (dst != nodeId)
+        stats.misHomedDiffBytes += d.wireBytes();
+    if (ctx.homing)
+        ctx.homing->recordDiff(d.page, nodeId, d.wireBytes(),
+                               dst != nodeId);
+}
 
 void
 PropagationPipeline::stage(SimThread *self, std::vector<Diff> &diffs)
@@ -69,6 +83,7 @@ PropagationPipeline::runPhase(SimThread &self,
         std::vector<int> slot_of(ctx.numNodes(), -1);
         for (const Diff &d : diffs) {
             NodeId dst = target(d);
+            recordPlacement(d, dst, phase);
             if (slot_of[dst] < 0) {
                 slot_of[dst] = static_cast<int>(groups.size());
                 groups.emplace_back(dst, std::vector<Diff>());
@@ -118,6 +133,7 @@ PropagationPipeline::runPhase(SimThread &self,
     } else {
         for (const Diff &d : diffs) {
             NodeId dst = target(d);
+            recordPlacement(d, dst, phase);
             stats.diffMsgsSent++;
             stats.diffBytesSent += d.wireBytes();
             SvmNode *tnode = ctx.nodes[dst];

@@ -98,6 +98,14 @@ class PropagationPipeline
                         const Hook &after_first_post = {});
 
   private:
+    /**
+     * Placement accounting for one diff about to be posted: mis-homed
+     * wire bytes (destination home != writer) and the adaptive-homing
+     * profile. Phase 1 is skipped so a two-phase release counts each
+     * diff once, against its committed-copy destination.
+     */
+    void recordPlacement(const Diff &d, NodeId dst, int phase);
+
     SvmContext &ctx;
     NodeId nodeId;
     Counters &stats;

@@ -106,7 +106,7 @@ SvmNode::tryFastWrite(Addr addr, const void *src, std::uint64_t len)
             std::min<std::uint64_t>(len, ctx.cfg.pageSize - off);
         PageEntry *e = pt.find(page);
         if (!e || e->state != PageState::ReadWrite || e->locked ||
-            !e->data)
+            e->migLocked || !e->data)
             return false;
         std::memcpy(e->data.get() + off, in, chunk);
         in += chunk;
@@ -128,7 +128,8 @@ SvmNode::ensureReadable(SimThread &self, PageId page)
 {
     for (;;) {
         PageEntry &e = pt.entry(page);
-        if (e.locked && e.state == PageState::Invalid) {
+        if ((e.locked || e.migLocked) &&
+            e.state == PageState::Invalid) {
             // Extended protocol: fault handling on a locked page is
             // blocked until the outstanding release completes (§4.2).
             if (stallOnLockedPage(self, e))
@@ -149,9 +150,10 @@ SvmNode::ensureWritable(SimThread &self, PageId page)
 {
     for (;;) {
         PageEntry &e = pt.entry(page);
-        if (e.locked) {
+        if (e.locked || e.migLocked) {
             // New writes to pages committed by an outstanding release
-            // must stall until the release completes (§4.2).
+            // (or mid-handoff in a home migration) must stall until it
+            // completes (§4.2).
             if (stallOnLockedPage(self, e))
                 continue;
         }

@@ -47,6 +47,7 @@ namespace rsvm {
 
 class Engine;
 class SvmNode;
+class HomingProfiler;
 
 /** Runtime services the recovery manager needs from the cluster. */
 class ClusterOps
@@ -105,6 +106,12 @@ struct SvmContext
      */
     std::function<void(const char *event, NodeId origin,
                        IntervalNum interval)> traceProbe;
+
+    /**
+     * Adaptive-placement profiler fed by the release/fetch hot paths
+     * (svm/homing). Null unless Config::dynamicHoming.
+     */
+    HomingProfiler *homing = nullptr;
 
     /** True between failure detection and recovery completion. */
     bool pendingRecovery = false;

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Migration-under-fire tests: a fail-stop failure lands at every step
+ * of a live home handoff (migration:* failpoints), on every victim.
+ * The handoff's crash-safety contract: a kill at plan/transfer rolls
+ * the migration back to the old homes, a kill at commit/cleanup rolls
+ * forward to the new ones — and in both cases recovery then restores
+ * the cluster and the application's final state is exact. A single
+ * kill must NEVER lose the cluster; only double kills may, and then
+ * only cleanly.
+ *
+ * The workload is the adversarial one for this subsystem: every
+ * thread's hot page is deliberately mis-homed so migrations are
+ * guaranteed to be in flight while the failures land, plus a shared
+ * lock-counter whose exactly-once semantics detect lost or replayed
+ * updates across the restore.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "net/failure.hh"
+#include "runtime/cluster.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+namespace {
+
+Config
+homingFtConfig(std::uint32_t nodes = 4)
+{
+    Config cfg;
+    cfg.protocol = ProtocolKind::FaultTolerant;
+    cfg.numNodes = nodes;
+    cfg.threadsPerNode = 1;
+    cfg.sharedBytes = 16u << 20;
+    cfg.dynamicHoming = true;
+    // Aggressive knobs: short epochs, low floor, minimal hysteresis,
+    // so migrations are dense while the failpoints are armed.
+    cfg.homingEpoch = 150 * kMicrosecond;
+    cfg.homingMinBytes = 64;
+    cfg.homingHysteresis = 1.05;
+    cfg.homingCooldownEpochs = 1;
+    return cfg;
+}
+
+struct RunOutcome
+{
+    std::uint64_t counter = 0;
+    std::vector<std::uint64_t> cells;
+    bool lost = false;
+    std::string reason;
+};
+
+/**
+ * Mis-homed per-page writers plus a shared lock-counter. Each thread
+ * owns one page initially homed on the NEXT node over, writes it every
+ * iteration (keeping migrations flowing), and bumps the counter under
+ * a global lock (exactly-once detector).
+ */
+RunOutcome
+runMisHomed(Cluster &cluster, int iters)
+{
+    const Config &cfg = cluster.config();
+    AddressSpace &as = cluster.mem();
+    const std::uint32_t nthreads = cfg.totalThreads();
+    Addr counter = as.alloc(8);
+    Addr base = as.allocPageAligned(
+        std::uint64_t(nthreads) * cfg.pageSize);
+    for (std::uint32_t i = 0; i < nthreads; ++i)
+        as.setPrimaryHome(as.pageOf(base + std::uint64_t(i) *
+                                               cfg.pageSize),
+                          (i + 1) % cfg.numNodes);
+
+    const std::uint32_t psz = cfg.pageSize;
+    cluster.spawn([counter, base, psz, iters](AppThread &t) {
+        Addr mine = base + std::uint64_t(t.id()) * psz;
+        for (int i = 1; i <= iters; ++i) {
+            t.lock(10 + t.id());
+            for (std::uint32_t off = 0; off < 512; off += 8)
+                t.put<std::uint64_t>(mine + off,
+                                     std::uint64_t(i) * 100 + off);
+            t.unlock(10 + t.id());
+            t.lock(1);
+            std::uint64_t v = t.get<std::uint64_t>(counter);
+            t.compute(2 * kMicrosecond);
+            t.put<std::uint64_t>(counter, v + 1);
+            t.unlock(1);
+            t.compute(15 * kMicrosecond);
+        }
+        t.barrier();
+    });
+
+    RunOutcome out;
+    try {
+        cluster.run();
+    } catch (const ClusterLostError &e) {
+        out.lost = true;
+        out.reason = e.what();
+        return out;
+    }
+    cluster.debugRead(counter, &out.counter, 8);
+    out.cells.resize(nthreads);
+    for (std::uint32_t i = 0; i < nthreads; ++i)
+        cluster.debugRead(base + std::uint64_t(i) * psz,
+                          &out.cells[i], 8);
+    return out;
+}
+
+void
+expectExact(const RunOutcome &out, const Config &cfg, int iters)
+{
+    EXPECT_EQ(out.counter, std::uint64_t(iters) * cfg.totalThreads());
+    for (std::uint32_t i = 0; i < out.cells.size(); ++i)
+        EXPECT_EQ(out.cells[i], std::uint64_t(iters) * 100)
+            << "thread " << i << "'s page lost its last write";
+}
+
+// ---- Single-kill sweep: migration point x victim ----------------------
+
+class MigrationUnderFire
+    : public testing::TestWithParam<std::tuple<const char *, int>>
+{
+};
+
+TEST_P(MigrationUnderFire, SingleKillAlwaysRecovers)
+{
+    const char *point = std::get<0>(GetParam());
+    PhysNodeId victim =
+        static_cast<PhysNodeId>(std::get<1>(GetParam()));
+    Config cfg = homingFtConfig();
+    Cluster cluster(cfg);
+    cluster.injector().armFailpoint(victim, point, 1);
+
+    const int iters = 25;
+    RunOutcome out = runMisHomed(cluster, iters);
+    // One fail-stop failure, three survivors: losing the cluster here
+    // is a migration-crash-safety bug, full stop.
+    ASSERT_FALSE(out.lost)
+        << "point=" << point << " victim=" << victim << ": "
+        << out.reason;
+    expectExact(out, cfg, iters);
+
+    ASSERT_EQ(cluster.injector().killed().size(), 1u)
+        << "failpoint " << point << " never fired on node " << victim;
+    Counters c = cluster.totalCounters();
+    EXPECT_GE(c.recoveries, 1u);
+    EXPECT_GE(c.homeMigrations + c.migrationsRolledBack, 1u)
+        << "the sweep should exercise actual migrations";
+    EXPECT_EQ(cluster.checkReplicaConsistency(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MigrationUnderFire,
+    testing::Combine(testing::ValuesIn(failpoints::kMigrationPoints),
+                     testing::Values(0, 1, 2, 3)),
+    [](const testing::TestParamInfo<std::tuple<const char *, int>>
+           &ti) {
+        std::string s = std::get<0>(ti.param);
+        s += "_victim";
+        s += std::to_string(std::get<1>(ti.param));
+        for (char &c : s)
+            if (c == ':' || c == '-')
+                c = '_';
+        return s;
+    });
+
+// ---- Roll-back vs roll-forward evidence ------------------------------
+
+TEST(MigrationRollback, TransferKillRollsBackAndRetries)
+{
+    // A death observed at the transfer step aborts the handoff before
+    // the directory flip: the rolled-back counter must tick, and the
+    // page must still migrate eventually (a later epoch retries).
+    Config cfg = homingFtConfig();
+    Cluster cluster(cfg);
+    cluster.injector().armFailpoint(2, failpoints::kMigTransfer, 1);
+
+    const int iters = 25;
+    RunOutcome out = runMisHomed(cluster, iters);
+    ASSERT_FALSE(out.lost) << out.reason;
+    expectExact(out, cfg, iters);
+    Counters c = cluster.totalCounters();
+    EXPECT_GE(c.migrationsRolledBack, 1u);
+    EXPECT_GE(c.homeMigrations, 1u)
+        << "migration should be retried after the rollback";
+}
+
+TEST(MigrationRollforward, CommitKillKeepsNewHomes)
+{
+    // A death observed at the commit step — after the directory flip —
+    // rolls FORWARD: the migration counts as done and the new homes
+    // stand. The workload must still verify across the recovery.
+    Config cfg = homingFtConfig();
+    Cluster cluster(cfg);
+    cluster.injector().armFailpoint(2, failpoints::kMigCommit, 1);
+
+    const int iters = 25;
+    RunOutcome out = runMisHomed(cluster, iters);
+    ASSERT_FALSE(out.lost) << out.reason;
+    expectExact(out, cfg, iters);
+    EXPECT_GE(cluster.totalCounters().homeMigrations, 1u);
+}
+
+// ---- Double schedules ------------------------------------------------
+
+TEST(MigrationDoubleKill, CommitThenRecoveryResume)
+{
+    // Migration-then-kill: the commit-step death starts a recovery
+    // cycle, and the victim's backup dies at that cycle's resume step.
+    // Either a verified result or a clean, reasoned loss is
+    // acceptable; an assert, hang, or wrong result is a bug.
+    Config cfg = homingFtConfig();
+    Cluster cluster(cfg);
+    cluster.injector().armFailpoint(2, failpoints::kMigCommit, 1);
+    cluster.injector().armFailpoint(3, failpoints::kRecResume, 1);
+
+    const int iters = 25;
+    RunOutcome out = runMisHomed(cluster, iters);
+    if (out.lost) {
+        EXPECT_EQ(cluster.injector().killed().size(), 2u)
+            << "declared lost without the double kill: " << out.reason;
+        EXPECT_FALSE(out.reason.empty());
+        return;
+    }
+    expectExact(out, cfg, iters);
+    if (!cluster.injector().killed().empty()) {
+        EXPECT_GE(cluster.totalCounters().recoveries, 1u);
+    }
+}
+
+TEST(MigrationDoubleKill, ReleaseDeathThenTransferDeath)
+{
+    // Kill-during-migration: a release-path death first (recovery
+    // restores node 2), then a second node dies at the transfer step
+    // of a post-recovery migration. The rolled-back handoff and the
+    // second recovery cycle must compose.
+    Config cfg = homingFtConfig();
+    Cluster cluster(cfg);
+    cluster.injector().armFailpoint(2, failpoints::kAfterPhase1, 2);
+    cluster.injector().armFailpoint(3, failpoints::kMigTransfer, 1);
+
+    const int iters = 25;
+    RunOutcome out = runMisHomed(cluster, iters);
+    if (out.lost) {
+        EXPECT_EQ(cluster.injector().killed().size(), 2u)
+            << "declared lost without the double kill: " << out.reason;
+        EXPECT_FALSE(out.reason.empty());
+        return;
+    }
+    expectExact(out, cfg, iters);
+    if (cluster.injector().killed().size() == 2) {
+        EXPECT_GE(cluster.totalCounters().recoveries, 2u);
+    }
+}
+
+} // namespace
+} // namespace rsvm

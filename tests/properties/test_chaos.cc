@@ -76,6 +76,10 @@ struct ChaosCase
     std::uint32_t tpn;
     /** Number of fail-stop kills to schedule (0 = failure-free). */
     std::uint32_t kills;
+    /** Enable the adaptive-placement subsystem (svm/homing). */
+    bool homing = false;
+    /** Optional migration failpoint to arm (implies one more kill). */
+    const char *migPoint = nullptr;
 };
 
 std::string
@@ -89,6 +93,12 @@ chaosName(const testing::TestParamInfo<ChaosCase> &info)
         s += "_kill";
     else if (c.kills > 1)
         s += "_kill" + std::to_string(c.kills);
+    if (c.homing)
+        s += "_dyn";
+    if (c.migPoint) {
+        std::string p = c.migPoint;
+        s += "_mig" + p.substr(p.find(':') + 1);
+    }
     return s;
 }
 
@@ -104,6 +114,17 @@ TEST_P(ChaosTest, FinalStateMatchesClosedForm)
     cfg.numNodes = c.nodes;
     cfg.threadsPerNode = c.tpn;
     cfg.seed = c.seed;
+    if (c.homing) {
+        // Aggressive knobs: the chaos page layout is maximal false
+        // sharing, so this stresses placement stability (hysteresis
+        // must not ping-pong multi-writer pages) and the migration
+        // handoff racing ordinary protocol traffic.
+        cfg.dynamicHoming = true;
+        cfg.homingEpoch = 200 * kMicrosecond;
+        cfg.homingMinBytes = 256;
+        cfg.homingHysteresis = 1.1;
+        cfg.homingCooldownEpochs = 1;
+    }
 
     Cluster cluster(cfg);
     std::uint32_t nthreads = cfg.totalThreads();
@@ -124,6 +145,8 @@ TEST_P(ChaosTest, FinalStateMatchesClosedForm)
             cluster.injector().killAt(victim, when);
         }
     }
+    if (c.migPoint)
+        cluster.injector().armFailpoint(2, c.migPoint, 1);
 
     std::uint64_t seed = c.seed;
     cluster.spawn([cells, seed](AppThread &t) {
@@ -162,9 +185,8 @@ TEST_P(ChaosTest, FinalStateMatchesClosedForm)
         // Multi-kill schedules may legitimately destroy every copy of
         // some state; a clean, reasoned loss is an acceptable outcome.
         // A crash, assert, or silent corruption is not.
-        EXPECT_GE(c.kills, 2u) << "single kill must never lose the "
-                                  "cluster: "
-                               << e.what();
+        EXPECT_GE(c.kills + (c.migPoint ? 1u : 0u), 2u)
+            << "single kill must never lose the cluster: " << e.what();
         EXPECT_FALSE(cluster.lostReason().empty());
         return;
     }
@@ -201,6 +223,18 @@ chaosMatrix()
         // overlapping failures, including kills landing mid-recovery.
         cases.push_back({seed, ProtocolKind::FaultTolerant, 8, 1, 2});
         cases.push_back({seed, ProtocolKind::FaultTolerant, 8, 2, 3});
+        // Adaptive placement under chaos: failure-free, random-kill,
+        // multi-kill, and a migration-handoff kill (point rotated by
+        // seed so the sweep covers every handoff step).
+        cases.push_back(
+            {seed, ProtocolKind::FaultTolerant, 4, 1, 0, true});
+        cases.push_back(
+            {seed, ProtocolKind::FaultTolerant, 4, 2, 1, true});
+        cases.push_back(
+            {seed, ProtocolKind::FaultTolerant, 8, 2, 2, true});
+        cases.push_back({seed, ProtocolKind::FaultTolerant, 4, 1, 0,
+                         true,
+                         failpoints::kMigrationPoints[seed % 4]});
     }
     return cases;
 }

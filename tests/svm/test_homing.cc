@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Adaptive home placement (svm/homing): profiler accounting, placement
+ * policy (activity floor, hysteresis, cooldown, budget, secondary
+ * distinctness), and the end-to-end migration path — a deliberately
+ * mis-homed workload must end with its hot pages re-homed at their
+ * writers, verified results, and consistent replicas.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/cluster.hh"
+#include "svm/homing/policy.hh"
+#include "svm/homing/profiler.hh"
+
+namespace rsvm {
+namespace {
+
+// --------------------------------------------------------------- profiler
+
+TEST(HomingProfiler, TrafficCombinesDiffBytesAndFetches)
+{
+    HomingProfiler prof(4, 4096);
+    prof.recordDiff(7, 2, 1000, true);
+    prof.recordDiff(7, 2, 500, true);
+    prof.recordFetch(7, 3);
+    const PageProfile *p = prof.find(7);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(prof.traffic(*p, 2), 1500u);
+    EXPECT_EQ(prof.traffic(*p, 3), 4096u);
+    EXPECT_EQ(prof.traffic(*p, 0), 0u);
+}
+
+TEST(HomingProfiler, MisHomedBytesAccumulateAndResetOnDecay)
+{
+    HomingProfiler prof(2, 4096);
+    prof.recordDiff(0, 0, 300, true);
+    prof.recordDiff(0, 0, 200, false); // home-local: not mis-homed
+    prof.recordDiff(1, 1, 100, true);
+    EXPECT_EQ(prof.epochMisHomedBytes(), 400u);
+    prof.decay();
+    EXPECT_EQ(prof.epochMisHomedBytes(), 0u);
+}
+
+TEST(HomingProfiler, DecayHalvesAndDropsEmptyProfiles)
+{
+    HomingProfiler prof(2, 4096);
+    prof.recordDiff(3, 1, 8, true);
+    prof.decay(); // 8 -> 4
+    ASSERT_NE(prof.find(3), nullptr);
+    EXPECT_EQ(prof.traffic(*prof.find(3), 1), 4u);
+    prof.decay(); // -> 2
+    prof.decay(); // -> 1
+    prof.decay(); // -> 0: profile dropped
+    EXPECT_EQ(prof.find(3), nullptr);
+}
+
+TEST(HomingProfiler, CooldownKeepsProfileAliveThroughDecay)
+{
+    HomingProfiler prof(2, 4096);
+    prof.recordDiff(5, 1, 1, true);
+    prof.setCooldown(5, 10);
+    prof.noteEpoch(2);
+    prof.decay(); // counters hit zero, but cooldown 10 > epoch 2
+    EXPECT_NE(prof.find(5), nullptr);
+    prof.noteEpoch(11);
+    prof.decay(); // cooldown expired and counters empty: dropped
+    EXPECT_EQ(prof.find(5), nullptr);
+}
+
+// ----------------------------------------------------------------- policy
+
+/** All logical nodes on distinct physical hosts. */
+bool
+allDistinct(NodeId cand, NodeId other)
+{
+    return cand != other;
+}
+
+Config
+policyConfig()
+{
+    Config cfg;
+    cfg.numNodes = 4;
+    cfg.homingMinBytes = 100;
+    cfg.homingHysteresis = 1.5;
+    cfg.homingBudget = 64;
+    return cfg;
+}
+
+TEST(PlacementPolicy, ElectsDominantWriterAndSwapsOldPrimary)
+{
+    Config cfg = policyConfig();
+    AddressSpace as(cfg, 4);
+    HomingProfiler prof(4, cfg.pageSize);
+    // Page 0 is initially homed (0, 1); node 2 produces all traffic.
+    prof.recordDiff(0, 2, 10000, true);
+
+    PlacementPolicy pol(cfg);
+    auto picks = pol.plan(prof, as, 4, true, allDistinct, 1);
+    ASSERT_EQ(picks.size(), 1u);
+    EXPECT_EQ(picks[0].page, 0u);
+    EXPECT_EQ(picks[0].newPrimary, 2u);
+    // Old primary preferred as the new secondary: the pair swaps
+    // without creating a third copy site.
+    EXPECT_EQ(picks[0].newSecondary, 0u);
+    EXPECT_EQ(picks[0].score, 10000u);
+}
+
+TEST(PlacementPolicy, ActivityFloorKeepsColdPagesPut)
+{
+    Config cfg = policyConfig();
+    cfg.homingMinBytes = 100000;
+    AddressSpace as(cfg, 4);
+    HomingProfiler prof(4, cfg.pageSize);
+    prof.recordDiff(0, 2, 10000, true);
+
+    PlacementPolicy pol(cfg);
+    EXPECT_TRUE(pol.plan(prof, as, 4, true, allDistinct, 1).empty());
+}
+
+TEST(PlacementPolicy, HysteresisBlocksMarginalWinners)
+{
+    Config cfg = policyConfig();
+    cfg.homingHysteresis = 2.0;
+    AddressSpace as(cfg, 4);
+    HomingProfiler prof(4, cfg.pageSize);
+    // Page 1 is homed at node 1. A challenger with less than 2x the
+    // home's traffic must not move the page...
+    prof.recordDiff(1, 1, 1000, false);
+    prof.recordDiff(1, 2, 1500, true);
+    PlacementPolicy pol(cfg);
+    EXPECT_TRUE(pol.plan(prof, as, 4, true, allDistinct, 1).empty());
+
+    // ...but a 2.5x challenger does.
+    prof.recordDiff(1, 2, 1000, true);
+    auto picks = pol.plan(prof, as, 4, true, allDistinct, 1);
+    ASSERT_EQ(picks.size(), 1u);
+    EXPECT_EQ(picks[0].newPrimary, 2u);
+}
+
+TEST(PlacementPolicy, CooldownDefersFreshlyMigratedPages)
+{
+    Config cfg = policyConfig();
+    AddressSpace as(cfg, 4);
+    HomingProfiler prof(4, cfg.pageSize);
+    prof.recordDiff(0, 2, 10000, true);
+    prof.setCooldown(0, 5);
+
+    PlacementPolicy pol(cfg);
+    EXPECT_TRUE(pol.plan(prof, as, 4, true, allDistinct, 3).empty());
+    EXPECT_EQ(pol.plan(prof, as, 4, true, allDistinct, 5).size(), 1u);
+}
+
+TEST(PlacementPolicy, BudgetTruncatesToHighestAdvantage)
+{
+    Config cfg = policyConfig();
+    cfg.homingBudget = 2;
+    AddressSpace as(cfg, 4);
+    HomingProfiler prof(4, cfg.pageSize);
+    // Five mis-homed pages with increasing traffic; only the two
+    // hottest may move. Use pages homed at node 0 (0, 4, 8, ...).
+    for (PageId i = 0; i < 5; ++i)
+        prof.recordDiff(i * 4, 2, 1000 * (i + 1), true);
+
+    PlacementPolicy pol(cfg);
+    auto picks = pol.plan(prof, as, 4, true, allDistinct, 1);
+    ASSERT_EQ(picks.size(), 2u);
+    EXPECT_EQ(picks[0].page, 16u); // score 5000
+    EXPECT_EQ(picks[1].page, 12u); // score 4000
+}
+
+TEST(PlacementPolicy, SecondaryMustLiveOnDistinctHost)
+{
+    Config cfg = policyConfig();
+    AddressSpace as(cfg, 4);
+    HomingProfiler prof(4, cfg.pageSize);
+    // Page 0 homed (0, 1); node 3 is the dominant writer, node 1 a
+    // lesser writer. Hosts: node 0 is co-hosted with node 3, so the
+    // old primary is NOT an eligible secondary — the policy must fall
+    // back to the next-best traffic node on a distinct host (node 1).
+    prof.recordDiff(0, 3, 10000, true);
+    prof.recordDiff(0, 1, 2000, true);
+    std::vector<PhysNodeId> host = {2, 1, 2, 2};
+    auto eligible = [&host](NodeId cand, NodeId other) {
+        return host[cand] != host[other];
+    };
+
+    PlacementPolicy pol(cfg);
+    auto picks = pol.plan(prof, as, 4, true, eligible, 1);
+    ASSERT_EQ(picks.size(), 1u);
+    EXPECT_EQ(picks[0].newPrimary, 3u);
+    EXPECT_EQ(picks[0].newSecondary, 1u);
+
+    // With every other node co-hosted with the winner, no eligible
+    // secondary exists and the page must stay put.
+    std::vector<PhysNodeId> onehost = {2, 2, 2, 2};
+    auto none = [&onehost](NodeId cand, NodeId other) {
+        return onehost[cand] != onehost[other];
+    };
+    EXPECT_TRUE(pol.plan(prof, as, 4, true, none, 1).empty());
+}
+
+// ------------------------------------------------------------ end to end
+
+Config
+homingConfig()
+{
+    Config cfg;
+    cfg.protocol = ProtocolKind::FaultTolerant;
+    cfg.numNodes = 4;
+    cfg.threadsPerNode = 1;
+    cfg.sharedBytes = 16u << 20;
+    cfg.dynamicHoming = true;
+    cfg.homingEpoch = 150 * kMicrosecond;
+    cfg.homingMinBytes = 64;
+    cfg.homingHysteresis = 1.05;
+    cfg.homingCooldownEpochs = 1;
+    return cfg;
+}
+
+TEST(HomingEndToEnd, MisHomedHotPagesMigrateToTheirWriters)
+{
+    Config cfg = homingConfig();
+    Cluster cluster(cfg);
+    AddressSpace &as = cluster.mem();
+    const std::uint32_t nthreads = cfg.totalThreads();
+    Addr base = as.allocPageAligned(
+        std::uint64_t(nthreads) * cfg.pageSize);
+    // Deliberately mis-home every thread's private page on the next
+    // node over: all release diffs start out crossing the wire.
+    std::vector<PageId> pages(nthreads);
+    for (std::uint32_t i = 0; i < nthreads; ++i) {
+        pages[i] = as.pageOf(base + std::uint64_t(i) * cfg.pageSize);
+        as.setPrimaryHome(pages[i], (i + 1) % cfg.numNodes);
+    }
+
+    const int iters = 30;
+    const Addr cbase = base;
+    const std::uint32_t psz = cfg.pageSize;
+    cluster.spawn([cbase, psz, iters](AppThread &t) {
+        Addr mine = cbase + std::uint64_t(t.id()) * psz;
+        for (int i = 1; i <= iters; ++i) {
+            t.lock(10 + t.id());
+            for (std::uint32_t off = 0; off < 512; off += 8)
+                t.put<std::uint64_t>(mine + off,
+                                     std::uint64_t(i) * 1000 + off);
+            t.unlock(10 + t.id());
+            t.compute(20 * kMicrosecond);
+        }
+        t.barrier();
+    });
+    cluster.run();
+
+    Counters total = cluster.totalCounters();
+    EXPECT_GE(total.homeMigrations, 1u) << "no page ever migrated";
+    EXPECT_GT(total.migratedBytes, 0u);
+    EXPECT_GT(total.misHomedDiffBytes, 0u);
+    // The hot pages must have been re-homed at their writers.
+    std::uint32_t rehomed = 0;
+    for (std::uint32_t i = 0; i < nthreads; ++i) {
+        if (as.primaryHome(pages[i]) == i % cfg.numNodes)
+            rehomed++;
+    }
+    EXPECT_GE(rehomed, nthreads / 2)
+        << "most single-writer pages should end at their writer";
+    // Results stay exact and replicas consistent.
+    for (std::uint32_t i = 0; i < nthreads; ++i) {
+        for (std::uint32_t off = 0; off < 512; off += 8) {
+            std::uint64_t v = 0;
+            cluster.debugRead(base + std::uint64_t(i) * psz + off, &v,
+                              8);
+            EXPECT_EQ(v, std::uint64_t(iters) * 1000 + off)
+                << "thread " << i << " offset " << off;
+        }
+    }
+    EXPECT_EQ(cluster.checkReplicaConsistency(), 0u);
+}
+
+TEST(HomingEndToEnd, WellHomedWorkloadDoesNotChurn)
+{
+    Config cfg = homingConfig();
+    Cluster cluster(cfg);
+    AddressSpace &as = cluster.mem();
+    const std::uint32_t nthreads = cfg.totalThreads();
+    Addr base = as.allocPageAligned(
+        std::uint64_t(nthreads) * cfg.pageSize);
+    for (std::uint32_t i = 0; i < nthreads; ++i)
+        as.setPrimaryHome(as.pageOf(base + std::uint64_t(i) *
+                                               cfg.pageSize),
+                          i % cfg.numNodes);
+
+    const Addr cbase = base;
+    const std::uint32_t psz = cfg.pageSize;
+    cluster.spawn([cbase, psz](AppThread &t) {
+        Addr mine = cbase + std::uint64_t(t.id()) * psz;
+        for (int i = 1; i <= 20; ++i) {
+            t.lock(10 + t.id());
+            t.put<std::uint64_t>(mine, std::uint64_t(i));
+            t.unlock(10 + t.id());
+            t.compute(20 * kMicrosecond);
+        }
+        t.barrier();
+    });
+    cluster.run();
+
+    // Every page already lives at its only writer: nothing to do.
+    EXPECT_EQ(cluster.totalCounters().homeMigrations, 0u);
+    EXPECT_EQ(cluster.checkReplicaConsistency(), 0u);
+}
+
+} // namespace
+} // namespace rsvm

@@ -10,6 +10,15 @@
  * real application kernel, verifying the final shared state against
  * the serial reference.
  *
+ * Homing scenarios additionally enable the adaptive-placement
+ * subsystem with scrambled initial homes (so live migrations are
+ * guaranteed in flight) and kill at the migration:* failpoints —
+ * singles at every handoff step, migration-then-kill doubles (a
+ * migration-step death whose recovery cycle is then hit at every
+ * recovery failpoint) and kill-during-migration doubles (a
+ * release-path death followed by a second death at a post-recovery
+ * migration step).
+ *
  * Every scenario must end in one of three clean outcomes:
  *  - "pass":          the run completed and verified bit-exact;
  *  - "unrecoverable": recovery declared a clean ClusterLostError
@@ -50,6 +59,8 @@ struct Scenario
 {
     std::string app;
     std::vector<Kill> kills;
+    /** Run with dynamicHoming + scrambled homes (migration:* points). */
+    bool homing = false;
 };
 
 struct Outcome
@@ -59,6 +70,8 @@ struct Outcome
     std::size_t killsFired = 0;
     std::uint64_t recoveries = 0;
     std::uint64_t restarts = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t migrationsRolledBack = 0;
 };
 
 std::vector<std::string>
@@ -102,6 +115,16 @@ runScenario(const Scenario &sc, std::uint32_t nodes)
         cfg.protocol = ProtocolKind::FaultTolerant;
         cfg.numNodes = nodes;
         cfg.sharedBytes = 64u << 20;
+        if (sc.homing) {
+            cfg.dynamicHoming = true;
+            // Dense epochs and a low floor keep migrations in flight
+            // for the whole run, so the armed points actually land
+            // inside handoffs.
+            cfg.homingEpoch = 200 * kMicrosecond;
+            cfg.homingMinBytes = 512;
+            cfg.homingHysteresis = 1.1;
+            cfg.homingCooldownEpochs = 1;
+        }
 
         apps::AppParams params = apps::defaultParams(sc.app);
         apps::AppInstance inst = apps::makeApp(sc.app, params);
@@ -111,6 +134,15 @@ runScenario(const Scenario &sc, std::uint32_t nodes)
             cluster.injector().armFailpoint(k.node, k.point,
                                             k.occurrence);
         inst.setup(cluster);
+        if (sc.homing) {
+            // Scramble the app's tuned placement round-robin so the
+            // policy has real mis-homed traffic to chase.
+            AddressSpace &as = cluster.mem();
+            std::uint64_t used = as.used();
+            PageId last = as.pageOf(used == 0 ? 0 : used - 1);
+            for (PageId p = 0; p <= last; ++p)
+                as.setPrimaryHome(p, p % cfg.numNodes);
+        }
         cluster.spawn(inst.threadFn);
         cluster.run();
 
@@ -118,6 +150,8 @@ runScenario(const Scenario &sc, std::uint32_t nodes)
         Counters c = cluster.totalCounters();
         out.recoveries = c.recoveries;
         out.restarts = c.recoveryRestarts;
+        out.migrations = c.homeMigrations;
+        out.migrationsRolledBack = c.migrationsRolledBack;
         if (out.killsFired == 0) {
             out.verdict = "not-triggered";
             return out;
@@ -199,6 +233,36 @@ main(int argc, char **argv)
                 }
             }
         }
+        // Homing scenarios: singles at every migration handoff step
+        // (first and a later occurrence, so both a cold and a warm
+        // handoff get hit).
+        for (const char *mp : failpoints::kMigrationPoints) {
+            for (std::uint64_t occ : {1ull, 3ull})
+                scenarios.push_back(
+                    {app, {{victim, mp, occ}}, /*homing=*/true});
+        }
+        if (max_kills >= 2) {
+            // Migration-then-kill: the handoff-step death's recovery
+            // cycle is itself hit at every recovery failpoint.
+            for (const char *mp : failpoints::kMigrationPoints) {
+                for (const char *cp : failpoints::kRecoveryPoints) {
+                    scenarios.push_back({app,
+                                         {{victim, mp, 1},
+                                          {backup, cp, 1}},
+                                         /*homing=*/true});
+                }
+            }
+            // Kill-during-migration: a release-path death first, then
+            // a second node dies at a post-recovery migration step.
+            for (const char *rp : failpoints::kReleasePoints) {
+                for (const char *mp : failpoints::kMigrationPoints) {
+                    scenarios.push_back({app,
+                                         {{victim, rp, 1},
+                                          {backup, mp, 1}},
+                                         /*homing=*/true});
+                }
+            }
+        }
     }
 
     std::string json = "{\n  \"scenarios\": [\n";
@@ -206,6 +270,15 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
         const Scenario &sc = scenarios[i];
         Outcome o = runScenario(sc, nodes);
+        if (o.verdict == "unrecoverable" && sc.homing &&
+            sc.kills.size() == 1) {
+            // The migration handoff's crash-safety contract: one
+            // fail-stop death at any handoff step leaves the cluster
+            // recoverable, full stop.
+            o.verdict = "fail";
+            o.detail = "single migration-point kill lost the cluster: " +
+                       o.detail;
+        }
         if (o.verdict == "pass")
             n_pass++;
         else if (o.verdict == "unrecoverable")
@@ -225,17 +298,23 @@ main(int argc, char **argv)
                      "\", \"occurrence\": " +
                      std::to_string(sc.kills[k].occurrence) + "}";
         }
-        json += "    {\"app\": \"" + sc.app + "\", \"kills\": [" +
+        json += "    {\"app\": \"" + sc.app + "\", \"homing\": " +
+                (sc.homing ? "true" : "false") + ", \"kills\": [" +
                 kills + "], \"outcome\": \"" + o.verdict +
                 "\", \"kills_fired\": " + std::to_string(o.killsFired) +
                 ", \"recoveries\": " + std::to_string(o.recoveries) +
                 ", \"recovery_restarts\": " +
-                std::to_string(o.restarts) + ", \"detail\": \"" +
-                jsonEscape(o.detail) + "\"}";
+                std::to_string(o.restarts) +
+                ", \"home_migrations\": " +
+                std::to_string(o.migrations) +
+                ", \"migrations_rolled_back\": " +
+                std::to_string(o.migrationsRolledBack) +
+                ", \"detail\": \"" + jsonEscape(o.detail) + "\"}";
         json += (i + 1 < scenarios.size()) ? ",\n" : "\n";
 
-        std::fprintf(stderr, "[%3zu/%zu] %-8s %-50s %s\n", i + 1,
-                     scenarios.size(), sc.app.c_str(), kills.c_str(),
+        std::fprintf(stderr, "[%3zu/%zu] %-8s%s %-50s %s\n", i + 1,
+                     scenarios.size(), sc.app.c_str(),
+                     sc.homing ? " [homing]" : "", kills.c_str(),
                      o.verdict.c_str());
     }
     json += "  ],\n  \"summary\": {\"pass\": " +

@@ -98,6 +98,49 @@ run()
         if (!r.verified)
             failures++;
     }
+
+    // Reliable transport on a lossy wire (net/netfault + net/vmmc):
+    // the same suite with 1% drop/dup/reorder per message plus jitter.
+    // Every app must still verify; retx shows the recovery work the
+    // transport did, piggy% the fraction of acks that rode for free on
+    // reverse traffic, and falseSusp must stay 0 — background loss is
+    // not allowed to look like a node failure to the lease detector.
+    std::printf("\n# Lossy wire (drop=dup=reorder=1%%, jitter<=20us, "
+                "extended protocol)\n");
+    std::printf("%-11s %10s %10s %10s %8s %10s %10s %-26s %s\n", "app",
+                "retx", "dupDrops", "acks", "piggy%", "heartbeats",
+                "falseSusp", "reorderDepth", "ok");
+    for (const std::string &app : benchApps()) {
+        Config cfg;
+        cfg.protocol = ProtocolKind::FaultTolerant;
+        cfg.numNodes = 8;
+        cfg.threadsPerNode = 1;
+        cfg.sharedBytes = 256u << 20;
+        cfg.netDropProb = 0.01;
+        cfg.netDupProb = 0.01;
+        cfg.netReorderProb = 0.01;
+        cfg.netJitterMax = 20 * kMicrosecond;
+        RunResult r = runApp(app, cfg, scale);
+        const Counters &c = r.counters;
+        std::uint64_t acks = c.acksSent + c.acksPiggybacked;
+        double piggy_pct =
+            acks ? 100.0 * static_cast<double>(c.acksPiggybacked) /
+                       static_cast<double>(acks)
+                 : 0.0;
+        std::printf("%-11s %10llu %10llu %10llu %7.1f%% %10llu %10llu "
+                    "%-26s %s\n",
+                    app.c_str(),
+                    static_cast<unsigned long long>(c.retransmits),
+                    static_cast<unsigned long long>(c.dupDrops),
+                    static_cast<unsigned long long>(acks), piggy_pct,
+                    static_cast<unsigned long long>(c.heartbeatsSent),
+                    static_cast<unsigned long long>(
+                        c.falseSuspicionsFenced),
+                    c.reorderDepthHist.toString().c_str(),
+                    r.verified ? "ok" : "VERIFY-FAILED");
+        if (!r.verified || c.falseSuspicionsFenced)
+            failures++;
+    }
     return failures;
 }
 

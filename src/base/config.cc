@@ -50,6 +50,15 @@ Config::applyOverride(const std::string &kv)
     else if (key == "lockBackoffMax") lockBackoffMax = as_u64();
     else if (key == "heartbeatTimeout") heartbeatTimeout = as_u64();
     else if (key == "heartbeatProbeCost") heartbeatProbeCost = as_u64();
+    else if (key == "netDropProb") netDropProb = as_f();
+    else if (key == "netDupProb") netDupProb = as_f();
+    else if (key == "netReorderProb") netReorderProb = as_f();
+    else if (key == "netJitterMax") netJitterMax = as_u64();
+    else if (key == "netRtoMin") netRtoMin = as_u64();
+    else if (key == "netRtoMax") netRtoMax = as_u64();
+    else if (key == "netAckDelay") netAckDelay = as_u64();
+    else if (key == "heartbeatPeriod") heartbeatPeriod = as_u64();
+    else if (key == "missedLeases") missedLeases = as_u64();
     else if (key == "ckptStackReserve") ckptStackReserve = as_u64();
     else if (key == "ckptCaptureCost") ckptCaptureCost = as_u64();
     else if (key == "recoveryPerPageCost") recoveryPerPageCost = as_u64();
@@ -94,6 +103,14 @@ Config::toString() const
        << " homingHysteresis=" << homingHysteresis
        << " homingMinBytes=" << homingMinBytes
        << " homingCooldownEpochs=" << homingCooldownEpochs
+       << " netDropProb=" << netDropProb
+       << " netDupProb=" << netDupProb
+       << " netReorderProb=" << netReorderProb
+       << " netJitterMax=" << netJitterMax
+       << " netRtoMin=" << netRtoMin
+       << " netRtoMax=" << netRtoMax
+       << " heartbeatPeriod=" << heartbeatPeriod
+       << " missedLeases=" << missedLeases
        << " seed=" << seed;
     return os.str();
 }

@@ -129,6 +129,35 @@ struct Config
     /** Fixed per-node cost of the recovery barrier/reconfiguration. */
     SimTime recoveryFixedCost = 500 * kMicrosecond;
 
+    // ---- Wire fault injection (net/netfault) -------------------------------
+    /** Probability a wire message is silently dropped (0 disables). */
+    double netDropProb = 0.0;
+    /** Probability a wire message is delivered twice. */
+    double netDupProb = 0.0;
+    /** Probability a wire message is held back past its successors. */
+    double netReorderProb = 0.0;
+    /** Maximum uniform extra delivery jitter per message (0 disables). */
+    SimTime netJitterMax = 0;
+
+    // ---- Reliable transport (net/vmmc) -------------------------------------
+    /**
+     * Initial per-channel retransmission timeout. Deliberately well
+     * above a full post-queue drain so a send backlog at a release is
+     * not mistaken for loss (spurious retransmits are only suppressed
+     * duplicates, but they waste wire time).
+     */
+    SimTime netRtoMin = 500 * kMicrosecond;
+    /** Retransmission backoff cap. */
+    SimTime netRtoMax = 8 * kMillisecond;
+    /** Ack coalescing delay (0 = ack immediately at delivery). */
+    SimTime netAckDelay = 0;
+
+    // ---- Failure detector (runtime/failure_detector) -----------------------
+    /** Heartbeat/lease renewal period of the failure detector. */
+    SimTime heartbeatPeriod = 250 * kMicrosecond;
+    /** Missed lease periods before a silent peer is declared failed. */
+    std::uint32_t missedLeases = 4;
+
     // ---- Adaptive home placement (svm/homing) -----------------------------
     /**
      * Enable the online page-migration subsystem: profile per-page

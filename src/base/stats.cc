@@ -178,6 +178,19 @@ Counters::operator+=(const Counters &other)
     propPagesMerged += other.propPagesMerged;
     phase1WallNs += other.phase1WallNs;
     phase2WallNs += other.phase2WallNs;
+    retransmits += other.retransmits;
+    retransmittedBytes += other.retransmittedBytes;
+    dupDrops += other.dupDrops;
+    staleEpochRejected += other.staleEpochRejected;
+    fencedDrops += other.fencedDrops;
+    acksSent += other.acksSent;
+    acksPiggybacked += other.acksPiggybacked;
+    heartbeatsMissed += other.heartbeatsMissed;
+    falseSuspicionsFenced += other.falseSuspicionsFenced;
+    netDropsInjected += other.netDropsInjected;
+    netDupsInjected += other.netDupsInjected;
+    netReordersInjected += other.netReordersInjected;
+    netDelaysInjected += other.netDelaysInjected;
     batchBytesHist += other.batchBytesHist;
     batchPagesHist += other.batchPagesHist;
     phaseWallHist += other.phaseWallHist;
@@ -185,6 +198,7 @@ Counters::operator+=(const Counters &other)
     recoveryTimeNsHist += other.recoveryTimeNsHist;
     epochMigrationsHist += other.epochMigrationsHist;
     epochMisHomedBytesHist += other.epochMisHomedBytesHist;
+    reorderDepthHist += other.reorderDepthHist;
     return *this;
 }
 
@@ -233,6 +247,19 @@ Counters::toString() const
        << " propPagesMerged=" << propPagesMerged
        << " phase1WallNs=" << phase1WallNs
        << " phase2WallNs=" << phase2WallNs
+       << " retransmits=" << retransmits
+       << " retransmittedBytes=" << retransmittedBytes
+       << " dupDrops=" << dupDrops
+       << " staleEpochRejected=" << staleEpochRejected
+       << " fencedDrops=" << fencedDrops
+       << " acksSent=" << acksSent
+       << " acksPiggybacked=" << acksPiggybacked
+       << " heartbeatsMissed=" << heartbeatsMissed
+       << " falseSuspicions=" << falseSuspicionsFenced
+       << " netDrops=" << netDropsInjected
+       << " netDups=" << netDupsInjected
+       << " netReorders=" << netReordersInjected
+       << " netDelays=" << netDelaysInjected
        << " batchBytes{" << batchBytesHist.toString() << "}"
        << " batchPages{" << batchPagesHist.toString() << "}"
        << " phaseWall{" << phaseWallHist.toString() << "}"
@@ -240,7 +267,8 @@ Counters::toString() const
        << " recoveryTimeNs{" << recoveryTimeNsHist.toString() << "}"
        << " epochMigrations{" << epochMigrationsHist.toString() << "}"
        << " epochMisHomedBytes{" << epochMisHomedBytesHist.toString()
-       << "}";
+       << "}"
+       << " reorderDepth{" << reorderDepthHist.toString() << "}";
     return os.str();
 }
 

@@ -199,6 +199,33 @@ struct Counters
     std::uint64_t phase1WallNs = 0;
     std::uint64_t phase2WallNs = 0;
 
+    // Reliable transport (net/vmmc) and wire faults (net/netfault):
+    // every protocol message rides per-channel sequence numbers with
+    // cumulative acks and retransmission, so handlers stay effectively
+    // exactly-once on a lossy wire.
+    std::uint64_t retransmits = 0;
+    std::uint64_t retransmittedBytes = 0;
+    /** Deliveries suppressed as duplicates (wire dup or retransmit). */
+    std::uint64_t dupDrops = 0;
+    /** Deliveries rejected because stamped with a pre-recovery epoch. */
+    std::uint64_t staleEpochRejected = 0;
+    /** Deliveries rejected because the sender is fenced. */
+    std::uint64_t fencedDrops = 0;
+    std::uint64_t acksSent = 0;
+    /** Cumulative acks that rode piggybacked on reverse traffic. */
+    std::uint64_t acksPiggybacked = 0;
+
+    // Failure detector (runtime/failure_detector).
+    std::uint64_t heartbeatsMissed = 0;
+    /** Live nodes fenced on a false suspicion (slow, not dead). */
+    std::uint64_t falseSuspicionsFenced = 0;
+
+    // Injected wire faults (ground truth, for campaign verification).
+    std::uint64_t netDropsInjected = 0;
+    std::uint64_t netDupsInjected = 0;
+    std::uint64_t netReordersInjected = 0;
+    std::uint64_t netDelaysInjected = 0;
+
     /** Wire bytes per posted batch message. */
     Histogram batchBytesHist;
     /** Page diffs packed into each posted batch message. */
@@ -213,6 +240,8 @@ struct Counters
     Histogram epochMigrationsHist;
     /** Mis-homed diff bytes observed per placement epoch. */
     Histogram epochMisHomedBytesHist;
+    /** Out-of-order arrival depth (seq - expected) per held message. */
+    Histogram reorderDepthHist;
 
     Counters &operator+=(const Counters &other);
     std::string toString() const;

@@ -58,6 +58,12 @@ RecoveryManager::onPhysFailure(PhysNodeId phys)
              phys);
     stats.failuresDetected++;
     ctx.pendingRecovery = true;
+    // Advance the cluster epoch before any recovery surgery: every
+    // in-flight delivery stamped with the old epoch — in particular
+    // everything the failed node ever sent — is rejected on arrival.
+    // Survivors' rejected messages heal by retransmission under the
+    // new epoch; the dead (fenced) node's never do.
+    ctx.vmmc.bumpEpoch();
     if (!running) {
         running = true;
         // Defer to engine context: the detection hook may fire from

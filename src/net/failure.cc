@@ -8,6 +8,31 @@
 
 namespace rsvm {
 
+namespace failpoints {
+
+bool
+isKnown(const std::string &name)
+{
+    for (const char *p : kReleasePoints)
+        if (name == p)
+            return true;
+    for (const char *p : kRecoveryPoints)
+        if (name == p)
+            return true;
+    for (const char *p : kMigrationPoints)
+        if (name == p)
+            return true;
+    for (const char *p : kOtherPoints)
+        if (name == p)
+            return true;
+    for (const char *p : kNetFaultPoints)
+        if (name == p)
+            return true;
+    return false;
+}
+
+} // namespace failpoints
+
 FailureInjector::FailureInjector(Engine &engine)
     : eng(engine)
 {
@@ -31,6 +56,9 @@ FailureInjector::armFailpoint(PhysNodeId node, std::string name,
                               std::uint64_t occurrence)
 {
     rsvm_assert(occurrence >= 1);
+    if (!failpoints::isKnown(name))
+        rsvm_fatal("unknown failpoint '" + name +
+                   "' (see the failpoints::k*Points tables)");
     armed.push_back(Armed{node, std::move(name), occurrence});
 }
 

@@ -76,6 +76,29 @@ inline constexpr const char *kRecoveryPoints[] = {
 inline constexpr const char *kMigrationPoints[] = {
     kMigPlan, kMigTransfer, kMigCommit, kMigCleanup,
 };
+
+// Wire-fault points: armed on NetFaultInjector (not as kills) to hit
+// one targeted message — "drop the n-th phase-1 diff to node k".
+inline constexpr const char *kNetDrop = "netfault:drop";
+inline constexpr const char *kNetDup = "netfault:dup";
+inline constexpr const char *kNetDelay = "netfault:delay";
+
+/** Targeted wire-fault points (NetFaultInjector::arm). */
+inline constexpr const char *kNetFaultPoints[] = {
+    kNetDrop, kNetDup, kNetDelay,
+};
+
+/** Standalone points fired outside the release/recovery sweeps. */
+inline constexpr const char *kOtherPoints[] = {
+    kInBarrier, kInCompute,
+};
+
+/**
+ * True if @p name appears in any failpoint table (release, recovery,
+ * migration, standalone, netfault). Arming an unknown name is a
+ * campaign-script bug that would otherwise silently never fire.
+ */
+bool isKnown(const std::string &name);
 } // namespace failpoints
 
 /** Schedules and triggers fail-stop node failures. */

@@ -19,6 +19,21 @@
 
 namespace rsvm {
 
+/**
+ * Traffic class of a message. Data/Diff/Ckpt messages flow through
+ * the NIC send/receive pipelines; Ack and Heartbeat are NIC-firmware
+ * control traffic handled without occupying the receive pipeline.
+ * The class also keys targeted netfault:* injection ("drop the n-th
+ * diff to node k").
+ */
+enum class MsgKind : std::uint8_t {
+    Data,
+    Diff,
+    Ckpt,
+    Ack,
+    Heartbeat,
+};
+
 /** One network message (always physical-node addressed). */
 struct Message
 {
@@ -26,6 +41,8 @@ struct Message
     PhysNodeId dst = 0;
     /** Payload bytes; header bytes are added by the wire model. */
     std::uint32_t payloadBytes = 0;
+    /** Traffic class (wire-fault targeting, control fast path). */
+    MsgKind kind = MsgKind::Data;
     /**
      * Remote effect, executed at the destination at delivery time
      * (NIC/DMA context: must not block).
@@ -37,6 +54,14 @@ struct Message
      * (VMMC retransmission gave up). May be empty.
      */
     std::function<void(bool ok)> onComplete;
+    /**
+     * Invoked by the NIC at the instant the message is accepted into
+     * the send queue. The reliable transport assigns its sequence
+     * number here — not earlier — so sequence order equals wire order
+     * and a post that fails (full queue, restart) never burns a
+     * number the receiver would wait on forever. May be empty.
+     */
+    std::function<void(Message &)> stamp;
 };
 
 } // namespace rsvm

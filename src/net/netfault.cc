@@ -1,0 +1,142 @@
+#include "net/netfault.hh"
+
+#include "base/log.hh"
+#include "base/panic.hh"
+#include "net/failure.hh"
+
+namespace rsvm {
+
+NetFaultInjector::NetFaultInjector(const Config &config)
+    : cfg(config), rng(config.seed ^ 0x77eefa1111ull)
+{
+    refreshActive();
+}
+
+void
+NetFaultInjector::refreshActive()
+{
+    active_ = cfg.netDropProb > 0 || cfg.netDupProb > 0 ||
+              cfg.netReorderProb > 0 || cfg.netJitterMax > 0 ||
+              !overrides.empty() || !stalls.empty() ||
+              !armedFaults.empty();
+}
+
+void
+NetFaultInjector::setLinkFaults(PhysNodeId src, PhysNodeId dst,
+                                double drop, double dup, double reorder)
+{
+    overrides.push_back(LinkOverride{src, dst, drop, dup, reorder});
+    refreshActive();
+}
+
+void
+NetFaultInjector::stallNode(PhysNodeId node, SimTime from, SimTime until)
+{
+    rsvm_assert(from < until);
+    stalls.push_back(Stall{node, from, until});
+    refreshActive();
+}
+
+void
+NetFaultInjector::arm(const std::string &point, PhysNodeId src,
+                      PhysNodeId dst, int kind,
+                      std::uint64_t occurrence, SimTime delay)
+{
+    rsvm_assert(occurrence >= 1);
+    Action action;
+    if (point == failpoints::kNetDrop)
+        action = Action::Drop;
+    else if (point == failpoints::kNetDup)
+        action = Action::Dup;
+    else if (point == failpoints::kNetDelay)
+        action = Action::Delay;
+    else
+        rsvm_fatal("unknown netfault point '" + point +
+                   "' (see failpoints::kNetFaultPoints)");
+    armedFaults.push_back(
+        ArmedFault{action, src, dst, kind, occurrence, delay});
+    refreshActive();
+}
+
+NetFaultInjector::Plan
+NetFaultInjector::plan(const Message &msg, SimTime now)
+{
+    Plan p;
+    SimTime delay = 0;
+    bool forced_dup = false;
+    bool forced_drop = false;
+
+    for (auto it = armedFaults.begin(); it != armedFaults.end(); ++it) {
+        if ((it->src != kAnyNode && it->src != msg.src) ||
+            (it->dst != kAnyNode && it->dst != msg.dst) ||
+            (it->kind != kAnyKind &&
+             it->kind != static_cast<int>(msg.kind)))
+            continue;
+        if (--it->remaining > 0)
+            continue;
+        Action action = it->action;
+        SimTime extra = it->delay;
+        armedFaults.erase(it);
+        refreshActive();
+        RSVM_LOG(LogComp::Net,
+                 "netfault fires on %u->%u kind=%u action=%d",
+                 msg.src, msg.dst, (unsigned)msg.kind, (int)action);
+        switch (action) {
+          case Action::Drop: forced_drop = true; break;
+          case Action::Dup: forced_dup = true; break;
+          case Action::Delay:
+            delay += extra;
+            stats.netDelaysInjected++;
+            break;
+        }
+        break; // at most one targeted fault per message
+    }
+
+    double drop_p = cfg.netDropProb;
+    double dup_p = cfg.netDupProb;
+    double reorder_p = cfg.netReorderProb;
+    for (const auto &o : overrides) {
+        if (o.src == msg.src && o.dst == msg.dst) {
+            drop_p = o.drop;
+            dup_p = o.dup;
+            reorder_p = o.reorder;
+            break;
+        }
+    }
+
+    if (forced_drop || (drop_p > 0 && rng.chance(drop_p))) {
+        stats.netDropsInjected++;
+        p.drop = true;
+        return p;
+    }
+
+    for (const auto &s : stalls) {
+        if ((msg.src == s.node || msg.dst == s.node) && now >= s.from &&
+            now < s.until) {
+            // Held back until after the window, with a small spread so
+            // the backlog does not arrive as one burst.
+            delay += (s.until - now) + rng.below(50 * kMicrosecond);
+            stats.netDelaysInjected++;
+            break;
+        }
+    }
+
+    if (cfg.netJitterMax > 0)
+        delay += rng.below(cfg.netJitterMax + 1);
+
+    if (reorder_p > 0 && rng.chance(reorder_p)) {
+        // Enough extra latency to slip behind several back-to-back
+        // successors on the same channel.
+        delay += rng.range(1, 4) * (cfg.sendOverhead + cfg.wireLatency);
+        stats.netReordersInjected++;
+    }
+
+    p.extraDelays.push_back(delay);
+    if (forced_dup || (dup_p > 0 && rng.chance(dup_p))) {
+        stats.netDupsInjected++;
+        p.extraDelays.push_back(delay + rng.below(cfg.wireLatency + 1));
+    }
+    return p;
+}
+
+} // namespace rsvm

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic wire fault injection.
+ *
+ * The reliable-wire assumption of VMMC does not hold on the clusters
+ * the ROADMAP targets, so Network::transmit consults this injector
+ * for a *delivery plan* per message: drop it, deliver one copy
+ * (possibly delayed — jitter, reordering, a node-wide stall window),
+ * or deliver two copies. All randomness flows through one SplitMix64
+ * stream seeded from Config::seed, so a lossy run is exactly
+ * reproducible.
+ *
+ * Two targeting mechanisms complement the background probabilities:
+ *  - netfault:* failpoints ("drop the n-th diff from node s to node
+ *    k"), armed by name against the failpoints::kNetFaultPoints table
+ *    and fired exactly once at the matching occurrence;
+ *  - stallNode(): every message touching one node inside a time
+ *    window is held back until after the window — the slow-but-alive
+ *    scenario that drives false suspicion in the failure detector.
+ */
+
+#ifndef RSVM_NET_NETFAULT_HH
+#define RSVM_NET_NETFAULT_HH
+
+#include <string>
+#include <vector>
+
+#include "base/config.hh"
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "net/message.hh"
+
+namespace rsvm {
+
+/** Seed-driven wire fault model consulted by Network::transmit. */
+class NetFaultInjector
+{
+  public:
+    /** Wildcard endpoint for targeted faults. */
+    static constexpr PhysNodeId kAnyNode = static_cast<PhysNodeId>(-1);
+    /** Wildcard traffic class for targeted faults. */
+    static constexpr int kAnyKind = -1;
+
+    explicit NetFaultInjector(const Config &config);
+
+    /**
+     * Per-message delivery plan: if @p drop, no copy arrives;
+     * otherwise one delivery per entry of @p extraDelays, each
+     * delayed by that much beyond the normal wire latency.
+     */
+    struct Plan
+    {
+        bool drop = false;
+        std::vector<SimTime> extraDelays;
+    };
+
+    /** Decide the fate of @p msg departing at @p now. */
+    Plan plan(const Message &msg, SimTime now);
+
+    /** Cheap gate for the transmit hot path. */
+    bool active() const { return active_; }
+
+    /**
+     * Override the background probabilities for one directed link
+     * (src -> dst); the global Config knobs cover all other links.
+     */
+    void setLinkFaults(PhysNodeId src, PhysNodeId dst, double drop,
+                       double dup, double reorder);
+
+    /**
+     * Delay every message sent or received by @p node inside
+     * [from, until) to past @p until: a live node that looks dead.
+     */
+    void stallNode(PhysNodeId node, SimTime from, SimTime until);
+
+    /**
+     * Arm a targeted fault: on the @p occurrence-th message matching
+     * (src, dst, kind) — kAnyNode / kAnyKind are wildcards — apply
+     * the action named by @p point (one of
+     * failpoints::kNetFaultPoints), then disarm. For
+     * "netfault:delay", @p delay is the extra delivery delay.
+     */
+    void arm(const std::string &point, PhysNodeId src, PhysNodeId dst,
+             int kind, std::uint64_t occurrence = 1, SimTime delay = 0);
+
+    Counters &counters() { return stats; }
+    const Counters &counters() const { return stats; }
+
+  private:
+    struct LinkOverride
+    {
+        PhysNodeId src, dst;
+        double drop, dup, reorder;
+    };
+
+    struct Stall
+    {
+        PhysNodeId node;
+        SimTime from, until;
+    };
+
+    enum class Action { Drop, Dup, Delay };
+
+    struct ArmedFault
+    {
+        Action action;
+        PhysNodeId src, dst;
+        int kind;
+        std::uint64_t remaining;
+        SimTime delay;
+    };
+
+    void refreshActive();
+
+    const Config &cfg;
+    Rng rng;
+    std::vector<LinkOverride> overrides;
+    std::vector<Stall> stalls;
+    std::vector<ArmedFault> armedFaults;
+    bool active_ = false;
+    Counters stats;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_NET_NETFAULT_HH

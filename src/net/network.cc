@@ -8,7 +8,7 @@ namespace rsvm {
 
 Network::Network(Engine &engine, const Config &config,
                  std::uint32_t num_nodes)
-    : eng(engine), cfg(config)
+    : eng(engine), cfg(config), faults_(config)
 {
     nics.reserve(num_nodes);
     for (std::uint32_t i = 0; i < num_nodes; ++i)
@@ -41,9 +41,26 @@ void
 Network::transmit(Message msg)
 {
     rsvm_assert(msg.dst < nics.size());
-    eng.schedule(cfg.wireLatency, [this, m = std::move(msg)]() mutable {
-        nics[m.dst]->arrive(std::move(m));
-    });
+    if (!faults_.active()) {
+        eng.schedule(cfg.wireLatency,
+                     [this, m = std::move(msg)]() mutable {
+                         nics[m.dst]->arrive(std::move(m));
+                     });
+        return;
+    }
+    NetFaultInjector::Plan plan = faults_.plan(msg, eng.now());
+    if (plan.drop)
+        return;
+    for (std::size_t i = 0; i < plan.extraDelays.size(); ++i) {
+        const bool last = i + 1 == plan.extraDelays.size();
+        // Duplicated deliveries need a copy; reliable-transport
+        // closures are shared_ptr-backed and copy safely.
+        Message m = last ? std::move(msg) : msg;
+        eng.schedule(cfg.wireLatency + plan.extraDelays[i],
+                     [this, m = std::move(m)]() mutable {
+                         nics[m.dst]->arrive(std::move(m));
+                     });
+    }
 }
 
 } // namespace rsvm

@@ -14,6 +14,7 @@
 #include "base/config.hh"
 #include "base/types.hh"
 #include "net/message.hh"
+#include "net/netfault.hh"
 
 namespace rsvm {
 
@@ -47,9 +48,14 @@ class Network
     /** True if the physical node's NIC is alive. */
     bool nodeAlive(PhysNodeId id) const;
 
+    /** Wire fault model applied to every transmit. */
+    NetFaultInjector &faults() { return faults_; }
+    const NetFaultInjector &faults() const { return faults_; }
+
   private:
     Engine &eng;
     const Config &cfg;
+    NetFaultInjector faults_;
     std::vector<std::unique_ptr<Nic>> nics;
 };
 

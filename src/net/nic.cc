@@ -30,6 +30,8 @@ Nic::post(SimThread &poster, Message msg, Comp comp)
     if (!isAlive)
         return WakeStatus::Error;
     poster.charge(comp, cfg.postCost);
+    if (msg.stamp)
+        msg.stamp(msg); // transport sequencing at queue-accept time
     stats.messagesSent++;
     stats.bytesSent += msg.payloadBytes + cfg.msgHeaderBytes;
     sendQueue.push_back(std::move(msg));
@@ -41,13 +43,10 @@ void
 Nic::postAsync(Message msg)
 {
     rsvm_assert(msg.src == nodeId);
-    if (!isAlive) {
-        if (msg.onComplete)
-            eng.schedule(0, [cb = std::move(msg.onComplete)] {
-                cb(false);
-            });
-        return;
-    }
+    if (!isAlive)
+        return; // dropped with the dead node; never sequenced
+    if (msg.stamp)
+        msg.stamp(msg);
     stats.messagesSent++;
     stats.bytesSent += msg.payloadBytes + cfg.msgHeaderBytes;
     sendQueue.push_back(std::move(msg));
@@ -93,13 +92,13 @@ Nic::wakeOnePoster()
 void
 Nic::arrive(Message msg)
 {
-    if (!isAlive) {
-        // Arrived at a dead node: the retransmission layer at the
-        // sender eventually reports the error.
-        if (msg.onComplete) {
-            eng.schedule(2 * cfg.wireLatency,
-                         [cb = std::move(msg.onComplete)] { cb(false); });
-        }
+    if (!isAlive)
+        return; // silently lost; the sender's transport retransmits
+    if (msg.kind == MsgKind::Ack || msg.kind == MsgKind::Heartbeat) {
+        // NIC-firmware control traffic: delivered without occupying
+        // the receive pipeline (and without recvOverhead).
+        if (msg.deliver)
+            msg.deliver();
         return;
     }
     recvQueue.push_back(std::move(msg));
@@ -149,15 +148,10 @@ Nic::kill()
     // Queued-but-not-departed messages are lost with the node. Their
     // completions never fire (the sender is dead too).
     sendQueue.clear();
-    // Received-but-undelivered messages came from LIVE senders: their
-    // reliability layer must learn the delivery failed, or a sender
-    // blocked on the completion would wait forever.
-    for (auto &m : recvQueue) {
-        if (m.onComplete) {
-            eng.schedule(2 * cfg.wireLatency,
-                         [cb = std::move(m.onComplete)] { cb(false); });
-        }
-    }
+    // Received-but-undelivered messages came from LIVE senders; they
+    // are simply lost. The senders' reliable transport keeps
+    // retransmitting until the failure detector declares this node
+    // dead and fails the channel.
     recvQueue.clear();
     // Posters blocked on the queue belong to the dead node; they are
     // killed by the node-failure path, not woken here.

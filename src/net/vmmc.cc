@@ -1,5 +1,7 @@
 #include "net/vmmc.hh"
 
+#include <algorithm>
+
 #include "base/log.hh"
 #include "base/panic.hh"
 #include "net/nic.hh"
@@ -9,11 +11,11 @@ namespace rsvm {
 
 // ---------------------------------------------------------------- Replier
 
-Replier::Replier(Engine &engine, Network &network, const Config &config,
+Replier::Replier(Engine &engine, Vmmc &vmmc, const Config &config,
                  PhysNodeId reply_src, PhysNodeId reply_dst,
                  SimThread *requester, std::uint64_t requester_gen,
                  std::shared_ptr<bool> op_active)
-    : eng(engine), net(network), cfg(config), srcPhys(reply_src),
+    : eng(engine), vm(vmmc), cfg(config), srcPhys(reply_src),
       dstPhys(reply_dst), reqThread(requester), reqGen(requester_gen),
       opActive(std::move(op_active))
 {
@@ -47,12 +49,10 @@ Replier::reply(std::uint32_t bytes, std::function<void()> apply)
         eng.schedule(cfg.localLoopback, std::move(deliver));
         return;
     }
-    Message msg;
-    msg.src = srcPhys;
-    msg.dst = dstPhys;
-    msg.payloadBytes = bytes;
-    msg.deliver = std::move(deliver);
-    net.nic(srcPhys).postAsync(std::move(msg));
+    Message msg = vm.makeReliable(srcPhys, dstPhys, bytes,
+                                  MsgKind::Data, std::move(deliver),
+                                  {});
+    vm.network().nic(srcPhys).postAsync(std::move(msg));
 }
 
 // ---------------------------------------------------------- CompletionBatch
@@ -101,12 +101,18 @@ CompletionBatch::wait(Comp comp)
 // ------------------------------------------------------------------- Vmmc
 
 Vmmc::Vmmc(Engine &engine, Network &network, const Config &config)
-    : eng(engine), net(network), cfg(config)
+    : eng(engine), net(network), cfg(config),
+      rng_(config.seed ^ 0x7e7a45ull)
 {
     hostMap.resize(network.numNodes());
     for (PhysNodeId i = 0; i < network.numNodes(); ++i)
         hostMap[i] = i;
     deathNotified.assign(network.numNodes(), false);
+    const std::size_t n = network.numNodes();
+    tx_.resize(n * n);
+    rx_.resize(n * n);
+    fenced_.assign(n, false);
+    epochKnown_.assign(n, 0);
 }
 
 void
@@ -156,12 +162,312 @@ Vmmc::markDeathObserved(PhysNodeId phys)
         deathNotified[phys] = true;
 }
 
+// --------------------------------------------------- reliable transport
+
+bool
+Vmmc::peerKnownDead(PhysNodeId phys) const
+{
+    return detectorMode() ? fenced_[phys] : !net.nodeAlive(phys);
+}
+
+MsgKind
+Vmmc::kindFor(Comp comp)
+{
+    switch (comp) {
+      case Comp::Diff: return MsgKind::Diff;
+      case Comp::Ckpt: return MsgKind::Ckpt;
+      default: return MsgKind::Data;
+    }
+}
+
+Message
+Vmmc::makeReliable(PhysNodeId src_phys, PhysNodeId dst_phys,
+                   std::uint32_t bytes, MsgKind kind,
+                   std::function<void()> apply,
+                   std::function<void(bool)> on_complete)
+{
+    rsvm_assert(src_phys != dst_phys);
+    Message msg;
+    msg.src = src_phys;
+    msg.dst = dst_phys;
+    msg.payloadBytes = bytes;
+    msg.kind = kind;
+    auto e = std::make_shared<TxEntry>();
+    e->bytes = bytes;
+    e->kind = kind;
+    e->apply = std::move(apply);
+    e->onComplete = std::move(on_complete);
+    // Sequencing happens at NIC-accept time, not here: a post that
+    // fails (full-queue restart, dead NIC) must not burn a sequence
+    // number the receiver would wait on forever.
+    msg.stamp = [this, e](Message &m) {
+        TxChannel &ch = txOf(m.src, m.dst);
+        e->seq = ch.nextSeq++;
+        ch.unacked.push_back(e);
+        if (!ch.timerArmed) {
+            ch.rto = cfg.netRtoMin;
+            armRetxTimer(m.src, m.dst);
+        }
+        m.deliver = deliverClosure(m.src, m.dst, e);
+    };
+    return msg;
+}
+
+std::function<void()>
+Vmmc::deliverClosure(PhysNodeId s, PhysNodeId d,
+                     std::shared_ptr<TxEntry> e)
+{
+    // The epoch stamp and the piggybacked cumulative ack are read at
+    // (re)transmission time; a retransmission rebuilds this closure
+    // and so carries fresh values.
+    return [this, s, d, e = std::move(e), stamp_epoch = epochKnown_[s],
+            pig = rxOf(d, s).expected - 1] {
+        rxDeliver(s, d, e, stamp_epoch, pig);
+    };
+}
+
+void
+Vmmc::rxDeliver(PhysNodeId s, PhysNodeId d,
+                const std::shared_ptr<TxEntry> &e,
+                std::uint64_t stamp_epoch, std::uint64_t piggy_ack)
+{
+    if (fenced_[s]) {
+        // Fencing invariant: nothing a declared-dead node sent may
+        // apply after the declaration. Not acked either — a falsely
+        // suspected (still live) sender keeps retransmitting until it
+        // is killed, and never learns the new epoch.
+        tstats.fencedDrops++;
+        return;
+    }
+    if (heardHook)
+        heardHook(d, s); // any delivery renews the sender's lease
+    if (stamp_epoch < epoch_) {
+        // Stamped before a recovery started: reject. A surviving
+        // sender retransmits under the current epoch; a fenced one
+        // cannot.
+        tstats.staleEpochRejected++;
+        return;
+    }
+    // Piggybacked cumulative ack for the reverse channel d -> s.
+    if (processAck(d, s, piggy_ack))
+        tstats.acksPiggybacked++;
+    RxChannel &rx = rxOf(s, d);
+    if (e->seq < rx.expected) {
+        // Wire duplicate or a retransmission of something already
+        // delivered: suppress, but re-ack so the sender stops.
+        tstats.dupDrops++;
+        scheduleAck(s, d);
+        return;
+    }
+    if (e->seq > rx.expected) {
+        auto [it, fresh] = rx.held.emplace(e->seq, e);
+        (void)it;
+        if (fresh)
+            tstats.reorderDepthHist.sample(e->seq - rx.expected);
+        else
+            tstats.dupDrops++;
+        return;
+    }
+    // In order: deliver, then drain any directly-following holds.
+    if (e->apply)
+        e->apply();
+    rx.expected++;
+    while (!rx.held.empty() &&
+           rx.held.begin()->first == rx.expected) {
+        std::shared_ptr<TxEntry> h = rx.held.begin()->second;
+        rx.held.erase(rx.held.begin());
+        if (h->apply)
+            h->apply();
+        rx.expected++;
+    }
+    scheduleAck(s, d);
+}
+
+bool
+Vmmc::processAck(PhysNodeId s, PhysNodeId d, std::uint64_t cum)
+{
+    TxChannel &ch = txOf(s, d);
+    bool advanced = false;
+    while (!ch.unacked.empty() && ch.unacked.front()->seq <= cum) {
+        std::shared_ptr<TxEntry> e = std::move(ch.unacked.front());
+        ch.unacked.pop_front();
+        advanced = true;
+        if (e->onComplete)
+            e->onComplete(true);
+    }
+    if (advanced) {
+        // Progress: reset the backoff and restart the timer for
+        // whatever is still outstanding.
+        ch.rto = cfg.netRtoMin;
+        ch.timerId++;
+        ch.timerArmed = false;
+        if (!ch.unacked.empty())
+            armRetxTimer(s, d);
+    }
+    return advanced;
+}
+
+void
+Vmmc::scheduleAck(PhysNodeId s, PhysNodeId d)
+{
+    RxChannel &rx = rxOf(s, d);
+    if (rx.ackScheduled)
+        return;
+    rx.ackScheduled = true;
+    eng.schedule(cfg.netAckDelay, [this, s, d] { sendAckNow(s, d); });
+}
+
+void
+Vmmc::sendAckNow(PhysNodeId s, PhysNodeId d)
+{
+    RxChannel &rx = rxOf(s, d);
+    rx.ackScheduled = false;
+    if (!net.nodeAlive(d))
+        return; // a dead node acks nothing
+    std::uint64_t cum = rx.expected - 1;
+    tstats.acksSent++;
+    // Acks are NIC-firmware control messages: straight onto the wire,
+    // no send-queue occupancy — but still subject to wire faults.
+    Message a;
+    a.src = d;
+    a.dst = s;
+    a.kind = MsgKind::Ack;
+    a.payloadBytes = 0;
+    a.deliver = [this, s, d, cum] {
+        if (fenced_[d])
+            return; // stale ack from a fenced node; channel is gone
+        if (heardHook)
+            heardHook(s, d);
+        processAck(s, d, cum);
+    };
+    net.transmit(std::move(a));
+}
+
+void
+Vmmc::armRetxTimer(PhysNodeId s, PhysNodeId d)
+{
+    TxChannel &ch = txOf(s, d);
+    ch.timerArmed = true;
+    std::uint64_t id = ++ch.timerId;
+    SimTime delay = ch.rto + rng_.below(ch.rto / 4 + 1);
+    eng.schedule(delay, [this, s, d, id] { onRetxTimer(s, d, id); });
+}
+
+void
+Vmmc::onRetxTimer(PhysNodeId s, PhysNodeId d, std::uint64_t id)
+{
+    TxChannel &ch = txOf(s, d);
+    if (id != ch.timerId)
+        return; // superseded by an ack or a fence
+    ch.timerArmed = false;
+    if (ch.unacked.empty())
+        return;
+    if (!net.nodeAlive(s)) {
+        // The sender died; its queued transfers die with it (the
+        // completions belong to killed fibers).
+        ch.unacked.clear();
+        return;
+    }
+    if (fenced_[d] || (!detectorMode() && !net.nodeAlive(d))) {
+        // Peer declared dead — or, without a running detector, the
+        // historical NIC-liveness oracle (raw fixtures, base
+        // protocol, post-run stragglers).
+        failChannel(s, d);
+        return;
+    }
+    // Retransmit only the oldest unacked message: it is the one
+    // blocking the receiver's cumulative ack; anything after it may
+    // well be sitting in the receiver's hold queue already.
+    retransmit(s, d, ch.unacked.front());
+    ch.rto = std::min(ch.rto * 2, cfg.netRtoMax);
+    armRetxTimer(s, d);
+}
+
+void
+Vmmc::retransmit(PhysNodeId s, PhysNodeId d,
+                 const std::shared_ptr<TxEntry> &e)
+{
+    tstats.retransmits++;
+    tstats.retransmittedBytes += e->bytes + cfg.msgHeaderBytes;
+    RSVM_LOG(LogComp::Net, "retransmit %u->%u seq=%llu", s, d,
+             (unsigned long long)e->seq);
+    Message m;
+    m.src = s;
+    m.dst = d;
+    m.payloadBytes = e->bytes;
+    m.kind = e->kind;
+    m.deliver = deliverClosure(s, d, e); // fresh epoch + piggyback
+    net.nic(s).postAsync(std::move(m));
+}
+
+void
+Vmmc::failChannel(PhysNodeId s, PhysNodeId d)
+{
+    TxChannel &ch = txOf(s, d);
+    ch.timerId++;
+    ch.timerArmed = false;
+    std::deque<std::shared_ptr<TxEntry>> dead;
+    dead.swap(ch.unacked);
+    for (auto &e : dead) {
+        if (e->onComplete)
+            e->onComplete(false);
+    }
+}
+
+void
+Vmmc::fence(PhysNodeId phys)
+{
+    if (fenced_[phys])
+        return;
+    fenced_[phys] = true;
+    RSVM_LOG(LogComp::Net, "phys node %u fenced (epoch %llu)", phys,
+             (unsigned long long)epoch_);
+    for (PhysNodeId q = 0; q < net.numNodes(); ++q) {
+        if (q == phys)
+            continue;
+        // Survivors' pending sends to the fenced node fail now.
+        failChannel(q, phys);
+        // The fenced node's own channels die with it: no completions
+        // (its fibers are being killed), no deliveries.
+        TxChannel &own = txOf(phys, q);
+        own.timerId++;
+        own.timerArmed = false;
+        own.unacked.clear();
+        tstats.fencedDrops += rxOf(phys, q).held.size();
+        rxOf(phys, q).held.clear();
+        rxOf(q, phys).held.clear();
+    }
+}
+
+void
+Vmmc::bumpEpoch()
+{
+    epoch_++;
+    for (PhysNodeId p = 0; p < net.numNodes(); ++p) {
+        if (net.nodeAlive(p) && !fenced_[p])
+            epochKnown_[p] = epoch_;
+    }
+    // Out-of-order holds were stamped before the bump; they must not
+    // apply after recovery's state surgery. Drop them — surviving
+    // senders still hold the entries unacked and will retransmit them
+    // under the new epoch.
+    for (auto &rx : rx_) {
+        tstats.staleEpochRejected += rx.held.size();
+        rx.held.clear();
+    }
+    RSVM_LOG(LogComp::Net, "cluster epoch -> %llu",
+             (unsigned long long)epoch_);
+}
+
 bool
 Vmmc::sweepForFailures(SimThread &self, PhysNodeId *dead_out)
 {
     self.charge(Comp::Protocol, cfg.heartbeatProbeCost);
     for (PhysNodeId p = 0; p < net.numNodes(); ++p) {
-        if (net.nodeAlive(p))
+        // With a detector running, death is what the detector has
+        // declared (fencing); only the oracle fallback reads the NIC.
+        bool dead = detectorMode() ? fenced_[p] : !net.nodeAlive(p);
+        if (!dead)
             continue;
         if (p < deathNotified.size() && deathNotified[p]) {
             // Already-handled carcass: only relevant while its
@@ -217,19 +523,16 @@ Vmmc::depositAsync(SimThread &self, NodeId src, NodeId dst,
         return CommStatus::Ok;
     }
 
-    if (!net.nodeAlive(dst_phys)) {
+    if (peerKnownDead(dst_phys)) {
         notifyDeath(dst_phys);
         if (on_complete)
             eng.schedule(0, [cb = std::move(on_complete)] { cb(false); });
         return CommStatus::Error;
     }
 
-    Message msg;
-    msg.src = src_phys;
-    msg.dst = dst_phys;
-    msg.payloadBytes = bytes;
-    msg.deliver = std::move(apply);
-    msg.onComplete = std::move(on_complete);
+    Message msg = makeReliable(src_phys, dst_phys, bytes,
+                               kindFor(comp), std::move(apply),
+                               std::move(on_complete));
     WakeStatus ws = net.nic(src_phys).post(self, std::move(msg), comp);
     switch (ws) {
       case WakeStatus::Normal:
@@ -272,7 +575,7 @@ Vmmc::postBatch(SimThread &self, NodeId src, NodeId dst,
         return CommStatus::Ok;
     }
 
-    if (!net.nodeAlive(dst_phys)) {
+    if (peerKnownDead(dst_phys)) {
         notifyDeath(dst_phys);
         if (on_complete)
             eng.schedule(0, [cb = std::move(on_complete)] { cb(false); });
@@ -281,16 +584,14 @@ Vmmc::postBatch(SimThread &self, NodeId src, NodeId dst,
 
     for (std::size_t i = 0; i < chunks.size(); ++i) {
         const bool last = i + 1 == chunks.size();
-        Message msg;
-        msg.src = src_phys;
-        msg.dst = dst_phys;
-        msg.payloadBytes = chunks[i].bytes;
-        msg.deliver = std::move(chunks[i].apply);
-        // The channel is FIFO and any failure (dead destination,
-        // killed sender queue) reaches the final chunk's completion,
-        // so one notification on the last chunk covers the batch.
-        if (last && on_complete)
-            msg.onComplete = on_complete;
+        // The channel delivers in order and acks cumulatively, and
+        // any failure (peer declared dead) fails every unacked entry,
+        // so one completion on the last chunk covers the batch.
+        Message msg = makeReliable(
+            src_phys, dst_phys, chunks[i].bytes, kindFor(comp),
+            std::move(chunks[i].apply),
+            last && on_complete ? on_complete
+                                : std::function<void(bool)>());
         WakeStatus ws = net.nic(src_phys).post(self, std::move(msg),
                                                comp);
         if (ws == WakeStatus::Normal)
@@ -320,7 +621,7 @@ Vmmc::fetch(SimThread &self, NodeId src, NodeId dst,
     std::uint64_t my_gen = self.generation();
 
     auto replier = std::make_shared<Replier>(
-        eng, net, cfg, dst_phys, src_phys, &self, my_gen, active);
+        eng, *this, cfg, dst_phys, src_phys, &self, my_gen, active);
     // Validate Normal wakes: only the reply's delivery sets 'done', so
     // spurious wakes (stale lock handoffs etc.) keep us parked.
     auto done = std::make_shared<bool>(false);
@@ -345,20 +646,17 @@ Vmmc::fetch(SimThread &self, NodeId src, NodeId dst,
         self.charge(Comp::Protocol, cfg.postCost);
         eng.schedule(cfg.localLoopback, guarded_handler);
     } else {
-        if (!net.nodeAlive(dst_phys)) {
+        if (peerKnownDead(dst_phys)) {
             notifyDeath(dst_phys);
             return CommStatus::Error;
         }
-        Message msg;
-        msg.src = src_phys;
-        msg.dst = dst_phys;
-        msg.payloadBytes = req_bytes;
-        msg.deliver = guarded_handler;
-        msg.onComplete = [active, &self, my_gen](bool ok) {
-            if (!ok && *active && self.generation() == my_gen) {
-                self.wake(WakeStatus::Error);
-            }
-        };
+        Message msg = makeReliable(
+            src_phys, dst_phys, req_bytes, MsgKind::Data,
+            guarded_handler, [active, &self, my_gen](bool ok) {
+                if (!ok && *active && self.generation() == my_gen) {
+                    self.wake(WakeStatus::Error);
+                }
+            });
         WakeStatus post = net.nic(src_phys).post(self, std::move(msg));
         if (post == WakeStatus::Restarted) {
             *active = false;
@@ -421,15 +719,12 @@ Vmmc::depositFromEvent(NodeId src, NodeId dst, std::uint32_t bytes,
                      [apply = std::move(apply)] { apply(); });
         return;
     }
-    if (!net.nodeAlive(dst_phys)) {
+    if (peerKnownDead(dst_phys)) {
         notifyDeath(dst_phys);
         return;
     }
-    Message msg;
-    msg.src = src_phys;
-    msg.dst = dst_phys;
-    msg.payloadBytes = bytes;
-    msg.deliver = std::move(apply);
+    Message msg = makeReliable(src_phys, dst_phys, bytes,
+                               MsgKind::Data, std::move(apply), {});
     net.nic(src_phys).postAsync(std::move(msg));
 }
 

@@ -18,17 +18,40 @@
  *
  * Every blocking call returns a Status and is safe to re-issue, which
  * is the foundation of the checkpoint/restore retry discipline.
+ *
+ * Reliability is *implemented*, not assumed: the wire may drop,
+ * duplicate, reorder, and delay messages (net/netfault). Every
+ * cross-node protocol message rides a per-(src,dst) channel with a
+ * sequence number assigned at NIC-accept time, cumulative acks
+ * (dedicated and piggybacked on reverse traffic), retransmission with
+ * exponential backoff + seeded jitter, and receive-side duplicate /
+ * reorder suppression — so handlers observe exactly-once, in-order
+ * delivery. Completion notifications fire on the cumulative ack.
+ *
+ * Death is observed, not divined: with a failure detector installed
+ * (FT clusters), a peer counts as dead only once the detector fences
+ * it; sends to it fail fast and every delivery *from* it is rejected
+ * (fencing). A cluster epoch, bumped when recovery starts, is stamped
+ * on each (re)transmission: deliveries stamped with an older epoch
+ * are rejected, so a falsely-suspected node's delayed messages can
+ * never corrupt state that recovery has remapped. Without a detector
+ * (base protocol, unit fixtures), the retransmission timer falls back
+ * to the NIC-liveness oracle, preserving the historical semantics.
  */
 
 #ifndef RSVM_NET_VMMC_HH
 #define RSVM_NET_VMMC_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "base/config.hh"
+#include "base/rng.hh"
+#include "base/stats.hh"
 #include "base/types.hh"
 #include "net/network.hh"
 #include "sim/thread.hh"
@@ -52,10 +75,12 @@ enum class CommStatus {
  * handler may reply immediately or stash the Replier and reply later
  * (deferred replies implement the home's page-version wait).
  */
+class Vmmc;
+
 class Replier
 {
   public:
-    Replier(Engine &engine, Network &network, const Config &config,
+    Replier(Engine &engine, Vmmc &vmmc, const Config &config,
             PhysNodeId reply_src, PhysNodeId reply_dst,
             SimThread *requester, std::uint64_t requester_gen,
             std::shared_ptr<bool> op_active);
@@ -78,7 +103,7 @@ class Replier
 
   private:
     Engine &eng;
-    Network &net;
+    Vmmc &vm;
     const Config &cfg;
     PhysNodeId srcPhys;
     PhysNodeId dstPhys;
@@ -228,14 +253,129 @@ class Vmmc
     /**
      * Heart-beat sweep (§4.1): probe every physical node; report the
      * first dead one found, charging the probe cost to @p self.
-     * Invokes the peer-death hook for newly discovered deaths.
+     * Invokes the peer-death hook for newly discovered deaths. With a
+     * failure detector installed, "dead" means fenced — the sweep no
+     * longer reads NIC ground truth.
      */
     bool sweepForFailures(SimThread &self, PhysNodeId *dead_out);
 
     Network &network() { return net; }
 
+    // ---- Reliable transport / fencing -----------------------------------
+
+    /**
+     * Install the failure-detector hooks: @p heard is invoked on each
+     * transport delivery as a lease renewal (hearer, from); @p active
+     * reports whether the detector is running — while it is, peer
+     * death is *only* what the detector declares (fencing), never the
+     * NIC-liveness oracle.
+     */
+    void
+    setDetectorHooks(std::function<void(PhysNodeId, PhysNodeId)> heard,
+                     std::function<bool()> active)
+    {
+        heardHook = std::move(heard);
+        detectorActive = std::move(active);
+    }
+
+    /**
+     * Declare @p phys dead for transport purposes: every unacked send
+     * to it fails (Error at the callers), all undelivered state from
+     * it is dropped, and every future delivery from it is rejected.
+     * Idempotent. Called by the failure detector at declaration time.
+     */
+    void fence(PhysNodeId phys);
+
+    /** True once fence(phys) has been called. */
+    bool isFenced(PhysNodeId phys) const { return fenced_[phys]; }
+
+    /**
+     * Advance the cluster epoch (recovery start, §4.5) and publish it
+     * to the surviving, unfenced nodes. In-flight deliveries stamped
+     * with the old epoch — including everything a fenced node ever
+     * sent — are rejected on arrival; survivors' rejected messages
+     * are simply retransmitted under the new epoch. A fenced node
+     * never learns the new epoch, so nothing it has in flight can
+     * commit after recovery remaps its homes.
+     */
+    void bumpEpoch();
+
+    /** Current cluster epoch. */
+    std::uint64_t clusterEpoch() const { return epoch_; }
+
+    /** Transport-layer counters (retransmits, dup drops, acks...). */
+    Counters &transportCounters() { return tstats; }
+    const Counters &transportCounters() const { return tstats; }
+
+    /**
+     * Build a reliably-tracked message (used internally and by the
+     * Replier): sequenced at NIC accept, retransmitted until acked,
+     * with @p on_complete fired true on the cumulative ack or false
+     * when the peer is declared dead.
+     */
+    Message makeReliable(PhysNodeId src_phys, PhysNodeId dst_phys,
+                         std::uint32_t bytes, MsgKind kind,
+                         std::function<void()> apply,
+                         std::function<void(bool ok)> on_complete);
+
   private:
+    /** One in-flight (or queued) reliable transfer. */
+    struct TxEntry
+    {
+        std::uint64_t seq = 0;
+        std::uint32_t bytes = 0;
+        MsgKind kind = MsgKind::Data;
+        std::function<void()> apply;
+        std::function<void(bool ok)> onComplete;
+    };
+
+    struct TxChannel
+    {
+        std::uint64_t nextSeq = 1;
+        std::deque<std::shared_ptr<TxEntry>> unacked;
+        SimTime rto = 0;
+        /** Bumped to invalidate outstanding timer events. */
+        std::uint64_t timerId = 0;
+        bool timerArmed = false;
+    };
+
+    struct RxChannel
+    {
+        std::uint64_t expected = 1;
+        /** Out-of-order arrivals held for in-order delivery. */
+        std::map<std::uint64_t, std::shared_ptr<TxEntry>> held;
+        bool ackScheduled = false;
+    };
+
     void notifyDeath(PhysNodeId phys);
+    friend class Replier;
+    friend class FailureDetector;
+
+    TxChannel &txOf(PhysNodeId s, PhysNodeId d)
+    { return tx_[s * net.numNodes() + d]; }
+    RxChannel &rxOf(PhysNodeId s, PhysNodeId d)
+    { return rx_[s * net.numNodes() + d]; }
+
+    /** Peer-death view for upfront checks: fenced (detector mode) or
+     *  NIC-dead (oracle fallback). */
+    bool peerKnownDead(PhysNodeId phys) const;
+    bool detectorMode() const
+    { return detectorActive && detectorActive(); }
+    static MsgKind kindFor(Comp comp);
+
+    std::function<void()> deliverClosure(PhysNodeId s, PhysNodeId d,
+                                         std::shared_ptr<TxEntry> e);
+    void rxDeliver(PhysNodeId s, PhysNodeId d,
+                   const std::shared_ptr<TxEntry> &e,
+                   std::uint64_t stamp_epoch, std::uint64_t piggy_ack);
+    bool processAck(PhysNodeId s, PhysNodeId d, std::uint64_t cum);
+    void scheduleAck(PhysNodeId s, PhysNodeId d);
+    void sendAckNow(PhysNodeId s, PhysNodeId d);
+    void armRetxTimer(PhysNodeId s, PhysNodeId d);
+    void onRetxTimer(PhysNodeId s, PhysNodeId d, std::uint64_t id);
+    void retransmit(PhysNodeId s, PhysNodeId d,
+                    const std::shared_ptr<TxEntry> &e);
+    void failChannel(PhysNodeId s, PhysNodeId d);
 
     Engine &eng;
     Network &net;
@@ -244,6 +384,17 @@ class Vmmc
     std::vector<bool> deathNotified;
     std::function<void(PhysNodeId)> peerDeath;
     std::function<bool()> recoveryPending;
+
+    std::vector<TxChannel> tx_;
+    std::vector<RxChannel> rx_;
+    std::vector<bool> fenced_;
+    /** Epoch each node stamps on its transmissions. */
+    std::vector<std::uint64_t> epochKnown_;
+    std::uint64_t epoch_ = 0;
+    Rng rng_;
+    Counters tstats;
+    std::function<void(PhysNodeId, PhysNodeId)> heardHook;
+    std::function<bool()> detectorActive;
 };
 
 } // namespace rsvm

@@ -49,6 +49,27 @@ Cluster::Cluster(const Config &config)
         vm.setPeerDeathHook(
             [this](PhysNodeId p) { recov->onPhysFailure(p); });
         vm.setRecoveryPendingCheck([this] { return ctx.pendingRecovery; });
+
+        // Heartbeat/lease failure detector: while it runs, it is the
+        // sole death authority (the transport stops consulting the
+        // NIC-liveness oracle). It stops ticking once every compute
+        // thread has finished so the engine can drain.
+        detector = std::make_unique<FailureDetector>(eng, net, vm, cfg);
+        detector->setAliveCheck([this] {
+            for (const auto &t : threads) {
+                ThreadState s = t->sim().state();
+                if (s != ThreadState::Finished && s != ThreadState::Dead)
+                    return true;
+            }
+            return false;
+        });
+        detector->setKillHook([this](PhysNodeId p) { inj.killNow(p); });
+        vm.setDetectorHooks(
+            [this](PhysNodeId hearer, PhysNodeId from) {
+                detector->heard(hearer, from);
+            },
+            [this] { return detector->active(); });
+        detector->start();
     }
 
     if (cfg.dynamicHoming) {
@@ -109,6 +130,8 @@ Cluster::clusterLost(const std::string &reason)
     RSVM_LOG(LogComp::Recovery, "cluster lost: %s", reason.c_str());
     if (homing)
         homing->stop();
+    if (detector)
+        detector->stop();
     // Tear down every remaining compute thread so the engine drains
     // and run() can report the loss instead of hanging.
     for (auto &t : threads) {
@@ -155,6 +178,10 @@ Cluster::totalCounters() const
         total += recov->counters();
     if (homing)
         total += homing->counters();
+    if (detector)
+        total += detector->counters();
+    total += vm.transportCounters();
+    total += net.faults().counters();
     return total;
 }
 

@@ -35,6 +35,7 @@
 #include "net/network.hh"
 #include "net/vmmc.hh"
 #include "runtime/app_api.hh"
+#include "runtime/failure_detector.hh"
 #include "sim/engine.hh"
 #include "svm/locks.hh"
 #include "svm/protocol.hh"
@@ -87,6 +88,8 @@ class Cluster : public ClusterOps
     Network &network() { return net; }
     FailureInjector &injector() { return inj; }
     RecoveryManager *recovery() { return recov.get(); }
+    /** Heartbeat/lease detector (null for base-protocol clusters). */
+    FailureDetector *failureDetector() { return detector.get(); }
     /** Adaptive-placement manager (null unless Config::dynamicHoming). */
     HomingManager *homingManager() { return homing.get(); }
     const Config &config() const { return cfg; }
@@ -149,6 +152,7 @@ class Cluster : public ClusterOps
     FailureInjector inj;
     std::unique_ptr<RecoveryManager> recov;
     std::unique_ptr<HomingManager> homing;
+    std::unique_ptr<FailureDetector> detector;
     std::vector<std::unique_ptr<SvmNode>> nodes;
     std::vector<std::unique_ptr<AppThread>> threads;
     std::vector<PhysNodeId> hostMap;

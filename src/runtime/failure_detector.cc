@@ -1,0 +1,125 @@
+#include "runtime/failure_detector.hh"
+
+#include "net/network.hh"
+#include "net/vmmc.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+
+FailureDetector::FailureDetector(Engine &engine, Network &network,
+                                 Vmmc &vmmc, const Config &config)
+    : eng(engine), net(network), vm(vmmc), cfg(config)
+{
+    const auto n = static_cast<std::size_t>(cfg.numNodes);
+    lastHeard_.assign(n * n, 0);
+    declared_.assign(n, false);
+}
+
+void
+FailureDetector::start()
+{
+    started_ = true;
+    const auto n = static_cast<std::size_t>(cfg.numNodes);
+    for (std::size_t i = 0; i < n * n; ++i)
+        lastHeard_[i] = eng.now();
+    eng.schedule(cfg.heartbeatPeriod, [this] { tick(); });
+}
+
+void
+FailureDetector::heard(PhysNodeId hearer, PhysNodeId from)
+{
+    if (!active())
+        return;
+    lastHeard_[static_cast<std::size_t>(hearer) * cfg.numNodes + from] =
+        eng.now();
+}
+
+void
+FailureDetector::tick()
+{
+    // Stop rescheduling once the cluster is lost or all compute threads
+    // have finished: a periodic task with no end would keep the engine
+    // alive forever.
+    if (stopped_ || (aliveCheck && !aliveCheck()))
+        return;
+
+    const int n = cfg.numNodes;
+    const SimTime lease =
+        cfg.heartbeatPeriod * static_cast<SimTime>(cfg.missedLeases);
+
+    // Lease check: a peer nobody has heard from for missedLeases
+    // periods is declared dead. Any live hearer's lease suffices —
+    // per-node detectors would gossip suspicions; we model the
+    // converged outcome directly.
+    for (PhysNodeId p = 0; p < n; ++p) {
+        if (declared_[p])
+            continue;
+        SimTime freshest = 0;
+        bool anyHearer = false;
+        for (PhysNodeId h = 0; h < n; ++h) {
+            if (h == p || declared_[h] || !net.nodeAlive(h))
+                continue;
+            anyHearer = true;
+            SimTime t =
+                lastHeard_[static_cast<std::size_t>(h) * n + p];
+            if (t > freshest)
+                freshest = t;
+        }
+        if (!anyHearer)
+            continue;
+        if (eng.now() - freshest > lease) {
+            stats.heartbeatsMissed += cfg.missedLeases;
+            declare(p);
+        }
+    }
+
+    // Heartbeat exchange: every live, undeclared node broadcasts.
+    // Heartbeats are NIC-firmware control traffic: they bypass the
+    // send/receive queues but still ride the (faulty) wire.
+    for (PhysNodeId s = 0; s < n; ++s) {
+        if (declared_[s] || !net.nodeAlive(s))
+            continue;
+        for (PhysNodeId d = 0; d < n; ++d) {
+            if (d == s || declared_[d] || !net.nodeAlive(d))
+                continue;
+            Message hb;
+            hb.src = s;
+            hb.dst = d;
+            hb.payloadBytes = 0;
+            hb.kind = MsgKind::Heartbeat;
+            hb.deliver = [this, s, d] { heard(d, s); };
+            net.transmit(std::move(hb));
+            stats.heartbeatsSent++;
+        }
+    }
+
+    eng.schedule(cfg.heartbeatPeriod, [this] { tick(); });
+}
+
+void
+FailureDetector::declare(PhysNodeId phys)
+{
+    if (declared_[phys])
+        return;
+    declared_[phys] = true;
+    // (failuresDetected is counted by the recovery manager, which this
+    // declaration reaches through the peer-death hook.)
+
+    // Fence first: from this instant nothing the declared node sent —
+    // including messages already in flight — may apply anywhere.
+    bool falseSuspicion = net.nodeAlive(phys);
+    vm.fence(phys);
+
+    // A falsely-suspected node is slow, not dead. The fail-stop model
+    // the recovery protocol assumes is *enforced* here: convert the
+    // suspicion into a real, clean kill before announcing the death.
+    if (falseSuspicion) {
+        stats.falseSuspicionsFenced++;
+        if (killHook)
+            killHook(phys);
+    }
+
+    vm.notifyDeath(phys);
+}
+
+} // namespace rsvm

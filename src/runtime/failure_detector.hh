@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Heartbeat/lease failure detector (replaces the send-error oracle).
+ *
+ * Every heartbeatPeriod, each live node sends a heartbeat to every
+ * other live node over the (lossy) wire; any transport delivery also
+ * renews the sender's lease at the receiver. A node that has not been
+ * heard from for missedLeases periods is *declared* dead:
+ *
+ *  1. it is fenced in the Vmmc — pending sends to it fail, and every
+ *     later delivery from it is rejected;
+ *  2. if it is in fact still alive (a false suspicion: slow or
+ *     stalled, not dead), it is converted to a clean fail-stop kill —
+ *     the paper's fail-stop model is *enforced*, not assumed;
+ *  3. the death is announced to the recovery manager, which bumps the
+ *     cluster epoch before remapping the victim's homes.
+ *
+ * Because fencing precedes the epoch bump and the victim never learns
+ * the new epoch, none of its in-flight messages can commit after
+ * recovery has remapped its state — a falsely-suspected releaser can
+ * stall mid-release and still never corrupt committed copies.
+ *
+ * The detector is a global engine task (modelling per-node detectors
+ * without N^2 fibers); it stops rescheduling once every compute
+ * thread has finished, and is stopped explicitly when the cluster is
+ * declared lost, so it never keeps the engine alive artificially.
+ */
+
+#ifndef RSVM_RUNTIME_FAILURE_DETECTOR_HH
+#define RSVM_RUNTIME_FAILURE_DETECTOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "base/config.hh"
+#include "base/stats.hh"
+#include "base/types.hh"
+
+namespace rsvm {
+
+class Engine;
+class Network;
+class Vmmc;
+
+/** Cluster-wide heartbeat/lease failure detector. */
+class FailureDetector
+{
+  public:
+    FailureDetector(Engine &engine, Network &network, Vmmc &vmmc,
+                    const Config &config);
+
+    /** Engine-liveness gate: keep ticking while this returns true. */
+    void setAliveCheck(std::function<bool()> check)
+    { aliveCheck = std::move(check); }
+
+    /** Fail-stop conversion for falsely-suspected (live) nodes. */
+    void setKillHook(std::function<void(PhysNodeId)> hook)
+    { killHook = std::move(hook); }
+
+    /** Begin ticking (first tick one period from now). */
+    void start();
+
+    /** Stop permanently (cluster lost / teardown). */
+    void stop() { stopped_ = true; }
+
+    /** True while the detector is the cluster's death authority. */
+    bool active() const { return started_ && !stopped_; }
+
+    /** Lease renewal: @p hearer received something from @p from. */
+    void heard(PhysNodeId hearer, PhysNodeId from);
+
+    /** True once @p phys has been declared dead by the detector. */
+    bool declared(PhysNodeId phys) const { return declared_[phys]; }
+
+    Counters &counters() { return stats; }
+    const Counters &counters() const { return stats; }
+
+  private:
+    void tick();
+    void declare(PhysNodeId phys);
+
+    Engine &eng;
+    Network &net;
+    Vmmc &vm;
+    const Config &cfg;
+    std::function<bool()> aliveCheck;
+    std::function<void(PhysNodeId)> killHook;
+    /** lastHeard_[hearer * N + from]: when hearer last heard from. */
+    std::vector<SimTime> lastHeard_;
+    std::vector<bool> declared_;
+    bool started_ = false;
+    bool stopped_ = false;
+    Counters stats;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_RUNTIME_FAILURE_DETECTOR_HH

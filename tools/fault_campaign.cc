@@ -29,9 +29,19 @@
  * which CI reports as failure — the campaign's core claim is that no
  * schedule can crash the runtime.
  *
+ * With --net-faults RATE every scenario additionally runs on a lossy
+ * wire (drop = dup = reorder = RATE per message, plus delivery
+ * jitter), so each kill schedule also exercises the reliable
+ * transport's retransmission and dedup machinery. Two kinds of
+ * kill-free scenario join the matrix: a pure-loss baseline per app
+ * (lossy wire, nobody dies, bit-exact result required) and a
+ * false-suspicion scenario per app (a node's links stalled past the
+ * failure detector's lease: the alive-but-silent node must be fenced,
+ * converted to a clean fail-stop kill, and the run must still verify).
+ *
  * Usage:
  *   fault_campaign [--apps fft,lu] [--max-kills 2] [--nodes 4]
- *                  [--out matrix.json]
+ *                  [--net-faults RATE] [--out matrix.json]
  */
 
 #include <cstdio>
@@ -61,6 +71,12 @@ struct Scenario
     std::vector<Kill> kills;
     /** Run with dynamicHoming + scrambled homes (migration:* points). */
     bool homing = false;
+    /**
+     * Stall every link touching the victim for a multi-lease window:
+     * the node is alive but silent, so the failure detector must
+     * falsely suspect it, fence it, and convert it to a clean kill.
+     */
+    bool stall = false;
 };
 
 struct Outcome
@@ -72,6 +88,10 @@ struct Outcome
     std::uint64_t restarts = 0;
     std::uint64_t migrations = 0;
     std::uint64_t migrationsRolledBack = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t dupDrops = 0;
+    std::uint64_t staleEpochRejected = 0;
+    std::uint64_t falseSuspicions = 0;
 };
 
 std::vector<std::string>
@@ -107,7 +127,7 @@ jsonEscape(const std::string &s)
 }
 
 Outcome
-runScenario(const Scenario &sc, std::uint32_t nodes)
+runScenario(const Scenario &sc, std::uint32_t nodes, double net_rate)
 {
     Outcome out;
     try {
@@ -115,6 +135,12 @@ runScenario(const Scenario &sc, std::uint32_t nodes)
         cfg.protocol = ProtocolKind::FaultTolerant;
         cfg.numNodes = nodes;
         cfg.sharedBytes = 64u << 20;
+        if (net_rate > 0.0) {
+            cfg.netDropProb = net_rate;
+            cfg.netDupProb = net_rate;
+            cfg.netReorderProb = net_rate;
+            cfg.netJitterMax = 20 * kMicrosecond;
+        }
         if (sc.homing) {
             cfg.dynamicHoming = true;
             // Dense epochs and a low floor keep migrations in flight
@@ -133,6 +159,12 @@ runScenario(const Scenario &sc, std::uint32_t nodes)
         for (const Kill &k : sc.kills)
             cluster.injector().armFailpoint(k.node, k.point,
                                             k.occurrence);
+        if (sc.stall) {
+            // Three leases of silence (heartbeatPeriod 250us *
+            // missedLeases 4 = 1ms lease) starting mid-workload.
+            cluster.network().faults().stallNode(
+                2, 1 * kMillisecond, 4 * kMillisecond);
+        }
         inst.setup(cluster);
         if (sc.homing) {
             // Scramble the app's tuned placement round-robin so the
@@ -152,8 +184,19 @@ runScenario(const Scenario &sc, std::uint32_t nodes)
         out.restarts = c.recoveryRestarts;
         out.migrations = c.homeMigrations;
         out.migrationsRolledBack = c.migrationsRolledBack;
-        if (out.killsFired == 0) {
+        out.retransmits = c.retransmits;
+        out.dupDrops = c.dupDrops;
+        out.staleEpochRejected = c.staleEpochRejected;
+        out.falseSuspicions = c.falseSuspicionsFenced;
+        if (!sc.kills.empty() && out.killsFired == 0) {
             out.verdict = "not-triggered";
+            return out;
+        }
+        if (sc.stall && out.falseSuspicions == 0) {
+            // The run outlasted the stall without a declaration; the
+            // scenario proved nothing (but also must not fail).
+            out.verdict = "not-triggered";
+            out.detail = "stall never tripped the detector";
             return out;
         }
         apps::AppResult r = inst.verify(cluster);
@@ -183,6 +226,7 @@ main(int argc, char **argv)
     std::vector<std::string> app_list = {"fft", "lu"};
     int max_kills = 2;
     std::uint32_t nodes = 4;
+    double net_rate = 0.0;
     std::string out_path;
 
     for (int i = 1; i < argc; ++i) {
@@ -200,12 +244,15 @@ main(int argc, char **argv)
             max_kills = std::atoi(value());
         } else if (arg == "--nodes") {
             nodes = static_cast<std::uint32_t>(std::atoi(value()));
+        } else if (arg == "--net-faults") {
+            net_rate = std::atof(value());
         } else if (arg == "--out") {
             out_path = value();
         } else {
             std::fprintf(stderr,
                          "usage: fault_campaign [--apps a,b] "
-                         "[--max-kills N] [--nodes N] [--out f.json]\n");
+                         "[--max-kills N] [--nodes N] "
+                         "[--net-faults RATE] [--out f.json]\n");
             return 2;
         }
     }
@@ -221,6 +268,17 @@ main(int argc, char **argv)
 
     std::vector<Scenario> scenarios;
     for (const std::string &app : app_list) {
+        if (net_rate > 0.0) {
+            // Pure-loss baseline: no kill at all — the run must
+            // complete bit-exact on the lossy wire alone, with the
+            // detector declaring nobody.
+            scenarios.push_back({app, {}});
+        }
+        // False suspicion: a stalled-but-alive node is declared dead,
+        // fenced, and converted to a clean kill; the run must still
+        // verify bit-exact.
+        scenarios.push_back(
+            {app, {}, /*homing=*/false, /*stall=*/true});
         for (const char *rp : failpoints::kReleasePoints) {
             for (std::uint64_t occ : {1ull, 2ull})
                 scenarios.push_back({app, {{victim, rp, occ}}});
@@ -269,7 +327,7 @@ main(int argc, char **argv)
     int n_pass = 0, n_lost = 0, n_idle = 0, n_fail = 0;
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
         const Scenario &sc = scenarios[i];
-        Outcome o = runScenario(sc, nodes);
+        Outcome o = runScenario(sc, nodes, net_rate);
         if (o.verdict == "unrecoverable" && sc.homing &&
             sc.kills.size() == 1) {
             // The migration handoff's crash-safety contract: one
@@ -299,7 +357,8 @@ main(int argc, char **argv)
                      std::to_string(sc.kills[k].occurrence) + "}";
         }
         json += "    {\"app\": \"" + sc.app + "\", \"homing\": " +
-                (sc.homing ? "true" : "false") + ", \"kills\": [" +
+                (sc.homing ? "true" : "false") + ", \"stall\": " +
+                (sc.stall ? "true" : "false") + ", \"kills\": [" +
                 kills + "], \"outcome\": \"" + o.verdict +
                 "\", \"kills_fired\": " + std::to_string(o.killsFired) +
                 ", \"recoveries\": " + std::to_string(o.recoveries) +
@@ -309,12 +368,19 @@ main(int argc, char **argv)
                 std::to_string(o.migrations) +
                 ", \"migrations_rolled_back\": " +
                 std::to_string(o.migrationsRolledBack) +
+                ", \"retransmits\": " + std::to_string(o.retransmits) +
+                ", \"dup_drops\": " + std::to_string(o.dupDrops) +
+                ", \"stale_epoch_rejected\": " +
+                std::to_string(o.staleEpochRejected) +
+                ", \"false_suspicions\": " +
+                std::to_string(o.falseSuspicions) +
                 ", \"detail\": \"" + jsonEscape(o.detail) + "\"}";
         json += (i + 1 < scenarios.size()) ? ",\n" : "\n";
 
-        std::fprintf(stderr, "[%3zu/%zu] %-8s%s %-50s %s\n", i + 1,
+        std::fprintf(stderr, "[%3zu/%zu] %-8s%s%s %-50s %s\n", i + 1,
                      scenarios.size(), sc.app.c_str(),
-                     sc.homing ? " [homing]" : "", kills.c_str(),
+                     sc.homing ? " [homing]" : "",
+                     sc.stall ? " [stall]" : "", kills.c_str(),
                      o.verdict.c_str());
     }
     json += "  ],\n  \"summary\": {\"pass\": " +

@@ -141,6 +141,43 @@ run()
         if (!r.verified || c.falseSuspicionsFenced)
             failures++;
     }
+
+    // Elastic membership (runtime/membership): every app runs a full
+    // kill -> recover -> rejoin cycle — node 2 dies at 2 ms, its
+    // rejoin is requested at 6 ms, queues behind the recovery pass,
+    // and commits after it. The run must still verify bit-exact, the
+    // bulk transfer must have moved real bytes, and pagesPerDegree
+    // shows how many replicas each page holds once the cluster is
+    // whole again (target degree restored by the joiner's re-grow).
+    std::printf("\n# Elastic membership (kill node 2 @2ms, rejoin "
+                "request @6ms, extended protocol)\n");
+    std::printf("%-11s %6s %8s %8s %12s %-26s %-22s %s\n", "app",
+                "joins", "rejoins", "reGrown", "bulkXferB",
+                "joinTimeNs", "pagesPerDegree", "ok");
+    for (const std::string &app : benchApps()) {
+        Config cfg;
+        cfg.protocol = ProtocolKind::FaultTolerant;
+        cfg.numNodes = 8;
+        cfg.threadsPerNode = 1;
+        cfg.sharedBytes = 256u << 20;
+        RunResult r = runApp(app, cfg, scale, [](Cluster &cl) {
+            cl.injector().killAt(2, 2 * kMillisecond);
+            cl.joinManager()->scheduleJoin(6 * kMillisecond, 2);
+        });
+        const Counters &c = r.counters;
+        std::printf("%-11s %6llu %8llu %8llu %12llu %-26s %-22s %s\n",
+                    app.c_str(),
+                    static_cast<unsigned long long>(c.joins),
+                    static_cast<unsigned long long>(c.rejoins),
+                    static_cast<unsigned long long>(c.pagesReGrown),
+                    static_cast<unsigned long long>(
+                        c.bulkTransferBytes),
+                    c.joinTimeNsHist.toString().c_str(),
+                    c.pagesPerDegreeHist.toString().c_str(),
+                    r.verified ? "ok" : "VERIFY-FAILED");
+        if (!r.verified)
+            failures++;
+    }
     return failures;
 }
 

@@ -63,6 +63,8 @@ Config::applyOverride(const std::string &kv)
     else if (key == "ckptCaptureCost") ckptCaptureCost = as_u64();
     else if (key == "recoveryPerPageCost") recoveryPerPageCost = as_u64();
     else if (key == "recoveryFixedCost") recoveryFixedCost = as_u64();
+    else if (key == "replicationDegree") replicationDegree = as_u64();
+    else if (key == "joinFixedCost") joinFixedCost = as_u64();
     else if (key == "dynamicHoming") dynamicHoming = (val == "1" ||
                                                       val == "true");
     else if (key == "homingEpoch") homingEpoch = as_u64();
@@ -111,6 +113,7 @@ Config::toString() const
        << " netRtoMax=" << netRtoMax
        << " heartbeatPeriod=" << heartbeatPeriod
        << " missedLeases=" << missedLeases
+       << " replicationDegree=" << replicationDegree
        << " seed=" << seed;
     return os.str();
 }

@@ -129,6 +129,19 @@ struct Config
     /** Fixed per-node cost of the recovery barrier/reconfiguration. */
     SimTime recoveryFixedCost = 500 * kMicrosecond;
 
+    // ---- Replication / membership (runtime/membership) ---------------------
+    /**
+     * Default per-page replication degree k of the fault-tolerant
+     * protocol: one committed copy at the primary home plus k-1
+     * tentative copies at secondary homes. k=2 is the paper's scheme;
+     * k=1 keeps no replica (a scratch page dies with its home); k>=3
+     * survives simultaneous double failures. Applications may override
+     * per region via AddressSpace::setReplicationDegreeRange.
+     */
+    std::uint32_t replicationDegree = 2;
+    /** Fixed per-node cost of a join/rejoin reconfiguration. */
+    SimTime joinFixedCost = 500 * kMicrosecond;
+
     // ---- Wire fault injection (net/netfault) -------------------------------
     /** Probability a wire message is silently dropped (0 disables). */
     double netDropProb = 0.0;

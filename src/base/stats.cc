@@ -191,6 +191,15 @@ Counters::operator+=(const Counters &other)
     netDupsInjected += other.netDupsInjected;
     netReordersInjected += other.netReordersInjected;
     netDelaysInjected += other.netDelaysInjected;
+    joins += other.joins;
+    rejoins += other.rejoins;
+    joinsRolledBack += other.joinsRolledBack;
+    bulkTransferBytes += other.bulkTransferBytes;
+    pagesReGrown += other.pagesReGrown;
+    joinsRejected += other.joinsRejected;
+    joinsQueued += other.joinsQueued;
+    channelsReclaimed += other.channelsReclaimed;
+    reclaimedTxEntries += other.reclaimedTxEntries;
     batchBytesHist += other.batchBytesHist;
     batchPagesHist += other.batchPagesHist;
     phaseWallHist += other.phaseWallHist;
@@ -199,6 +208,8 @@ Counters::operator+=(const Counters &other)
     epochMigrationsHist += other.epochMigrationsHist;
     epochMisHomedBytesHist += other.epochMisHomedBytesHist;
     reorderDepthHist += other.reorderDepthHist;
+    joinTimeNsHist += other.joinTimeNsHist;
+    pagesPerDegreeHist += other.pagesPerDegreeHist;
     return *this;
 }
 
@@ -260,6 +271,15 @@ Counters::toString() const
        << " netDups=" << netDupsInjected
        << " netReorders=" << netReordersInjected
        << " netDelays=" << netDelaysInjected
+       << " joins=" << joins
+       << " rejoins=" << rejoins
+       << " joinsRolledBack=" << joinsRolledBack
+       << " bulkTransferBytes=" << bulkTransferBytes
+       << " pagesReGrown=" << pagesReGrown
+       << " joinsRejected=" << joinsRejected
+       << " joinsQueued=" << joinsQueued
+       << " channelsReclaimed=" << channelsReclaimed
+       << " reclaimedTxEntries=" << reclaimedTxEntries
        << " batchBytes{" << batchBytesHist.toString() << "}"
        << " batchPages{" << batchPagesHist.toString() << "}"
        << " phaseWall{" << phaseWallHist.toString() << "}"
@@ -268,7 +288,9 @@ Counters::toString() const
        << " epochMigrations{" << epochMigrationsHist.toString() << "}"
        << " epochMisHomedBytes{" << epochMisHomedBytesHist.toString()
        << "}"
-       << " reorderDepth{" << reorderDepthHist.toString() << "}";
+       << " reorderDepth{" << reorderDepthHist.toString() << "}"
+       << " joinTimeNs{" << joinTimeNsHist.toString() << "}"
+       << " pagesPerDegree{" << pagesPerDegreeHist.toString() << "}";
     return os.str();
 }
 

@@ -226,6 +226,25 @@ struct Counters
     std::uint64_t netReordersInjected = 0;
     std::uint64_t netDelaysInjected = 0;
 
+    // Elastic membership (runtime/membership). A join is any admitted
+    // attempt; a rejoin is a completed join of a previously-fenced
+    // member, so joins == rejoins + joinsRolledBack once quiescent.
+    std::uint64_t joins = 0;
+    std::uint64_t rejoins = 0;
+    std::uint64_t joinsRolledBack = 0;
+    /** Modeled bytes of the bulk state transfer onto each joiner. */
+    std::uint64_t bulkTransferBytes = 0;
+    /** Pages re-grown back to their target replication degree. */
+    std::uint64_t pagesReGrown = 0;
+    /** Join requests rejected (already live) or queued behind recovery. */
+    std::uint64_t joinsRejected = 0;
+    std::uint64_t joinsQueued = 0;
+
+    // Channel reclamation for permanently-dead peers (net/vmmc).
+    std::uint64_t channelsReclaimed = 0;
+    /** Tx/held entries freed by channel reclamation. */
+    std::uint64_t reclaimedTxEntries = 0;
+
     /** Wire bytes per posted batch message. */
     Histogram batchBytesHist;
     /** Page diffs packed into each posted batch message. */
@@ -242,6 +261,10 @@ struct Counters
     Histogram epochMisHomedBytesHist;
     /** Out-of-order arrival depth (seq - expected) per held message. */
     Histogram reorderDepthHist;
+    /** Simulated ns per completed join (admit -> activate). */
+    Histogram joinTimeNsHist;
+    /** Effective replication degree per page (sampled at reporting). */
+    Histogram pagesPerDegreeHist;
 
     Counters &operator+=(const Counters &other);
     std::string toString() const;

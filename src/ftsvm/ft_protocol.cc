@@ -372,17 +372,21 @@ FtProtocolNode::propagateDiffs(SimThread &self,
                                const std::vector<Diff> &diffs, int phase)
 {
     // Two-phase pipeline instantiation: phase 1 targets the tentative
-    // copies at secondary homes, phase 2 the committed copies at
-    // primary homes. Both wait for every destination (the release
-    // cannot advance past an unconfirmed phase), and the mid-phase
-    // failpoint fires between the first and second posted message.
+    // copies at every secondary home (none for a degree-1 page), phase
+    // 2 the committed copy at the primary home. Both wait for every
+    // destination (the release cannot advance past an unconfirmed
+    // phase), and the mid-phase failpoint fires between the first and
+    // second posted message.
     AddressSpace &as = ctx.as;
     return propagation.runPhase(
         self, diffs, phase,
-        [&as, phase](const Diff &d) {
-            return phase == 1 ? as.secondaryHome(d.page)
-                              : as.primaryHome(d.page);
-        },
+        PropagationPipeline::TargetsFn(
+            [&as, phase](const Diff &d, std::vector<NodeId> &out) {
+                if (phase == 1)
+                    as.secondaryHomesInto(d.page, out);
+                else
+                    out.push_back(as.primaryHome(d.page));
+            }),
         /*wait=*/true,
         [this, &self, phase] {
             failpoint(self, phase == 1 ? failpoints::kMidPhase1
@@ -444,13 +448,26 @@ FtProtocolNode::saveTimestamp(SimThread &self, IntervalNum interval,
     std::vector<PageId> pages_copy = pages;
     std::uint32_t bytes = 64 + 4 * ctx.cfg.numNodes +
                           4 * static_cast<std::uint32_t>(pages.size());
-    // Pages whose SECONDARY home is this node have no off-node
-    // tentative replica: replicate their diffs with the timestamp so
-    // a roll-forward after our death can still complete the release.
+    // Pages with no OFF-NODE tentative replica — every secondary home
+    // is this node itself, or the page's replication degree is 1 and
+    // it has no secondary at all — would leave no surviving copy of
+    // this release's updates: replicate their diffs with the timestamp
+    // so a roll-forward after our death can still complete the
+    // release.
     std::vector<Diff> self_secondary;
+    std::vector<NodeId> secs;
     if (activeRelease) {
         for (const Diff &d : activeRelease->diffs) {
-            if (ctx.as.secondaryHome(d.page) == nodeId) {
+            secs.clear();
+            ctx.as.secondaryHomesInto(d.page, secs);
+            bool off_node = false;
+            for (NodeId s : secs) {
+                if (s != nodeId) {
+                    off_node = true;
+                    break;
+                }
+            }
+            if (!off_node) {
                 self_secondary.push_back(d);
                 bytes += d.wireBytes();
             }

@@ -164,6 +164,7 @@ class FtProtocolNode : public SvmNode
 
     friend class RecoveryManager;
     friend class HomingManager;
+    friend class JoinManager;
 };
 
 } // namespace rsvm

@@ -192,6 +192,11 @@ RecoveryManager::finishCycle()
     running = false;
     salvage.clear();
     lockSalvage.clear();
+    // The remap is committed: nodes recovered-around stay fenced until
+    // an explicit rejoin, so their per-(src,dst) channel and
+    // retransmit state is dead weight — reclaim it now and verify no
+    // retransmit timer stayed armed toward a carcass.
+    ctx.vmmc.reclaimDeadChannels();
     wakeWaiters(ctx.recoveryWaiters);
     RSVM_LOG(LogComp::Recovery, "recovery complete at %llu",
              static_cast<unsigned long long>(ctx.eng.now()));
@@ -419,17 +424,22 @@ RecoveryManager::checkStoresUsable(const std::vector<NodeId> &failed)
 void
 RecoveryManager::stepPageRestore(const std::vector<NodeId> &failed)
 {
-    // For pages whose both homes survive, reconcile the two replicas
+    // For pages whose homes survive, reconcile each tentative replica
     // against each failed node's saved timestamp: roll its last
     // release forward or backward (§4.5.2). Idempotent: a reconciled
     // pair satisfies tentativeVer <= committedVer for the origin.
+    // Degree-1 pages have no tentative replica to reconcile (their
+    // diffs travel with the timestamp save; re-replication replays
+    // them).
     const PageId num_pages = ctx.as.numPages();
     for (NodeId f : failed) {
         IntervalNum limit = limitOf(f);
         for (PageId p = 0; p < num_pages; ++p) {
             NodeId prim = ctx.as.primaryHome(p);
-            NodeId sec = ctx.as.secondaryHome(p);
-            if (!hostAlive(prim) || !hostAlive(sec))
+            if (!hostAlive(prim))
+                continue; // re-replication handles these
+            for (NodeId sec : ctx.as.secondaryHomes(p)) {
+            if (!hostAlive(sec))
                 continue; // re-replication handles these
             FtProtocolNode *pn = ft(prim);
             FtProtocolNode *sn = ft(sec);
@@ -491,6 +501,7 @@ RecoveryManager::stepPageRestore(const std::vector<NodeId> &failed)
                 }
                 stats.pagesRolledBack++;
             }
+            }
         }
     }
 }
@@ -498,9 +509,14 @@ RecoveryManager::stepPageRestore(const std::vector<NodeId> &failed)
 void
 RecoveryManager::stepRemapHomes(const std::vector<NodeId> &failed)
 {
-    auto eligible = [this](NodeId cand, NodeId other) {
-        return hostAlive(cand) &&
-               ctx.ops->hostOf(cand) != ctx.ops->hostOf(other);
+    auto eligible = [this](NodeId cand,
+                           const std::vector<NodeId> &chosen) {
+        if (!hostAlive(cand))
+            return false;
+        for (NodeId o : chosen)
+            if (ctx.ops->hostOf(cand) == ctx.ops->hostOf(o))
+                return false;
+        return true;
     };
     for (NodeId f : failed)
         ctx.as.remapHomes(f, eligible, [](PageId, NodeId) {});
@@ -654,7 +670,6 @@ RecoveryManager::stepReReplicate(const std::vector<NodeId> &failed)
         const Cand *best_t = dominant(tcands);
         const Cand *for_committed = best_c ? best_c : best_t;
         NodeId prim = ctx.as.primaryHome(p);
-        NodeId sec = ctx.as.secondaryHome(p);
         HomeInfo *phi = ft(prim)->findHomeInfo(p);
         if (!phi || !phi->committed ||
             !(phi->committedVer == for_committed->ver)) {
@@ -669,16 +684,19 @@ RecoveryManager::stepReReplicate(const std::vector<NodeId> &failed)
             stats.reReplicationBytes += ctx.cfg.pageSize;
         }
 
-        // Tentative copy at the secondary home: the freshest copy of
-        // either role (in-flight phase-1 bits belong here). Matching
-        // phase-1 undos travel with it so a later roll-back of the
-        // writing origin stays possible.
+        // Tentative copies at every secondary home: the freshest copy
+        // of either role (in-flight phase-1 bits belong here).
+        // Matching phase-1 undos travel with it so a later roll-back
+        // of the writing origin stays possible. Degree-1 pages keep no
+        // tentative replica at all.
         const Cand *for_tent = for_committed;
         if (best_t && best_c && best_t->ver.dominates(best_c->ver))
             for_tent = best_t;
-        HomeInfo *shi = ft(sec)->findHomeInfo(p);
-        if (!shi || !shi->tentative ||
-            !(shi->tentativeVer == for_tent->ver)) {
+        for (NodeId sec : ctx.as.secondaryHomes(p)) {
+            HomeInfo *shi = ft(sec)->findHomeInfo(p);
+            if (shi && shi->tentative &&
+                shi->tentativeVer == for_tent->ver)
+                continue;
             std::byte *dst = ft(sec)->tentativeData(p);
             if (dst != for_tent->bytes)
                 std::memcpy(dst, for_tent->bytes, ctx.cfg.pageSize);
@@ -719,7 +737,8 @@ RecoveryManager::stepReReplicate(const std::vector<NodeId> &failed)
             if (d.interval > limit)
                 continue; // cancelled release: roll back instead
             ft(ctx.as.primaryHome(d.page))->applyIncomingDiff(d, 2);
-            ft(ctx.as.secondaryHome(d.page))->applyIncomingDiff(d, 1);
+            for (NodeId sec : ctx.as.secondaryHomes(d.page))
+                ft(sec)->applyIncomingDiff(d, 1);
             accumCost += ctx.cfg.recoveryPerPageCost;
             stats.pagesRolledForward++;
         }
@@ -992,7 +1011,8 @@ RecoveryManager::recoveryCheckpoint(NodeId g)
     CommitResult cr = gn->commitInterval(nullptr);
     if (cr.any) {
         for (const Diff &d : cr.diffs) {
-            ft(ctx.as.secondaryHome(d.page))->applyIncomingDiff(d, 1);
+            for (NodeId sec : ctx.as.secondaryHomes(d.page))
+                ft(sec)->applyIncomingDiff(d, 1);
             ft(ctx.as.primaryHome(d.page))->applyIncomingDiff(d, 2);
         }
         accumCost += ctx.cfg.recoveryPerPageCost * cr.pages.size();

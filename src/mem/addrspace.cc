@@ -1,5 +1,7 @@
 #include "mem/addrspace.hh"
 
+#include <algorithm>
+
 #include "base/panic.hh"
 
 namespace rsvm {
@@ -9,11 +11,20 @@ AddressSpace::AddressSpace(const Config &config, std::uint32_t num_nodes)
       nodes(num_nodes), capacity(config.sharedBytes)
 {
     rsvm_assert(nodes >= 1);
+    std::uint32_t k = std::max<std::uint32_t>(
+        1, std::min<std::uint32_t>(config.replicationDegree, nodes));
     primary.resize(pages);
     secondary.resize(pages);
+    degree_.assign(pages, static_cast<std::uint8_t>(k));
+    eff_.assign(pages, static_cast<std::uint8_t>(k));
     for (PageId p = 0; p < pages; ++p) {
         primary[p] = p % nodes;
         secondary[p] = (primary[p] + 1) % nodes;
+        if (k > 2) {
+            auto &tail = extra_[p];
+            for (std::uint32_t i = 2; i < k; ++i)
+                tail.push_back((primary[p] + i) % nodes);
+        }
     }
 }
 
@@ -36,13 +47,46 @@ AddressSpace::allocPageAligned(std::uint64_t bytes)
 }
 
 void
+AddressSpace::rebuildHomeSet(PageId page,
+                             const std::vector<NodeId> &homes)
+{
+    rsvm_assert(!homes.empty());
+    primary[page] = homes[0];
+    secondary[page] = homes.size() >= 2 ? homes[1]
+                                        : (homes[0] + 1) % nodes;
+    if (homes.size() > 2)
+        extra_[page] = std::vector<NodeId>(homes.begin() + 2,
+                                           homes.end());
+    else
+        extra_.erase(page);
+    eff_[page] = static_cast<std::uint8_t>(homes.size());
+    placementGen++;
+}
+
+void
 AddressSpace::setPrimaryHome(PageId page, NodeId home)
 {
     rsvm_assert(page < pages && home < nodes);
-    primary[page] = home;
-    if (nodes > 1 && secondary[page] == home)
-        secondary[page] = (home + 1) % nodes;
-    placementGen++;
+    std::vector<NodeId> homes = homeSet(page);
+    homes[0] = home;
+    // Repair collisions: replace any secondary now equal to the new
+    // primary (or to an earlier member) with the next free node.
+    for (std::size_t i = 1; i < homes.size(); ++i) {
+        bool dup =
+            std::find(homes.begin(), homes.begin() + i, homes[i]) !=
+            homes.begin() + i;
+        if (!dup)
+            continue;
+        for (std::uint32_t step = 1; step <= nodes; ++step) {
+            NodeId cand = (homes[i] + step) % nodes;
+            if (std::find(homes.begin(), homes.end(), cand) ==
+                homes.end()) {
+                homes[i] = cand;
+                break;
+            }
+        }
+    }
+    rebuildHomeSet(page, homes);
 }
 
 void
@@ -51,9 +95,10 @@ AddressSpace::setHomes(PageId page, NodeId prim, NodeId sec)
     rsvm_assert(page < pages && prim < nodes && sec < nodes);
     rsvm_assert_msg(nodes == 1 || prim != sec,
                     "replica homes must be distinct logical nodes");
-    primary[page] = prim;
-    secondary[page] = sec;
-    placementGen++;
+    rsvm_assert_msg(effectiveDegree(page) <= 2,
+                    "setHomes is a two-replica flip; degree>2 pages "
+                    "are placed by recovery/join");
+    rebuildHomeSet(page, {prim, sec});
 }
 
 void
@@ -82,50 +127,182 @@ AddressSpace::secondaryHome(PageId page) const
     return secondary[page];
 }
 
+std::vector<NodeId>
+AddressSpace::secondaryHomes(PageId page) const
+{
+    std::vector<NodeId> out;
+    secondaryHomesInto(page, out);
+    return out;
+}
+
+void
+AddressSpace::secondaryHomesInto(PageId page,
+                                 std::vector<NodeId> &out) const
+{
+    rsvm_assert(page < pages);
+    if (eff_[page] < 2)
+        return;
+    out.push_back(secondary[page]);
+    if (eff_[page] > 2) {
+        auto it = extra_.find(page);
+        rsvm_assert(it != extra_.end());
+        out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+}
+
+std::vector<NodeId>
+AddressSpace::homeSet(PageId page) const
+{
+    std::vector<NodeId> out;
+    out.push_back(primary[page]);
+    secondaryHomesInto(page, out);
+    return out;
+}
+
+bool
+AddressSpace::isHome(PageId page, NodeId node) const
+{
+    rsvm_assert(page < pages);
+    if (primary[page] == node)
+        return true;
+    if (eff_[page] < 2)
+        return false;
+    if (secondary[page] == node)
+        return true;
+    if (eff_[page] > 2) {
+        auto it = extra_.find(page);
+        return it != extra_.end() &&
+               std::find(it->second.begin(), it->second.end(), node) !=
+                   it->second.end();
+    }
+    return false;
+}
+
+std::uint32_t
+AddressSpace::replicationDegree(PageId page) const
+{
+    rsvm_assert(page < pages);
+    return degree_[page];
+}
+
+std::uint32_t
+AddressSpace::effectiveDegree(PageId page) const
+{
+    rsvm_assert(page < pages);
+    return eff_[page];
+}
+
+void
+AddressSpace::setReplicationDegree(PageId page, std::uint32_t k)
+{
+    rsvm_assert(page < pages);
+    k = std::max<std::uint32_t>(1, std::min<std::uint32_t>(k, nodes));
+    degree_[page] = static_cast<std::uint8_t>(k);
+    std::vector<NodeId> homes = homeSet(page);
+    if (homes.size() > k)
+        homes.resize(k);
+    // Setup-time growth assumes every node placeable (distinct
+    // logical nodes; the physical-distinctness invariant holds while
+    // logical node n is hosted on phys n).
+    for (std::uint32_t step = 1;
+         homes.size() < k && step <= nodes; ++step) {
+        NodeId cand = (homes[0] + step) % nodes;
+        if (std::find(homes.begin(), homes.end(), cand) == homes.end())
+            homes.push_back(cand);
+    }
+    rebuildHomeSet(page, homes);
+}
+
+void
+AddressSpace::setReplicationDegreeRange(Addr addr, std::uint64_t len,
+                                        std::uint32_t k)
+{
+    if (len == 0)
+        return;
+    PageId first = pageOf(addr);
+    PageId last = pageOf(addr + len - 1);
+    for (PageId p = first; p <= last; ++p)
+        setReplicationDegree(p, k);
+}
+
+bool
+AddressSpace::growHomeSet(PageId page, NodeId extra)
+{
+    rsvm_assert(page < pages && extra < nodes);
+    if (eff_[page] >= degree_[page] || isHome(page, extra))
+        return false;
+    std::vector<NodeId> homes = homeSet(page);
+    homes.push_back(extra);
+    rebuildHomeSet(page, homes);
+    return true;
+}
+
 NodeId
-AddressSpace::nextEligible(
-    NodeId after, NodeId other,
-    const std::function<bool(NodeId, NodeId)> &eligible) const
+AddressSpace::nextEligible(NodeId after,
+                           const std::vector<NodeId> &chosen,
+                           const Eligible &eligible) const
 {
     for (std::uint32_t step = 1; step <= nodes; ++step) {
         NodeId cand = (after + step) % nodes;
-        if (cand != other && eligible(cand, other))
+        if (std::find(chosen.begin(), chosen.end(), cand) !=
+            chosen.end())
+            continue;
+        if (eligible(cand, chosen))
             return cand;
     }
-    rsvm_panic("no eligible home candidate left (too many failures)");
+    return kInvalidNode;
 }
 
 void
 AddressSpace::remapHomes(
-    NodeId failed,
-    const std::function<bool(NodeId, NodeId)> &eligible,
+    NodeId failed, const Eligible &eligible,
     const std::function<void(PageId, NodeId)> &moved)
 {
     for (PageId p = 0; p < pages; ++p) {
+        std::vector<NodeId> homes = homeSet(p);
+        std::vector<NodeId> chosen;
         bool changed = false;
-        if (primary[p] == failed) {
-            // The secondary holds the only surviving replica: promote
-            // it (its tentative copy becomes the committed one) and
-            // pick a fresh secondary.
-            primary[p] = secondary[p];
-            secondary[p] = nextEligible(primary[p], primary[p],
-                                        eligible);
-            changed = true;
-        } else if (secondary[p] == failed) {
-            secondary[p] = nextEligible(primary[p], primary[p],
-                                        eligible);
-            changed = true;
-        } else if (!eligible(secondary[p], primary[p])) {
-            // Replicas ended up co-hosted (e.g. one was re-hosted onto
-            // the other's physical node by an earlier recovery).
-            secondary[p] = nextEligible(secondary[p], primary[p],
-                                        eligible);
-            changed = true;
+        for (NodeId h : homes) {
+            if (h == failed || !eligible(h, chosen)) {
+                changed = true;
+                continue;
+            }
+            chosen.push_back(h);
         }
-        if (changed) {
-            placementGen++;
-            moved(p, primary[p]);
+        if (!changed)
+            continue;
+        if (chosen.empty()) {
+            // Every replica is gone (multi-failure): promote the first
+            // non-failed member even though its host is dead — the
+            // NEXT remapHomes call for that node repairs it, exactly
+            // as the sequential two-replica scheme did. If all homes
+            // were this very node, fall back to any eligible node
+            // (data, if referenced, is declared lost later).
+            for (NodeId h : homes) {
+                if (h != failed) {
+                    chosen.push_back(h);
+                    break;
+                }
+            }
+            if (chosen.empty()) {
+                NodeId cand = nextEligible(failed, chosen, eligible);
+                rsvm_assert_msg(cand != kInvalidNode,
+                                "no eligible home candidate left "
+                                "(too many failures)");
+                chosen.push_back(cand);
+            }
         }
+        // Refill vacated slots up to the target degree; shrink when
+        // no eligible candidate remains (a later join re-grows).
+        while (chosen.size() < degree_[p]) {
+            NodeId cand = nextEligible(chosen.back(), chosen, eligible);
+            if (cand == kInvalidNode)
+                break;
+            chosen.push_back(cand);
+        }
+        NodeId survivor = chosen[0];
+        rebuildHomeSet(p, chosen);
+        moved(p, survivor);
     }
 }
 

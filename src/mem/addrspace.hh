@@ -3,14 +3,21 @@
  * The global shared address space: allocation and home assignment.
  *
  * Every shared page has a *primary* home; under the fault-tolerant
- * protocol it additionally has a *secondary* home (§4.2). The initial
- * secondary is the node immediately following the primary in node
- * order. Applications set primary homes explicitly (the paper assigns
- * homes "in a way that maximizes parallelism"); pages without explicit
- * assignment default to a round-robin distribution.
+ * protocol it additionally has k-1 *secondary* homes (§4.2), where k
+ * is the page's replication degree. The default degree comes from
+ * Config::replicationDegree (the paper's scheme is k=2: one committed
+ * copy plus one tentative copy); applications may override it per
+ * region — k=3 for hot/critical data survives simultaneous double
+ * failures, k=1 marks scratch data that may die with its home. The
+ * initial secondaries follow the primary in node order. Applications
+ * set primary homes explicitly (the paper assigns homes "in a way
+ * that maximizes parallelism"); pages without explicit assignment
+ * default to a round-robin distribution.
  *
- * After a failure, the recovery manager rewrites homes so both
- * replicas of every page stay on distinct *physical* nodes.
+ * After a failure, the recovery manager rewrites homes so every
+ * replica of a page stays on a distinct *physical* node. When too few
+ * distinct hosts survive, the home set shrinks below the target
+ * degree (the *effective* degree); a later node join re-grows it.
  */
 
 #ifndef RSVM_MEM_ADDRSPACE_HH
@@ -18,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "base/config.hh"
@@ -54,39 +62,87 @@ class AddressSpace
     /** Assign every page overlapping [addr, addr+len) to @p home. */
     void setPrimaryHomeRange(Addr addr, std::uint64_t len, NodeId home);
     NodeId primaryHome(PageId page) const;
+    /**
+     * First secondary home. Only meaningful while the page's effective
+     * degree is >= 2 (legacy two-replica callers; fan-out paths use
+     * secondaryHomes).
+     */
     NodeId secondaryHome(PageId page) const;
+
+    /** All current secondary homes of @p page (empty at degree 1). */
+    std::vector<NodeId> secondaryHomes(PageId page) const;
+    /** Append @p page's secondary homes to @p out (no clear). */
+    void secondaryHomesInto(PageId page, std::vector<NodeId> &out) const;
+    /** Primary followed by every secondary. */
+    std::vector<NodeId> homeSet(PageId page) const;
+    /** Is @p node a (primary or secondary) home of @p page? */
+    bool isHome(PageId page, NodeId node) const;
+
+    // ---- Replication degree ----------------------------------------------
+    /** Target replication degree of @p page. */
+    std::uint32_t replicationDegree(PageId page) const;
+    /** Current home-set size (may lag the target after failures). */
+    std::uint32_t effectiveDegree(PageId page) const;
+    /**
+     * Set the target degree of one page (clamped to [1, numNodes]).
+     * Intended for application setup: the home set is re-sized
+     * immediately assuming all nodes are placeable. At runtime,
+     * degree growth flows through recovery/join so replica data is
+     * installed alongside the directory change.
+     */
+    void setReplicationDegree(PageId page, std::uint32_t k);
+    /** Degree override for every page overlapping [addr, addr+len). */
+    void setReplicationDegreeRange(Addr addr, std::uint64_t len,
+                                   std::uint32_t k);
+    /**
+     * Append @p extra as a tail secondary of an under-replicated page
+     * (the join path's re-grow). Returns false if the page is already
+     * at its target degree or @p extra is already a home.
+     */
+    bool growHomeSet(PageId page, NodeId extra);
 
     /**
      * Atomically commit a migrated page's new home pair (the homing
-     * subsystem's directory flip). Unlike setPrimaryHome, the caller
-     * chooses both homes; they must be distinct on multi-node spaces.
+     * subsystem's directory flip). Only valid for degree-2 pages;
+     * the caller chooses both homes; they must be distinct on
+     * multi-node spaces.
      */
     void setHomes(PageId page, NodeId prim, NodeId sec);
 
     /**
      * Generation counter of the home directory: bumped on every
      * placement change (explicit assignment, migration commit,
-     * recovery remap). Cached home lookups are only valid while the
-     * generation they were taken under is current.
+     * recovery remap, join re-grow). Cached home lookups are only
+     * valid while the generation they were taken under is current.
      */
     std::uint64_t placementVersion() const { return placementGen; }
 
     /**
-     * Recompute both homes for every page after logical node
-     * @p failed lost its memory. @p eligible says whether a logical
-     * node may serve as a home (its physical host is alive and it is
-     * not co-hosted with the other replica). Calls @p moved for every
-     * page whose home set changed, with the surviving source home.
+     * An eligibility predicate for home placement: may @p candidate
+     * join a home set already containing @p chosen? (Its physical
+     * host must be alive and distinct from every chosen member's.)
+     */
+    using Eligible =
+        std::function<bool(NodeId candidate,
+                           const std::vector<NodeId> &chosen)>;
+
+    /**
+     * Recompute the home set of every page after logical node
+     * @p failed lost its memory. Surviving members keep their order
+     * (the first survivor holds the valid data and becomes the
+     * primary); vacated slots are refilled round-robin with eligible
+     * nodes, shrinking the effective degree when none remain. Calls
+     * @p moved for every page whose home set changed, with the
+     * surviving source home.
      */
     void remapHomes(
-        NodeId failed,
-        const std::function<bool(NodeId candidate, NodeId other)> &eligible,
+        NodeId failed, const Eligible &eligible,
         const std::function<void(PageId page, NodeId survivor)> &moved);
 
   private:
-    NodeId nextEligible(NodeId after, NodeId other,
-                        const std::function<bool(NodeId, NodeId)> &
-                            eligible) const;
+    void rebuildHomeSet(PageId page, const std::vector<NodeId> &homes);
+    NodeId nextEligible(NodeId after, const std::vector<NodeId> &chosen,
+                        const Eligible &eligible) const;
 
     std::uint32_t pageBytes;
     PageId pages;
@@ -95,6 +151,12 @@ class AddressSpace
     std::uint64_t capacity;
     std::vector<NodeId> primary;
     std::vector<NodeId> secondary;
+    /** Target replication degree per page. */
+    std::vector<std::uint8_t> degree_;
+    /** Current home-set size per page (1..degree_). */
+    std::vector<std::uint8_t> eff_;
+    /** Tail secondaries (beyond the first) of degree>2 pages. */
+    std::unordered_map<PageId, std::vector<NodeId>> extra_;
     std::uint64_t placementGen = 0;
 };
 

@@ -22,6 +22,9 @@ isKnown(const std::string &name)
     for (const char *p : kMigrationPoints)
         if (name == p)
             return true;
+    for (const char *p : kJoinPoints)
+        if (name == p)
+            return true;
     for (const char *p : kOtherPoints)
         if (name == p)
             return true;
@@ -65,6 +68,8 @@ FailureInjector::armFailpoint(PhysNodeId node, std::string name,
 bool
 FailureInjector::failpoint(PhysNodeId node, const char *name)
 {
+    if (isDead(node))
+        return false;
     for (auto it = armed.begin(); it != armed.end(); ++it) {
         if (it->node != node || it->name != name)
             continue;
@@ -82,34 +87,36 @@ FailureInjector::failpoint(PhysNodeId node, const char *name)
 void
 FailureInjector::killNow(PhysNodeId node)
 {
-    if (std::find(killedNodes.begin(), killedNodes.end(), node) !=
-        killedNodes.end())
+    if (isDead(node))
         return;
+    if (node >= dead.size())
+        dead.resize(node + 1, false);
+    dead[node] = true;
     killedNodes.push_back(node);
-    // Retire every kill still aimed at the (now dead) victim, so
-    // anyArmed() does not report them forever and a later timed kill
-    // does not re-run the kill action.
-    for (auto &rec : timed) {
-        if (rec->node == node)
-            rec->live = false;
-    }
-    armed.erase(std::remove_if(armed.begin(), armed.end(),
-                               [node](const Armed &a) {
-                                   return a.node == node;
-                               }),
-                armed.end());
     rsvm_assert_msg(static_cast<bool>(killAction),
                     "no kill action installed");
     killAction(node);
 }
 
+void
+FailureInjector::readmit(PhysNodeId node)
+{
+    if (node < dead.size())
+        dead[node] = false;
+}
+
 bool
 FailureInjector::anyArmed() const
 {
-    if (!armed.empty())
-        return true;
+    // Kills aimed at a currently-dead node are dormant, not armed:
+    // they cannot fire unless the node rejoins, and quiesce loops
+    // must not wait on them.
+    for (const Armed &a : armed) {
+        if (!isDead(a.node))
+            return true;
+    }
     for (const auto &rec : timed) {
-        if (rec->live)
+        if (rec->live && !isDead(rec->node))
             return true;
     }
     return false;

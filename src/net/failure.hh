@@ -77,6 +77,21 @@ inline constexpr const char *kMigrationPoints[] = {
     kMigPlan, kMigTransfer, kMigCommit, kMigCleanup,
 };
 
+// Membership failpoints: fired by the JoinManager around each step of
+// a node join/rejoin (runtime/membership). A kill of the joiner at
+// kJoinAdmit or kJoinTransfer rolls the join back out (the joiner is
+// re-fenced and holds no cluster state); a kill at or after
+// kJoinCommit is an ordinary member death handled by recovery.
+inline constexpr const char *kJoinAdmit = "join:admit";
+inline constexpr const char *kJoinTransfer = "join:transfer";
+inline constexpr const char *kJoinCommit = "join:commit";
+inline constexpr const char *kJoinActivate = "join:activate";
+
+/** Membership failpoints, in join-step order. */
+inline constexpr const char *kJoinPoints[] = {
+    kJoinAdmit, kJoinTransfer, kJoinCommit, kJoinActivate,
+};
+
 // Wire-fault points: armed on NetFaultInjector (not as kills) to hit
 // one targeted message — "drop the n-th phase-1 diff to node k".
 inline constexpr const char *kNetDrop = "netfault:drop";
@@ -130,10 +145,23 @@ class FailureInjector
     /** Kill a node immediately (engine context or foreign fiber). */
     void killNow(PhysNodeId node);
 
-    /** True if any time- or failpoint-based kill is armed. */
+    /**
+     * The node rejoined the cluster: it is killable again. Armed
+     * failpoints survive a death, so a point armed before the node's
+     * first life ended can still fire in its second; kill history
+     * (killed()) is never rewritten.
+     */
+    void readmit(PhysNodeId node);
+
+    /**
+     * True if any time- or failpoint-based kill is armed on a
+     * currently-live node. Kills aimed at a dead node are dormant —
+     * they do not keep quiesce loops spinning, but wake up again if
+     * the node rejoins.
+     */
     bool anyArmed() const;
 
-    /** Nodes killed so far, in order. */
+    /** Kill events so far, in order (a rejoined node can appear twice). */
     const std::vector<PhysNodeId> &killed() const { return killedNodes; }
 
   private:
@@ -155,11 +183,16 @@ class FailureInjector
         bool live = true;
     };
 
+    bool isDead(PhysNodeId node) const
+    { return node < dead.size() && dead[node]; }
+
     Engine &eng;
     std::function<void(PhysNodeId)> killAction;
     std::vector<Armed> armed;
     std::vector<std::shared_ptr<TimedKill>> timed;
     std::vector<PhysNodeId> killedNodes;
+    /** Currently-dead nodes (cleared by readmit); dedupes kills. */
+    std::vector<bool> dead;
 };
 
 } // namespace rsvm

@@ -440,6 +440,59 @@ Vmmc::fence(PhysNodeId phys)
 }
 
 void
+Vmmc::reclaimChannels(PhysNodeId phys)
+{
+    for (PhysNodeId q = 0; q < net.numNodes(); ++q) {
+        if (q == phys)
+            continue;
+        for (TxChannel *ch : {&txOf(phys, q), &txOf(q, phys)}) {
+            // fence() disarmed every timer and drained every queue
+            // aimed at the carcass; a still-armed timer here means a
+            // retransmit path survived the fence — a leak.
+            rsvm_assert(!ch->timerArmed &&
+                        "retransmit timer armed for a dead peer");
+            if (!ch->unacked.empty()) {
+                tstats.reclaimedTxEntries += ch->unacked.size();
+                ch->unacked.clear();
+            }
+            ch->nextSeq = 1;
+            ch->rto = 0;
+            ch->timerId++;
+        }
+        for (RxChannel *rx : {&rxOf(phys, q), &rxOf(q, phys)}) {
+            tstats.reclaimedTxEntries += rx->held.size();
+            rx->held.clear();
+            rx->expected = 1;
+            rx->ackScheduled = false;
+        }
+    }
+    tstats.channelsReclaimed++;
+}
+
+void
+Vmmc::reclaimDeadChannels()
+{
+    for (PhysNodeId p = 0; p < net.numNodes(); ++p) {
+        if (fenced_[p] && !net.nodeAlive(p))
+            reclaimChannels(p);
+    }
+}
+
+void
+Vmmc::readmit(PhysNodeId phys)
+{
+    rsvm_assert(net.nodeAlive(phys) &&
+                "readmit requires a revived NIC");
+    reclaimChannels(phys);
+    fenced_[phys] = false;
+    if (phys < deathNotified.size())
+        deathNotified[phys] = false;
+    epochKnown_[phys] = epoch_;
+    RSVM_LOG(LogComp::Net, "phys node %u readmitted (epoch %llu)",
+             phys, (unsigned long long)epoch_);
+}
+
+void
 Vmmc::bumpEpoch()
 {
     epoch_++;

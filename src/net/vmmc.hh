@@ -303,6 +303,33 @@ class Vmmc
     /** Current cluster epoch. */
     std::uint64_t clusterEpoch() const { return epoch_; }
 
+    /**
+     * Release the per-(src,dst) channel state touching @p phys in both
+     * directions: unacked retransmit queues, held out-of-order
+     * deliveries, sequence counters and ack state all reset to the
+     * fresh-boot state. Asserts the fence already disarmed every
+     * retransmit timer aimed at the carcass. Idempotent.
+     */
+    void reclaimChannels(PhysNodeId phys);
+
+    /**
+     * Reclaim the channels of every node that is both fenced and
+     * NIC-dead. Called when a recovery cycle commits its remap: the
+     * survivors will never ack or deliver anything on those channels
+     * again, so keeping their queues is a leak. A later rejoin starts
+     * from the reset (fresh-boot) sequence state.
+     */
+    void reclaimDeadChannels();
+
+    /**
+     * Re-admit a previously fenced physical node (rejoin, §member-
+     * ship): clears the fence and the death-notified latch, resets the
+     * channel state in both directions, and teaches the node the
+     * current cluster epoch so its fresh transmissions are accepted.
+     * The caller must have revived the NIC first.
+     */
+    void readmit(PhysNodeId phys);
+
     /** Transport-layer counters (retransmits, dup drops, acks...). */
     Counters &transportCounters() { return tstats; }
     const Counters &transportCounters() const { return tstats; }

@@ -70,6 +70,16 @@ Cluster::Cluster(const Config &config)
             },
             [this] { return detector->active(); });
         detector->start();
+
+        join = std::make_unique<JoinManager>(ctx, detector.get());
+        join->setAliveCheck([this] {
+            for (const auto &t : threads) {
+                ThreadState s = t->sim().state();
+                if (s != ThreadState::Finished && s != ThreadState::Dead)
+                    return true;
+            }
+            return false;
+        });
     }
 
     if (cfg.dynamicHoming) {
@@ -132,6 +142,8 @@ Cluster::clusterLost(const std::string &reason)
         homing->stop();
     if (detector)
         detector->stop();
+    if (join)
+        join->stop();
     // Tear down every remaining compute thread so the engine drains
     // and run() can report the loss instead of hanging.
     for (auto &t : threads) {
@@ -180,8 +192,16 @@ Cluster::totalCounters() const
         total += homing->counters();
     if (detector)
         total += detector->counters();
+    if (join)
+        total += join->counters();
     total += vm.transportCounters();
     total += net.faults().counters();
+    if (cfg.protocol == ProtocolKind::FaultTolerant) {
+        // End-state replication-degree distribution: how many homes
+        // each page actually has after any failures/joins.
+        for (PageId p = 0; p < as.numPages(); ++p)
+            total.pagesPerDegreeHist.sample(as.effectiveDegree(p));
+    }
     return total;
 }
 
@@ -242,34 +262,39 @@ Cluster::checkReplicaConsistency() const
         return 0;
     std::uint64_t bad = 0;
     for (PageId p = 0; p < as.numPages(); ++p) {
+        // Degree-1 pages keep no tentative replica; nothing to cross-check.
+        if (as.effectiveDegree(p) < 2)
+            continue;
         auto *prim = static_cast<FtProtocolNode *>(
             nodes[as.primaryHome(p)].get());
-        auto *sec = static_cast<FtProtocolNode *>(
-            nodes[as.secondaryHome(p)].get());
         HomeInfo *phi = prim->findHomeInfo(p);
-        HomeInfo *shi = sec->findHomeInfo(p);
-        if (!phi && !shi)
-            continue; // untouched page
         bool committed = phi && phi->committed != nullptr;
-        bool tentative = shi && shi->tentative != nullptr;
-        if (committed != tentative) {
-            RSVM_LOG(LogComp::Ft,
-                     "replica check: page %u presence mismatch "
-                     "committed=%d tentative=%d",
-                     p, (int)committed, (int)tentative);
-            bad++;
-            continue;
-        }
-        if (!committed)
-            continue;
-        if (!(phi->committedVer == shi->tentativeVer) ||
-            std::memcmp(phi->committed.get(), shi->tentative.get(),
-                        cfg.pageSize) != 0) {
-            RSVM_LOG(LogComp::Ft,
-                     "replica check: page %u ver %s vs %s",
-                     p, phi->committedVer.toString().c_str(),
-                     shi->tentativeVer.toString().c_str());
-            bad++;
+        for (NodeId s : as.secondaryHomes(p)) {
+            auto *sec = static_cast<FtProtocolNode *>(nodes[s].get());
+            HomeInfo *shi = sec->findHomeInfo(p);
+            if (!phi && !shi)
+                continue; // untouched page
+            bool tentative = shi && shi->tentative != nullptr;
+            if (committed != tentative) {
+                RSVM_LOG(LogComp::Ft,
+                         "replica check: page %u presence mismatch "
+                         "committed=%d tentative=%d (secondary %u)",
+                         p, (int)committed, (int)tentative, s);
+                bad++;
+                continue;
+            }
+            if (!committed)
+                continue;
+            if (!(phi->committedVer == shi->tentativeVer) ||
+                std::memcmp(phi->committed.get(), shi->tentative.get(),
+                            cfg.pageSize) != 0) {
+                RSVM_LOG(LogComp::Ft,
+                         "replica check: page %u ver %s vs %s "
+                         "(secondary %u)",
+                         p, phi->committedVer.toString().c_str(),
+                         shi->tentativeVer.toString().c_str(), s);
+                bad++;
+            }
         }
     }
     return bad;

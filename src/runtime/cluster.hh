@@ -36,6 +36,7 @@
 #include "net/vmmc.hh"
 #include "runtime/app_api.hh"
 #include "runtime/failure_detector.hh"
+#include "runtime/membership.hh"
 #include "sim/engine.hh"
 #include "svm/locks.hh"
 #include "svm/protocol.hh"
@@ -92,6 +93,8 @@ class Cluster : public ClusterOps
     FailureDetector *failureDetector() { return detector.get(); }
     /** Adaptive-placement manager (null unless Config::dynamicHoming). */
     HomingManager *homingManager() { return homing.get(); }
+    /** Join/rejoin manager (null for base-protocol clusters). */
+    JoinManager *joinManager() { return join.get(); }
     const Config &config() const { return cfg; }
     SvmNode &node(NodeId n) { return *nodes[n]; }
     AppThread &appThread(ThreadId t) { return *threads[t]; }
@@ -153,6 +156,7 @@ class Cluster : public ClusterOps
     std::unique_ptr<RecoveryManager> recov;
     std::unique_ptr<HomingManager> homing;
     std::unique_ptr<FailureDetector> detector;
+    std::unique_ptr<JoinManager> join;
     std::vector<std::unique_ptr<SvmNode>> nodes;
     std::vector<std::unique_ptr<AppThread>> threads;
     std::vector<PhysNodeId> hostMap;

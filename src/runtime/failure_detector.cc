@@ -97,6 +97,28 @@ FailureDetector::tick()
 }
 
 void
+FailureDetector::readmit(PhysNodeId phys)
+{
+    if (!declared_[phys])
+        return;
+    declared_[phys] = false;
+    const int n = cfg.numNodes;
+    // Fresh leases in both directions: the node must not be
+    // re-declared before it has had a chance to heartbeat, and its own
+    // view of every peer starts fresh too.
+    for (PhysNodeId q = 0; q < n; ++q) {
+        lastHeard_[static_cast<std::size_t>(q) * n + phys] = eng.now();
+        lastHeard_[static_cast<std::size_t>(phys) * n + q] = eng.now();
+    }
+}
+
+void
+FailureDetector::expel(PhysNodeId phys)
+{
+    declared_[phys] = true;
+}
+
+void
 FailureDetector::declare(PhysNodeId phys)
 {
     if (declared_[phys])

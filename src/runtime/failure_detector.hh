@@ -72,6 +72,23 @@ class FailureDetector
     /** True once @p phys has been declared dead by the detector. */
     bool declared(PhysNodeId phys) const { return declared_[phys]; }
 
+    /**
+     * Re-admit a declared-dead node that has been repaired and revived
+     * (rejoin, runtime/membership): the declaration is cleared and its
+     * leases reset in both directions, so the next tick treats it as a
+     * first-class member again. The caller must already have revived
+     * the NIC and readmitted the node at the transport layer.
+     */
+    void readmit(PhysNodeId phys);
+
+    /**
+     * Expel a node mid-join (the joiner died before its join
+     * committed): re-declare it dead without announcing a peer death —
+     * the joiner held no cluster state, so there is nothing to
+     * recover.
+     */
+    void expel(PhysNodeId phys);
+
     Counters &counters() { return stats; }
     const Counters &counters() const { return stats; }
 

@@ -1,0 +1,438 @@
+#include "runtime/membership.hh"
+
+#include <cstring>
+
+#include "base/log.hh"
+#include "base/panic.hh"
+#include "ftsvm/ft_protocol.hh"
+#include "net/failure.hh"
+#include "net/nic.hh"
+#include "runtime/failure_detector.hh"
+#include "sim/engine.hh"
+#include "svm/protocol.hh"
+
+namespace rsvm {
+
+JoinManager::JoinManager(SvmContext &context, FailureDetector *det)
+    : ctx(context), detector(det)
+{
+}
+
+FtProtocolNode *
+JoinManager::ft(NodeId n) const
+{
+    return static_cast<FtProtocolNode *>(ctx.nodes[n]);
+}
+
+bool
+JoinManager::requestJoin(PhysNodeId phys, std::string *why)
+{
+    if (stopped_) {
+        if (why)
+            *why = "membership is stopped (cluster lost or torn down)";
+        stats.joinsRejected++;
+        return false;
+    }
+    // armFailpoint-style validation: naming a host the cluster has
+    // never heard of is an operator-script bug, reported fatally with
+    // the valid range instead of tripping a raw assert downstream.
+    if (phys >= ctx.cfg.numNodes)
+        rsvm_fatal("join request for unknown physical node " +
+                   std::to_string(phys) + " (cluster has nodes 0.." +
+                   std::to_string(ctx.cfg.numNodes - 1) + ")");
+    if (ctx.ops->physAlive(phys) && !ctx.vmmc.isFenced(phys)) {
+        if (why)
+            *why = "physical node " + std::to_string(phys) +
+                   " is already a live member";
+        stats.joinsRejected++;
+        return false;
+    }
+    pending_.push_back(phys);
+    stats.joinsQueued++;
+    RSVM_LOG(LogComp::Recovery, "join request for phys node %u queued",
+             phys);
+    pump();
+    return true;
+}
+
+void
+JoinManager::scheduleJoin(SimTime when, PhysNodeId phys)
+{
+    // Validate the id now so a bad operator script fails at arm time,
+    // like FailureInjector::armFailpoint does for unknown points.
+    if (phys >= ctx.cfg.numNodes)
+        rsvm_fatal("join request for unknown physical node " +
+                   std::to_string(phys) + " (cluster has nodes 0.." +
+                   std::to_string(ctx.cfg.numNodes - 1) + ")");
+    ctx.eng.at(when, [this, phys] { requestJoin(phys, nullptr); });
+}
+
+void
+JoinManager::stop()
+{
+    stopped_ = true;
+    pending_.clear();
+}
+
+void
+JoinManager::pump()
+{
+    if (stopped_ || state_ != State::Idle || pending_.empty())
+        return;
+    if (aliveCheck && !aliveCheck()) {
+        // The application already finished; joining now would only
+        // keep the engine alive. Drop the queue.
+        pending_.clear();
+        return;
+    }
+    // Join-during-recovery queues behind the pass. A request landing
+    // in the window between ANY host's physical death and the failure
+    // detector's declaration waits too: the cluster is about to
+    // recover, and admitting a host before the pending death is
+    // fenced would revive it under survivors' armed retransmit state
+    // and an unbumped epoch (or race the upcoming remap).
+    if (pendingFailure()) {
+        if (!pollArmed_) {
+            pollArmed_ = true;
+            ctx.eng.schedule(50 * kMicrosecond, [this] {
+                pollArmed_ = false;
+                pump();
+            });
+        }
+        return;
+    }
+    PhysNodeId next = pending_.front();
+    pending_.pop_front();
+    if (ctx.ops->physAlive(next) && !ctx.vmmc.isFenced(next)) {
+        // Already rejoined through an earlier queue entry.
+        stats.joinsRejected++;
+        pump();
+        return;
+    }
+    startJoin(next);
+}
+
+void
+JoinManager::startJoin(PhysNodeId phys)
+{
+    state_ = State::Admitting;
+    joiner_ = phys;
+    t0_ = ctx.eng.now();
+    stats.joins++;
+    RSVM_LOG(LogComp::Recovery, "join: admitting phys node %u", phys);
+
+    // Admit: revive the hardware, reset the transport channels to the
+    // fresh-boot state and teach the joiner the current epoch, renew
+    // its detector leases, then bump the cluster epoch so anything it
+    // (or a slow survivor) still has in flight from before is
+    // rejected on arrival.
+    ctx.vmmc.network().nic(phys).revive();
+    ctx.vmmc.readmit(phys);
+    if (detector)
+        detector->readmit(phys);
+    if (ctx.injector)
+        ctx.injector->readmit(phys);
+    ctx.vmmc.bumpEpoch();
+
+    if (firePoint(failpoints::kJoinAdmit, false))
+        return;
+    state_ = State::Transferring;
+    ctx.eng.schedule(ctx.cfg.joinFixedCost, [this] { stepTransfer(); });
+}
+
+void
+JoinManager::stepTransfer()
+{
+    if (stopped_)
+        return;
+    if (!ctx.ops->physAlive(joiner_)) {
+        rollBack("transfer");
+        return;
+    }
+    if (pendingFailure()) {
+        abortAndRequeue("transfer");
+        return;
+    }
+
+    // Bulk state transfer: the logical node returning to its native
+    // host carries its entire state — the directory flip at commit is
+    // atomic, so the copy is accounted here as modeled bytes and wire
+    // time. (Nothing is physically moved: node objects are location-
+    // independent in the simulation; hosting is pure routing.)
+    NodeId moving = joiner_;
+    std::uint64_t bytes = 0;
+    if (ctx.ops->hostOf(moving) != joiner_)
+        bytes = computeBulkBytes(moving);
+    stats.bulkTransferBytes += bytes;
+    RSVM_LOG(LogComp::Recovery,
+             "join: bulk transfer of %llu bytes to phys node %u",
+             static_cast<unsigned long long>(bytes), joiner_);
+
+    if (firePoint(failpoints::kJoinTransfer, false))
+        return;
+    state_ = State::Committing;
+    ctx.eng.schedule(ctx.cfg.wireTime(bytes), [this] { stepCommit(); });
+}
+
+bool
+JoinManager::pendingFailure() const
+{
+    if (ctx.pendingRecovery)
+        return true;
+    // A host that is physically dead but not yet fenced is a failure
+    // the cluster has not processed (the detector's lease has not
+    // expired): the recovery pass is coming, so joins must hold.
+    for (PhysNodeId p = 0; p < ctx.cfg.numNodes; ++p) {
+        if (!ctx.ops->physAlive(p) && !ctx.vmmc.isFenced(p))
+            return true;
+    }
+    return false;
+}
+
+bool
+JoinManager::quiesced() const
+{
+    for (NodeId n = 0; n < ctx.numNodes(); ++n) {
+        if (!ctx.ops->physAlive(ctx.ops->hostOf(n)))
+            continue;
+        if (ctx.nodes[n]->releaseInProgress())
+            return false;
+    }
+    return true;
+}
+
+void
+JoinManager::stepCommit()
+{
+    if (stopped_)
+        return;
+    if (!ctx.ops->physAlive(joiner_)) {
+        rollBack("commit");
+        return;
+    }
+    if (pendingFailure()) {
+        abortAndRequeue("commit");
+        return;
+    }
+    if (!quiesced()) {
+        // The commit flips the directory and installs re-grown
+        // replicas; doing that under a release whose phase-1 fan-out
+        // was already chosen would leave the new replica stale. Wait
+        // for a release-quiescent instant (releases are short; the
+        // engine reaches one between any two of them).
+        ctx.eng.schedule(50 * kMicrosecond, [this] { stepCommit(); });
+        return;
+    }
+
+    // Commit: the atomic directory flip. Logical nodes whose native
+    // host is the joiner move back onto it (routing + compute
+    // inflation only; in-flight deliveries keep applying to the same
+    // node objects).
+    NodeId moving = joiner_;
+    if (ctx.ops->hostOf(moving) != joiner_)
+        ctx.ops->rehost(moving, joiner_);
+
+    // Re-grow pages that past failures left below their target
+    // replication degree: the joiner's logical node becomes a new
+    // tail secondary, seeded with the committed copy.
+    const PageId num_pages = ctx.as.numPages();
+    for (PageId p = 0; p < num_pages; ++p) {
+        if (ctx.as.effectiveDegree(p) >= ctx.as.replicationDegree(p))
+            continue;
+        if (!ctx.as.growHomeSet(p, moving))
+            continue;
+        FtProtocolNode *pn = ft(ctx.as.primaryHome(p));
+        HomeInfo *phi = pn->findHomeInfo(p);
+        if (phi && phi->committed) {
+            std::memcpy(ft(moving)->tentativeData(p),
+                        phi->committed.get(), ctx.cfg.pageSize);
+            HomeInfo &nhi = ft(moving)->homeInfo(p);
+            nhi.tentativeVer = phi->committedVer;
+            nhi.tentUndo.clear();
+            stats.bulkTransferBytes += ctx.cfg.pageSize;
+        }
+        stats.pagesReGrown++;
+    }
+    stats.rejoins++;
+    RSVM_LOG(LogComp::Recovery,
+             "join: committed — phys node %u is a member again",
+             joiner_);
+
+    if (firePoint(failpoints::kJoinCommit, true))
+        return;
+    state_ = State::Activating;
+    ctx.eng.schedule(ctx.cfg.joinFixedCost, [this] { stepActivate(); });
+}
+
+void
+JoinManager::stepActivate()
+{
+    if (stopped_)
+        return;
+    if (!ctx.ops->physAlive(joiner_)) {
+        // Post-commit death: an ordinary member death; recovery owns
+        // it from here.
+        finish();
+        return;
+    }
+
+    // stepReProtect-style placement repair: backups crowded onto a
+    // co-host by earlier failures re-spread onto the joiner, moving
+    // their stores with them.
+    NodeId moved = joiner_;
+    for (NodeId g = 0; g < ctx.numNodes(); ++g) {
+        if (g == moved || !ctx.ops->physAlive(ctx.ops->hostOf(g)))
+            continue;
+        NodeId b = ctx.ops->backupOf(g);
+        if (ctx.ops->hostOf(b) != ctx.ops->hostOf(g))
+            continue;
+        if (ctx.ops->hostOf(moved) == ctx.ops->hostOf(g))
+            continue;
+        if (CkptStore *cs = ft(b)->findStoreFor(g)) {
+            ft(moved)->storeFor(g) = *cs;
+            ft(b)->dropStoreFor(g);
+            stats.bulkTransferBytes += ctx.cfg.pageSize;
+        }
+        ctx.ops->setBackupOf(g, moved);
+    }
+
+    // Deferred fetches parked at homes may now be satisfiable.
+    for (NodeId n = 0; n < ctx.numNodes(); ++n)
+        ft(n)->serviceAllWaiters();
+
+    stats.joinTimeNsHist.sample(ctx.eng.now() - t0_);
+    RSVM_LOG(LogComp::Recovery, "join: phys node %u active after %llu ns",
+             joiner_,
+             static_cast<unsigned long long>(ctx.eng.now() - t0_));
+
+    if (firePoint(failpoints::kJoinActivate, true))
+        return;
+    finish();
+}
+
+void
+JoinManager::finish()
+{
+    state_ = State::Idle;
+    pump();
+}
+
+bool
+JoinManager::firePoint(const char *name, bool committed)
+{
+    const PhysNodeId n = ctx.cfg.numNodes;
+    std::vector<bool> live(n);
+    for (PhysNodeId p = 0; p < n; ++p)
+        live[p] = ctx.ops->physAlive(p);
+    if (ctx.injector) {
+        for (PhysNodeId p = 0; p < n; ++p) {
+            if (live[p])
+                ctx.injector->failpoint(p, name);
+        }
+    }
+    bool joinerDied = false, bystanderDied = false;
+    for (PhysNodeId p = 0; p < n; ++p) {
+        if (live[p] && !ctx.ops->physAlive(p)) {
+            if (p == joiner_)
+                joinerDied = true;
+            else
+                bystanderDied = true;
+            RSVM_LOG(LogComp::Recovery,
+                     "phys node %u died at join point '%s'", p, name);
+        }
+    }
+    if (!joinerDied && !bystanderDied)
+        return false;
+
+    if (committed) {
+        // The directory already names the joiner: any death here is an
+        // ordinary member death. Let the failure detector declare it
+        // and the recovery manager handle it; this join is over.
+        finish();
+        return true;
+    }
+    if (joinerDied) {
+        // Pre-commit joiner death: the joiner holds no cluster state,
+        // so no recovery pass runs — it is simply re-fenced. A
+        // simultaneous bystander death takes the ordinary detection
+        // path on its own.
+        rollBack(name);
+        return true;
+    }
+    // Pre-commit bystander death: the cluster is about to recover;
+    // abort and retry the join behind the pass.
+    abortAndRequeue(name);
+    return true;
+}
+
+void
+JoinManager::rollBack(const char *at)
+{
+    RSVM_LOG(LogComp::Recovery,
+             "join: phys node %u died at '%s' before commit; "
+             "rolling the join back out",
+             joiner_, at);
+    if (detector)
+        detector->expel(joiner_);
+    ctx.vmmc.fence(joiner_);
+    // The rolled-back joiner is a handled carcass, not a member death:
+    // no recovery sweep may announce it.
+    ctx.vmmc.markDeathObserved(joiner_);
+    stats.joinsRolledBack++;
+    finish();
+}
+
+void
+JoinManager::abortAndRequeue(const char *at)
+{
+    RSVM_LOG(LogComp::Recovery,
+             "join: aborting at '%s' (failure elsewhere); phys node "
+             "%u re-fenced and requeued behind recovery",
+             at, joiner_);
+    if (detector)
+        detector->expel(joiner_);
+    ctx.vmmc.fence(joiner_);
+    ctx.vmmc.markDeathObserved(joiner_);
+    ctx.vmmc.network().nic(joiner_).kill();
+    pending_.push_front(joiner_);
+    stats.joinsQueued++;
+    finish();
+}
+
+std::uint64_t
+JoinManager::computeBulkBytes(NodeId moving) const
+{
+    FtProtocolNode *node = ft(moving);
+    std::uint64_t bytes = 0;
+    // Working copies (page table entries with local data or twins).
+    bytes += static_cast<std::uint64_t>(node->pt.size()) *
+             ctx.cfg.pageSize;
+    // Home replicas this node still holds (rare right after a
+    // recovery remapped them away, common for a live consolidation).
+    for (PageId p = 0; p < ctx.as.numPages(); ++p) {
+        if (!ctx.as.isHome(p, moving))
+            continue;
+        if (const HomeInfo *hi = node->findHomeInfo(p)) {
+            if (hi->committed)
+                bytes += ctx.cfg.pageSize;
+            if (hi->tentative)
+                bytes += ctx.cfg.pageSize;
+        }
+    }
+    // Checkpoint stores kept for protected nodes.
+    for (const auto &[g, cs] : node->backupStores) {
+        (void)g;
+        bytes += ctx.cfg.pageSize;
+        bytes += 64 * static_cast<std::uint64_t>(
+                          cs.intervalPages.size());
+    }
+    // Lock homes (directory slots are small).
+    for (LockId l = 0; l < ctx.locks.numLocks(); ++l) {
+        if (ctx.locks.primaryHome(l) == moving ||
+            ctx.locks.secondaryHome(l) == moving)
+            bytes += 64;
+    }
+    return bytes;
+}
+
+} // namespace rsvm

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Elastic membership: operator-driven node join/rejoin with bulk
+ * state transfer (runtime/membership).
+ *
+ * The paper's recovery protocol (§4.5) shrinks the cluster: a failed
+ * node is fenced, its logical state re-hosted on survivors, and the
+ * carcass never returns. This subsystem closes the loop. A repaired
+ * host registers with the JoinManager, which drives a four-step,
+ * crash-safe join:
+ *
+ *   1. admit    — revive the NIC, readmit the node at the transport
+ *                 (fresh channels, current cluster epoch) and at the
+ *                 failure detector (fresh leases), and bump the
+ *                 cluster epoch so anything the host sent in a prior
+ *                 life is rejected on arrival;
+ *   2. transfer — bulk state transfer: the modeled bytes of every
+ *                 logical node moving back onto the joiner (working
+ *                 copies, home replicas, checkpoint stores, lock
+ *                 homes) are charged as wire time;
+ *   3. commit   — the atomic directory flip: moving logical nodes are
+ *                 re-hosted onto the joiner, and pages left below
+ *                 their target replication degree by past failures
+ *                 re-grow a tentative replica on the joiner;
+ *   4. activate — deferred work is re-serviced, co-hosted backups are
+ *                 re-spread onto the joiner, and the node enters the
+ *                 placement pool (adaptive homing sees it via the
+ *                 ordinary host map).
+ *
+ * Crash safety mirrors homing's migration discipline: a joiner death
+ * before the commit flip rolls the join back out (the joiner held no
+ * cluster state, so it is simply re-fenced — no recovery pass runs);
+ * a death at or after the flip is an ordinary member death handled by
+ * the recovery manager. A bystander death mid-join aborts the join
+ * and requeues it behind the recovery pass, as does a join requested
+ * while a recovery is in flight. Each step fires a `join:*` failpoint
+ * (net/failure) so campaigns can kill at every stage.
+ */
+
+#ifndef RSVM_RUNTIME_MEMBERSHIP_HH
+#define RSVM_RUNTIME_MEMBERSHIP_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+
+namespace rsvm {
+
+struct SvmContext;
+class FailureDetector;
+class FtProtocolNode;
+
+/** Drives node join/rejoin and the bulk state transfer. */
+class JoinManager
+{
+  public:
+    JoinManager(SvmContext &context, FailureDetector *det);
+
+    /** Engine-liveness gate: queued joins are dropped once false. */
+    void setAliveCheck(std::function<bool()> check)
+    { aliveCheck = std::move(check); }
+
+    /**
+     * Register host @p phys for (re)join. Validation is
+     * armFailpoint-style: an unknown physical node id is a fatal
+     * operator error (rsvm_fatal, not a raw assert); a host that is
+     * currently a live member is rejected cleanly (returns false,
+     * reason in @p why). A valid request is queued and served in
+     * order — behind any in-flight join, and behind any recovery pass
+     * in progress. Returns true once queued.
+     */
+    bool requestJoin(PhysNodeId phys, std::string *why = nullptr);
+
+    /** Operator script: request the join at absolute time @p when. */
+    void scheduleJoin(SimTime when, PhysNodeId phys);
+
+    /** Stop permanently (cluster lost / teardown); drops the queue. */
+    void stop();
+
+    /** True while a join is in flight. */
+    bool joining() const { return state_ != State::Idle; }
+    /** Joins requested but not yet started. */
+    std::size_t queued() const { return pending_.size(); }
+
+    Counters &counters() { return stats; }
+    const Counters &counters() const { return stats; }
+
+  private:
+    enum class State { Idle, Admitting, Transferring, Committing,
+                       Activating };
+
+    void pump();
+    void startJoin(PhysNodeId phys);
+    void stepTransfer();
+    void stepCommit();
+    void stepActivate();
+
+    /**
+     * Fire failpoint @p name on every live physical node and classify
+     * any resulting deaths. Returns true when the join cannot proceed
+     * past this point (joiner rolled back, join aborted/requeued, or
+     * a post-commit death handed off to recovery).
+     */
+    bool firePoint(const char *name, bool committed);
+
+    /** Re-fence a pre-commit joiner (dead or aborted); no recovery. */
+    void rollBack(const char *at);
+    /** Abort a pre-commit join (bystander died); requeue the joiner. */
+    void abortAndRequeue(const char *at);
+    void finish();
+
+    std::uint64_t computeBulkBytes(NodeId moving) const;
+    FtProtocolNode *ft(NodeId n) const;
+    bool quiesced() const;
+    /** A recovery pass in flight, or a death not yet declared. */
+    bool pendingFailure() const;
+
+    SvmContext &ctx;
+    FailureDetector *detector;
+    std::function<bool()> aliveCheck;
+    std::deque<PhysNodeId> pending_;
+    State state_ = State::Idle;
+    PhysNodeId joiner_ = 0;
+    SimTime t0_ = 0;
+    bool pollArmed_ = false;
+    bool stopped_ = false;
+    Counters stats;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_RUNTIME_MEMBERSHIP_HH

@@ -229,6 +229,12 @@ HomingManager::migratePage(const Placement &pl)
     const NodeId newSec = pl.newSecondary;
     if (newPrim == oldPrim && newSec == oldSec)
         return false;
+    // Migration is a two-replica flip; pages under a per-page
+    // replication-degree policy (k=1 scratch, k>=3 hot) are placed by
+    // recovery/join instead.
+    if (ctx.as.replicationDegree(page) != 2 ||
+        ctx.as.effectiveDegree(page) != 2)
+        return false;
     rsvm_assert(newPrim != oldPrim);
 
     RSVM_LOG(LogComp::Ft,

@@ -60,6 +60,20 @@ PropagationPipeline::runPhase(SimThread &self,
                               const TargetFn &target, bool wait,
                               const Hook &after_first_post)
 {
+    return runPhase(
+        self, diffs, phase,
+        [&target](const Diff &d, std::vector<NodeId> &out) {
+            out.push_back(target(d));
+        },
+        wait, after_first_post);
+}
+
+CommStatus
+PropagationPipeline::runPhase(SimThread &self,
+                              const std::vector<Diff> &diffs, int phase,
+                              const TargetsFn &targets, bool wait,
+                              const Hook &after_first_post)
+{
     stats.propPhases++;
     const SimTime t0 = ctx.eng.now();
     CompletionBatch batch(self);
@@ -81,15 +95,19 @@ PropagationPipeline::runPhase(SimThread &self,
         // each FIFO channel).
         std::vector<std::pair<NodeId, std::vector<Diff>>> groups;
         std::vector<int> slot_of(ctx.numNodes(), -1);
+        std::vector<NodeId> dsts;
         for (const Diff &d : diffs) {
-            NodeId dst = target(d);
-            recordPlacement(d, dst, phase);
-            if (slot_of[dst] < 0) {
-                slot_of[dst] = static_cast<int>(groups.size());
-                groups.emplace_back(dst, std::vector<Diff>());
+            dsts.clear();
+            targets(d, dsts);
+            for (NodeId dst : dsts) {
+                recordPlacement(d, dst, phase);
+                if (slot_of[dst] < 0) {
+                    slot_of[dst] = static_cast<int>(groups.size());
+                    groups.emplace_back(dst, std::vector<Diff>());
+                }
+                groups[static_cast<std::size_t>(slot_of[dst])]
+                    .second.push_back(d);
             }
-            groups[static_cast<std::size_t>(slot_of[dst])]
-                .second.push_back(d);
         }
 
         for (auto &[dst, group] : groups) {
@@ -131,23 +149,27 @@ PropagationPipeline::runPhase(SimThread &self,
             after_post();
         }
     } else {
+        std::vector<NodeId> dsts;
         for (const Diff &d : diffs) {
-            NodeId dst = target(d);
-            recordPlacement(d, dst, phase);
-            stats.diffMsgsSent++;
-            stats.diffBytesSent += d.wireBytes();
-            SvmNode *tnode = ctx.nodes[dst];
-            CommStatus st = ctx.vmmc.depositAsync(
-                self, nodeId, dst, d.wireBytes(),
-                [cx, tnode, phase, event, d] {
-                    if (cx->traceProbe)
-                        cx->traceProbe(event, d.origin, d.interval);
-                    tnode->applyIncomingDiff(d, phase);
-                },
-                &batch, Comp::Diff);
-            if (st == CommStatus::Restarted)
-                return CommStatus::Restarted;
-            after_post();
+            dsts.clear();
+            targets(d, dsts);
+            for (NodeId dst : dsts) {
+                recordPlacement(d, dst, phase);
+                stats.diffMsgsSent++;
+                stats.diffBytesSent += d.wireBytes();
+                SvmNode *tnode = ctx.nodes[dst];
+                CommStatus st = ctx.vmmc.depositAsync(
+                    self, nodeId, dst, d.wireBytes(),
+                    [cx, tnode, phase, event, d] {
+                        if (cx->traceProbe)
+                            cx->traceProbe(event, d.origin, d.interval);
+                        tnode->applyIncomingDiff(d, phase);
+                    },
+                    &batch, Comp::Diff);
+                if (st == CommStatus::Restarted)
+                    return CommStatus::Restarted;
+                after_post();
+            }
         }
     }
 

@@ -55,6 +55,15 @@ class PropagationPipeline
   public:
     /** Chooses the destination home of one diff (phase-dependent). */
     using TargetFn = std::function<NodeId(const Diff &)>;
+    /**
+     * Chooses ALL destination homes of one diff (appended to the
+     * passed vector, which arrives empty). A diff may fan out to any
+     * number of destinations — phase 1 under per-page replication
+     * degree targets every secondary home, and a degree-1 page yields
+     * none at all.
+     */
+    using TargetsFn =
+        std::function<void(const Diff &, std::vector<NodeId> &)>;
     /** Stage-4 hook; see runPhase(). */
     using Hook = std::function<void()>;
 
@@ -95,6 +104,15 @@ class PropagationPipeline
      */
     CommStatus runPhase(SimThread &self, const std::vector<Diff> &diffs,
                         int phase, const TargetFn &target, bool wait,
+                        const Hook &after_first_post = {});
+
+    /**
+     * Multi-destination variant: each diff is shipped to every home
+     * @p targets names for it (possibly none). Placement accounting
+     * still counts each diff once per destination.
+     */
+    CommStatus runPhase(SimThread &self, const std::vector<Diff> &diffs,
+                        int phase, const TargetsFn &targets, bool wait,
                         const Hook &after_first_post = {});
 
   private:

@@ -284,10 +284,8 @@ SvmNode::commitInterval(SimThread *self)
                 {e.data.get(), ctx.cfg.pageSize},
                 {e.twin.get(), ctx.cfg.pageSize});
             pt.dropTwin(e);
-            if (ctx.as.primaryHome(page) == nodeId ||
-                ctx.as.secondaryHome(page) == nodeId) {
+            if (ctx.as.isHome(page, nodeId))
                 stats.homePagesDiffed++;
-            }
             // Empty (silent-store) diffs still travel: the home
             // version must reach this interval or readers holding the
             // write notice would wait forever. A page flushed earlier

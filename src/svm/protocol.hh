@@ -298,6 +298,7 @@ class SvmNode
 
   protected:
     friend class RecoveryManager;
+    friend class JoinManager;
 
     // ---- Page access machinery ---------------------------------------------
 

@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Elastic-membership tests: node join/rejoin, the bulk state
+ * transfer, kills landing at every join:* step, and the per-page
+ * replication-degree policy.
+ *
+ * The contract under test mirrors the migration/recovery suites:
+ * every scenario must end crash-free in one of two clean outcomes —
+ * a verified bit-exact result, or a reasoned ClusterLostError. A
+ * joiner that dies before the commit flip must be rolled back out
+ * (fenced again, no recovery pass); a death at or after the flip is
+ * an ordinary member death. On the degree axis: a single kill is
+ * survivable at k >= 2, an adjacent double kill destroys k = 2 pages
+ * but not k = 3 ones, and a k = 1 page whose only home dies is a
+ * deterministic clean loss.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apps/app_common.hh"
+#include "net/failure.hh"
+#include "runtime/cluster.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+namespace {
+
+Config
+ftConfig(std::uint32_t nodes = 4, std::uint32_t k = 2)
+{
+    Config cfg;
+    cfg.protocol = ProtocolKind::FaultTolerant;
+    cfg.numNodes = nodes;
+    cfg.threadsPerNode = 1;
+    cfg.sharedBytes = 16u << 20;
+    cfg.replicationDegree = k;
+    return cfg;
+}
+
+/** Lock-counter workload returning {counter value, lost?}. */
+struct RunOutcome
+{
+    std::uint64_t value = 0;
+    bool lost = false;
+    std::string reason;
+};
+
+RunOutcome
+runCounter(Cluster &cluster, int iters)
+{
+    Addr counter = cluster.mem().alloc(8);
+    cluster.spawn([counter, iters](AppThread &t) {
+        for (int i = 0; i < iters; ++i) {
+            t.lock(1);
+            std::uint64_t v = t.get<std::uint64_t>(counter);
+            t.compute(3 * kMicrosecond);
+            t.put<std::uint64_t>(counter, v + 1);
+            t.unlock(1);
+            t.compute(20 * kMicrosecond);
+        }
+        t.barrier();
+    });
+    RunOutcome out;
+    try {
+        cluster.run();
+    } catch (const ClusterLostError &e) {
+        out.lost = true;
+        out.reason = e.what();
+        return out;
+    }
+    cluster.debugRead(counter, &out.value, 8);
+    return out;
+}
+
+// ---- Validation (armFailpoint-style) ---------------------------------
+
+using MembershipDeath = ::testing::Test;
+
+TEST(MembershipDeath, UnknownHostIdDiesLoudly)
+{
+    Config cfg = ftConfig();
+    Cluster cluster(cfg);
+    EXPECT_EXIT(cluster.joinManager()->requestJoin(7),
+                ::testing::ExitedWithCode(1), "unknown physical node");
+}
+
+TEST(MembershipDeath, ScheduledJoinValidatesAtArmTime)
+{
+    Config cfg = ftConfig();
+    Cluster cluster(cfg);
+    EXPECT_EXIT(
+        cluster.joinManager()->scheduleJoin(1 * kMillisecond, 99),
+        ::testing::ExitedWithCode(1), "unknown physical node");
+}
+
+TEST(Membership, LiveMemberIsRejectedCleanly)
+{
+    Config cfg = ftConfig();
+    Cluster cluster(cfg);
+    std::string why;
+    EXPECT_FALSE(cluster.joinManager()->requestJoin(1, &why));
+    EXPECT_NE(why.find("already a live member"), std::string::npos);
+    EXPECT_EQ(cluster.joinManager()->counters().joinsRejected, 1u);
+    EXPECT_EQ(cluster.joinManager()->queued(), 0u);
+}
+
+// ---- The basic rejoin loop -------------------------------------------
+
+TEST(Membership, KillRecoverRejoinIsBitExact)
+{
+    Config cfg = ftConfig();
+    Cluster cluster(cfg);
+    cluster.injector().killAt(2, 2 * kMillisecond);
+    cluster.joinManager()->scheduleJoin(6 * kMillisecond, 2);
+
+    RunOutcome out = runCounter(cluster, 60);
+    ASSERT_FALSE(out.lost) << out.reason;
+    EXPECT_EQ(out.value, 60u * cfg.totalThreads());
+
+    Counters c = cluster.totalCounters();
+    EXPECT_GE(c.recoveries, 1u);
+    EXPECT_EQ(c.joins, 1u);
+    EXPECT_EQ(c.rejoins, 1u);
+    EXPECT_EQ(c.joinsRolledBack, 0u);
+    EXPECT_GT(c.bulkTransferBytes, 0u);
+    // The joiner is a full member again: alive, unfenced, hosting its
+    // native logical node.
+    EXPECT_TRUE(cluster.physAlive(2));
+    EXPECT_EQ(cluster.hostOf(2), 2u);
+    EXPECT_EQ(cluster.checkReplicaConsistency(), 0u);
+}
+
+TEST(Membership, RejoinThenKillAgainIsBitExact)
+{
+    // The acceptance loop: kill -> recover -> rejoin -> kill the same
+    // host again -> recover again. The second death of phys 2 is an
+    // ordinary member death of a readmitted node; nothing about its
+    // first life (stale channels, old epoch, rolled-back state) may
+    // leak into the second recovery.
+    Config cfg = ftConfig();
+    Cluster cluster(cfg);
+    // The modeled recovery pass for this config runs ~33 ms, and the
+    // cluster stalls under it: the join (requested at 8 ms) queues
+    // behind the pass and commits around 39 ms, so the second kill
+    // goes at 45 ms and the workload is sized to outlast it.
+    cluster.injector().killAt(2, 2 * kMillisecond);
+    cluster.joinManager()->scheduleJoin(8 * kMillisecond, 2);
+    cluster.injector().killAt(2, 45 * kMillisecond);
+
+    RunOutcome out = runCounter(cluster, 300);
+    ASSERT_FALSE(out.lost) << out.reason;
+    EXPECT_EQ(out.value, 300u * cfg.totalThreads());
+    ASSERT_EQ(cluster.injector().killed().size(), 2u)
+        << "the workload must outlast both kills";
+
+    Counters c = cluster.totalCounters();
+    EXPECT_GE(c.recoveries, 2u);
+    EXPECT_EQ(c.rejoins, 1u);
+    EXPECT_EQ(c.joinsRolledBack, 0u);
+}
+
+TEST(Membership, JoinDuringRecoveryQueuesBehindThePass)
+{
+    // The join request lands an instant after the kill, while the
+    // recovery pass is still quiescing: it must queue, wait the pass
+    // out, and then complete normally.
+    Config cfg = ftConfig();
+    Cluster cluster(cfg);
+    cluster.injector().killAt(2, 2 * kMillisecond);
+    cluster.joinManager()->scheduleJoin(2 * kMillisecond + 10, 2);
+
+    RunOutcome out = runCounter(cluster, 60);
+    ASSERT_FALSE(out.lost) << out.reason;
+    EXPECT_EQ(out.value, 60u * cfg.totalThreads());
+    Counters c = cluster.totalCounters();
+    EXPECT_EQ(c.rejoins, 1u);
+    EXPECT_EQ(c.joinsRolledBack, 0u);
+}
+
+// ---- Kills at every join step ----------------------------------------
+
+class JoinUnderFire
+    : public testing::TestWithParam<std::tuple<const char *, bool>>
+{
+};
+
+TEST_P(JoinUnderFire, RolledBackOrHandedToRecovery)
+{
+    const char *point = std::get<0>(GetParam());
+    const bool kill_joiner = std::get<1>(GetParam());
+    const bool pre_commit =
+        std::string(point) == failpoints::kJoinAdmit ||
+        std::string(point) == failpoints::kJoinTransfer;
+
+    Config cfg = ftConfig();
+    Cluster cluster(cfg);
+    cluster.injector().killAt(2, 2 * kMillisecond);
+    cluster.joinManager()->scheduleJoin(6 * kMillisecond, 2);
+    cluster.injector().armFailpoint(kill_joiner ? 2 : 3, point, 1);
+
+    RunOutcome out = runCounter(cluster, 80);
+    Counters c = cluster.totalCounters();
+    if (out.lost) {
+        // A reasoned loss is acceptable only for the multi-failure
+        // shapes (bystander death stacking on the earlier kill).
+        EXPECT_FALSE(out.reason.empty());
+        EXPECT_FALSE(kill_joiner && pre_commit)
+            << "a pre-commit joiner death must never lose the "
+               "cluster: "
+            << out.reason;
+        return;
+    }
+    EXPECT_EQ(out.value, 80u * cfg.totalThreads())
+        << "point=" << point << " joiner=" << kill_joiner;
+    if (kill_joiner && pre_commit &&
+        cluster.injector().killed().size() == 2) {
+        // The joiner died before the flip: rolled back out, fenced,
+        // and NOT the subject of a second recovery pass.
+        EXPECT_EQ(c.joinsRolledBack, 1u);
+        EXPECT_EQ(c.rejoins, 0u);
+        EXPECT_FALSE(cluster.physAlive(2));
+    }
+    if (kill_joiner && !pre_commit &&
+        cluster.injector().killed().size() == 2) {
+        // Post-commit: the join completed; the death is an ordinary
+        // member death and recovery ran again.
+        EXPECT_EQ(c.rejoins, 1u);
+        EXPECT_GE(c.recoveries, 2u);
+    }
+    EXPECT_EQ(cluster.checkReplicaConsistency(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, JoinUnderFire,
+    testing::Combine(testing::ValuesIn(failpoints::kJoinPoints),
+                     testing::Bool()),
+    [](const testing::TestParamInfo<std::tuple<const char *, bool>>
+           &info) {
+        std::string s = std::get<0>(info.param);
+        s += std::get<1>(info.param) ? "_joiner" : "_bystander";
+        for (char &c : s)
+            if (c == ':' || c == '-')
+                c = '_';
+        return s;
+    });
+
+// ---- Replication-degree policy ---------------------------------------
+
+class ReplicationSweep : public testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(ReplicationSweep, SingleKillSurvivableAtKTwoPlus)
+{
+    const std::uint32_t k = GetParam();
+    Config cfg = ftConfig(4, k);
+    Cluster cluster(cfg);
+    cluster.injector().killAt(2, 2 * kMillisecond);
+
+    RunOutcome out = runCounter(cluster, 40);
+    if (k >= 2) {
+        ASSERT_FALSE(out.lost) << "k=" << k << ": " << out.reason;
+    }
+    if (!out.lost) {
+        EXPECT_EQ(out.value, 40u * cfg.totalThreads()) << "k=" << k;
+        EXPECT_GE(cluster.totalCounters().recoveries, 1u);
+    } else {
+        EXPECT_FALSE(out.reason.empty());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(K, ReplicationSweep,
+                         testing::Values(1u, 2u, 3u),
+                         [](const testing::TestParamInfo<std::uint32_t>
+                                &pi) {
+                             return "k" + std::to_string(pi.param);
+                         });
+
+/**
+ * The slice workload: thread t fills page t of a shared array, a
+ * barrier commits everything to the homes, thread 0 touches every
+ * page (so a later total loss of any page is *referenced* and must be
+ * declared, never silently zero-filled), then everyone computes
+ * through a 10 ms window where the kills land.
+ */
+struct SliceOutcome
+{
+    bool lost = false;
+    std::string reason;
+};
+
+SliceOutcome
+runSlices(Cluster &cluster, Addr *arr_out)
+{
+    const Config &cfg = cluster.config();
+    const std::uint32_t n = cfg.numNodes;
+    const std::uint32_t page = cfg.pageSize;
+    Addr arr = cluster.mem().allocPageAligned(
+        static_cast<std::uint64_t>(n) * page);
+    *arr_out = arr;
+    cluster.spawn([arr, n, page](AppThread &t) {
+        const std::uint64_t me = t.id();
+        Addr mine = arr + me * page;
+        for (std::uint64_t i = 0; i < 4; ++i)
+            t.put<std::uint64_t>(mine + 8 * i, (me + 1) * 1000 + i);
+        t.barrier();
+        if (t.id() == 0) {
+            std::uint64_t sum = 0;
+            for (std::uint32_t s = 0; s < n; ++s)
+                sum += t.get<std::uint64_t>(arr + s * page);
+            if (sum == ~0ull)
+                t.put<std::uint64_t>(arr, sum); // never taken
+        }
+        t.barrier();
+        t.compute(10 * kMillisecond);
+        t.barrier();
+    });
+    SliceOutcome out;
+    try {
+        cluster.run();
+    } catch (const ClusterLostError &e) {
+        out.lost = true;
+        out.reason = e.what();
+    }
+    return out;
+}
+
+TEST(ReplicationDegree, SoleReplicaDeathIsCleanLossAtKOne)
+{
+    // k = 1: page 2's only home is node 2, and thread 0 referenced it.
+    // Killing phys 2 must be a deterministic, reasoned loss — not a
+    // hang, assert, or silent zero-fill.
+    Config cfg = ftConfig(4, 1);
+    Cluster cluster(cfg);
+    cluster.injector().killAt(2, 5 * kMillisecond);
+    Addr arr = 0;
+    SliceOutcome out = runSlices(cluster, &arr);
+    ASSERT_TRUE(out.lost)
+        << "a referenced k=1 page lost its only home, but the "
+           "cluster claims it recovered";
+    EXPECT_NE(out.reason.find("gone"), std::string::npos)
+        << out.reason;
+}
+
+TEST(ReplicationDegree, AdjacentDoubleKillDestroysKTwoPages)
+{
+    // k = 2: the page homed {2,3} loses both replicas when 2 and 3
+    // die together. Backups are pre-spread onto survivors so thread
+    // state is recoverable — the loss must be pinned on the page.
+    Config cfg = ftConfig(4, 2);
+    Cluster cluster(cfg);
+    cluster.setBackupOf(2, 0);
+    cluster.setBackupOf(3, 1);
+    cluster.injector().killAt(2, 5 * kMillisecond);
+    cluster.injector().killAt(3, 5 * kMillisecond);
+    Addr arr = 0;
+    SliceOutcome out = runSlices(cluster, &arr);
+    ASSERT_TRUE(out.lost);
+    EXPECT_NE(out.reason.find("page"), std::string::npos)
+        << out.reason;
+}
+
+TEST(ReplicationDegree, KThreeSurvivesSimultaneousDoubleKill)
+{
+    // The same adjacent double kill with k = 3: every page keeps at
+    // least one live replica ({p, p+1, p+2} mod 4 always intersects
+    // the survivors {0,1}), so the run must complete and the final
+    // shared state must be exact.
+    Config cfg = ftConfig(4, 3);
+    Cluster cluster(cfg);
+    cluster.setBackupOf(2, 0);
+    cluster.setBackupOf(3, 1);
+    cluster.injector().killAt(2, 5 * kMillisecond);
+    cluster.injector().killAt(3, 5 * kMillisecond);
+    Addr arr = 0;
+    SliceOutcome out = runSlices(cluster, &arr);
+    ASSERT_FALSE(out.lost) << out.reason;
+    for (std::uint64_t s = 0; s < cfg.numNodes; ++s) {
+        for (std::uint64_t i = 0; i < 4; ++i) {
+            std::uint64_t v = 0;
+            cluster.debugRead(arr + s * cfg.pageSize + 8 * i, &v, 8);
+            EXPECT_EQ(v, (s + 1) * 1000 + i)
+                << "slice " << s << " word " << i;
+        }
+    }
+    EXPECT_EQ(cluster.totalCounters().recoveries, 1u)
+        << "simultaneous deaths should be handled in one pass";
+}
+
+TEST(ReplicationDegree, RegionOverrideMixesDegrees)
+{
+    // Per-region policy: a hot/critical region at k = 3, scratch at
+    // k = 1, everything else at the default k = 2. The kill takes a
+    // k = 3 page's primary; the run must survive and the degree
+    // distribution must show all three classes.
+    Config cfg = ftConfig(4, 2);
+    Cluster cluster(cfg);
+    AddressSpace &as = cluster.mem();
+    Addr hot = as.allocPageAligned(2 * cfg.pageSize);
+    Addr scratch = as.allocPageAligned(cfg.pageSize);
+    as.setReplicationDegreeRange(hot, 2 * cfg.pageSize, 3);
+    as.setReplicationDegreeRange(scratch, cfg.pageSize, 1);
+    EXPECT_EQ(as.replicationDegree(as.pageOf(hot)), 3u);
+    EXPECT_EQ(as.effectiveDegree(as.pageOf(hot)), 3u);
+    EXPECT_EQ(as.replicationDegree(as.pageOf(scratch)), 1u);
+    EXPECT_TRUE(as.secondaryHomes(as.pageOf(scratch)).empty());
+
+    cluster.injector().killAt(as.primaryHome(as.pageOf(hot)),
+                              2 * kMillisecond);
+    RunOutcome out = runCounter(cluster, 40);
+    ASSERT_FALSE(out.lost) << out.reason;
+    EXPECT_EQ(out.value, 40u * cfg.totalThreads());
+
+    Counters c = cluster.totalCounters();
+    EXPECT_GE(c.pagesPerDegreeHist.count(), 3u);
+}
+
+TEST(ReplicationDegree, RejoinRestoresTargetDegree)
+{
+    // A k = 3 cluster of 3 nodes loses one: every page shrinks to an
+    // effective degree of 2 (no third host exists). When the host
+    // rejoins, the commit step re-grows the deficit replicas on it.
+    Config cfg = ftConfig(3, 3);
+    Cluster cluster(cfg);
+    cluster.injector().killAt(2, 2 * kMillisecond);
+    cluster.joinManager()->scheduleJoin(6 * kMillisecond, 2);
+
+    RunOutcome out = runCounter(cluster, 60);
+    ASSERT_FALSE(out.lost) << out.reason;
+    EXPECT_EQ(out.value, 60u * cfg.totalThreads());
+
+    Counters c = cluster.totalCounters();
+    EXPECT_EQ(c.rejoins, 1u);
+    EXPECT_GT(c.pagesReGrown, 0u);
+    AddressSpace &as = cluster.mem();
+    PageId touched = as.pageOf(0);
+    EXPECT_EQ(as.effectiveDegree(touched), 3u);
+    EXPECT_EQ(cluster.checkReplicaConsistency(), 0u);
+}
+
+// ---- The six-app acceptance loop -------------------------------------
+
+TEST(MembershipApps, KillRejoinKillAgainStaysExactOnEveryApp)
+{
+    // kill -> recover -> rejoin -> kill again, on every kernel of the
+    // suite, verified against the serial reference. Apps that finish
+    // before a stage simply skip it (the injector/queue drain); any
+    // verification mismatch or crash is a failure.
+    for (const std::string &app : apps::appNames()) {
+        Config cfg = ftConfig();
+        cfg.sharedBytes = 64u << 20;
+        apps::AppParams params = apps::defaultParams(app);
+        apps::AppInstance inst = apps::makeApp(app, params);
+        Cluster cluster(cfg);
+        cluster.injector().killAt(2, 2 * kMillisecond);
+        cluster.joinManager()->scheduleJoin(6 * kMillisecond, 2);
+        cluster.injector().killAt(2, 10 * kMillisecond);
+        inst.setup(cluster);
+        cluster.spawn(inst.threadFn);
+        try {
+            cluster.run();
+        } catch (const ClusterLostError &e) {
+            ADD_FAILURE() << app << ": lost: " << e.what();
+            continue;
+        }
+        apps::AppResult r = inst.verify(cluster);
+        EXPECT_TRUE(r.ok) << app << ": " << r.detail;
+        Counters c = cluster.totalCounters();
+        if (!cluster.injector().killed().empty()) {
+            EXPECT_GE(c.recoveries, 1u) << app;
+        }
+    }
+}
+
+} // namespace
+} // namespace rsvm

@@ -379,7 +379,9 @@ TEST(AddressSpace, RemapAfterPrimaryFailurePromotesSecondary)
     Config cfg;
     cfg.sharedBytes = 16 * cfg.pageSize;
     AddressSpace as(cfg, 4);
-    auto eligible = [](NodeId cand, NodeId) { return cand != 1; };
+    auto eligible = [](NodeId cand, const std::vector<NodeId> &) {
+        return cand != 1;
+    };
     std::vector<PageId> movedPages;
     as.remapHomes(1, eligible, [&](PageId p, NodeId survivor) {
         movedPages.push_back(p);
@@ -397,13 +399,71 @@ TEST(AddressSpace, RemapAfterPrimaryFailurePromotesSecondary)
     EXPECT_FALSE(movedPages.empty());
 }
 
+TEST(AddressSpace, PerPageReplicationDegree)
+{
+    Config cfg;
+    cfg.sharedBytes = 16 * cfg.pageSize;
+    AddressSpace as(cfg, 4); // default degree 2
+    EXPECT_EQ(as.replicationDegree(0), 2u);
+    EXPECT_EQ(as.secondaryHomes(0).size(), 1u);
+
+    as.setReplicationDegree(0, 3);
+    EXPECT_EQ(as.replicationDegree(0), 3u);
+    EXPECT_EQ(as.effectiveDegree(0), 3u);
+    std::vector<NodeId> homes = as.homeSet(0);
+    ASSERT_EQ(homes.size(), 3u);
+    for (std::size_t i = 0; i < homes.size(); ++i) {
+        for (std::size_t j = i + 1; j < homes.size(); ++j)
+            EXPECT_NE(homes[i], homes[j]);
+        EXPECT_TRUE(as.isHome(0, homes[i]));
+    }
+
+    as.setReplicationDegree(1, 1);
+    EXPECT_EQ(as.effectiveDegree(1), 1u);
+    EXPECT_TRUE(as.secondaryHomes(1).empty());
+    EXPECT_TRUE(as.isHome(1, as.primaryHome(1)));
+
+    // Degree is clamped to the node count.
+    as.setReplicationDegree(2, 9);
+    EXPECT_EQ(as.replicationDegree(2), 4u);
+    EXPECT_EQ(as.homeSet(2).size(), 4u);
+}
+
+TEST(AddressSpace, RemapShrinksAndGrowRestoresDegree)
+{
+    Config cfg;
+    cfg.sharedBytes = 16 * cfg.pageSize;
+    AddressSpace as(cfg, 4);
+    as.setReplicationDegree(0, 3);
+    std::vector<bool> dead(4, false);
+    auto eligible = [&](NodeId cand, const std::vector<NodeId> &) {
+        return !dead[cand];
+    };
+    auto noop = [](PageId, NodeId) {};
+    dead[1] = true;
+    as.remapHomes(1, eligible, noop);
+    dead[2] = true;
+    as.remapHomes(2, eligible, noop);
+    // Only two placeable nodes remain: the degree-3 page shrinks.
+    EXPECT_EQ(as.effectiveDegree(0), 2u);
+    for (NodeId h : as.homeSet(0))
+        EXPECT_FALSE(dead[h]);
+    // A rejoin re-grows the set up to the target.
+    EXPECT_TRUE(as.growHomeSet(0, 1));
+    EXPECT_EQ(as.effectiveDegree(0), 3u);
+    EXPECT_TRUE(as.isHome(0, 1));
+    EXPECT_FALSE(as.growHomeSet(0, 2)) << "already at target degree";
+}
+
 TEST(AddressSpace, RemapToleratesSuccessiveFailures)
 {
     Config cfg;
     cfg.sharedBytes = 16 * cfg.pageSize;
     AddressSpace as(cfg, 4);
     std::vector<bool> dead(4, false);
-    auto eligible = [&](NodeId cand, NodeId) { return !dead[cand]; };
+    auto eligible = [&](NodeId cand, const std::vector<NodeId> &) {
+        return !dead[cand];
+    };
     auto noop = [](PageId, NodeId) {};
     dead[1] = true;
     as.remapHomes(1, eligible, noop);

@@ -39,9 +39,19 @@
  * failure detector's lease: the alive-but-silent node must be fenced,
  * converted to a clean fail-stop kill, and the run must still verify).
  *
+ * With --join the matrix additionally exercises elastic membership
+ * (runtime/membership): the victim dies early and is scheduled to
+ * rejoin — after the recovery pass (join-after-kill), in the window
+ * between its death and the detector's declaration (the join must
+ * queue behind the pass), and with a second kill armed at each join:*
+ * failpoint on both the joiner (the join must roll back) and a
+ * bystander (the join must abort and requeue behind the new recovery).
+ * A join armed but never reached — the workload finished first — is
+ * "not-triggered", like any unfired failpoint.
+ *
  * Usage:
  *   fault_campaign [--apps fft,lu] [--max-kills 2] [--nodes 4]
- *                  [--net-faults RATE] [--out matrix.json]
+ *                  [--net-faults RATE] [--join] [--out matrix.json]
  */
 
 #include <cstdio>
@@ -57,6 +67,11 @@
 namespace {
 
 using namespace rsvm;
+
+// The victim and (initial) backup of the victim: logical node n
+// starts on phys n with backup n+1.
+constexpr PhysNodeId kVictim = 2;
+constexpr PhysNodeId kBackup = 3;
 
 struct Kill
 {
@@ -77,6 +92,13 @@ struct Scenario
      * falsely suspect it, fence it, and convert it to a clean kill.
      */
     bool stall = false;
+    /**
+     * Kill the victim at 2 ms, then schedule its rejoin at joinAt.
+     * Entries in @c kills are then join:* failpoints armed on the
+     * joiner or a bystander.
+     */
+    bool join = false;
+    SimTime joinAt = 0;
 };
 
 struct Outcome
@@ -92,6 +114,9 @@ struct Outcome
     std::uint64_t dupDrops = 0;
     std::uint64_t staleEpochRejected = 0;
     std::uint64_t falseSuspicions = 0;
+    std::uint64_t joinsCompleted = 0;
+    std::uint64_t joinsRolledBack = 0;
+    std::uint64_t bulkTransferBytes = 0;
 };
 
 std::vector<std::string>
@@ -165,6 +190,10 @@ runScenario(const Scenario &sc, std::uint32_t nodes, double net_rate)
             cluster.network().faults().stallNode(
                 2, 1 * kMillisecond, 4 * kMillisecond);
         }
+        if (sc.join) {
+            cluster.injector().killAt(kVictim, 2 * kMillisecond);
+            cluster.joinManager()->scheduleJoin(sc.joinAt, kVictim);
+        }
         inst.setup(cluster);
         if (sc.homing) {
             // Scramble the app's tuned placement round-robin so the
@@ -188,8 +217,24 @@ runScenario(const Scenario &sc, std::uint32_t nodes, double net_rate)
         out.dupDrops = c.dupDrops;
         out.staleEpochRejected = c.staleEpochRejected;
         out.falseSuspicions = c.falseSuspicionsFenced;
+        out.joinsCompleted = c.rejoins;
+        out.joinsRolledBack = c.joinsRolledBack;
+        out.bulkTransferBytes = c.bulkTransferBytes;
         if (!sc.kills.empty() && out.killsFired == 0) {
             out.verdict = "not-triggered";
+            return out;
+        }
+        if (sc.join && c.joins == 0) {
+            out.verdict = "not-triggered";
+            out.detail = "join never started (workload finished first)";
+            return out;
+        }
+        if (sc.join && !sc.kills.empty() &&
+            out.killsFired < sc.kills.size() + 1) {
+            // The timed kill always fires; the armed join point only
+            // fires if a join actually reached that step.
+            out.verdict = "not-triggered";
+            out.detail = "armed join point never fired";
             return out;
         }
         if (sc.stall && out.falseSuspicions == 0) {
@@ -227,6 +272,7 @@ main(int argc, char **argv)
     int max_kills = 2;
     std::uint32_t nodes = 4;
     double net_rate = 0.0;
+    bool with_join = false;
     std::string out_path;
 
     for (int i = 1; i < argc; ++i) {
@@ -246,13 +292,15 @@ main(int argc, char **argv)
             nodes = static_cast<std::uint32_t>(std::atoi(value()));
         } else if (arg == "--net-faults") {
             net_rate = std::atof(value());
+        } else if (arg == "--join") {
+            with_join = true;
         } else if (arg == "--out") {
             out_path = value();
         } else {
             std::fprintf(stderr,
                          "usage: fault_campaign [--apps a,b] "
                          "[--max-kills N] [--nodes N] "
-                         "[--net-faults RATE] [--out f.json]\n");
+                         "[--net-faults RATE] [--join] [--out f.json]\n");
             return 2;
         }
     }
@@ -261,10 +309,8 @@ main(int argc, char **argv)
         return 2;
     }
 
-    // The victim and (initial) backup of the victim: logical node n
-    // starts on phys n with backup n+1.
-    const PhysNodeId victim = 2;
-    const PhysNodeId backup = 3;
+    const PhysNodeId victim = kVictim;
+    const PhysNodeId backup = kBackup;
 
     std::vector<Scenario> scenarios;
     for (const std::string &app : app_list) {
@@ -321,6 +367,34 @@ main(int argc, char **argv)
                 }
             }
         }
+        if (with_join) {
+            // The victim dies at 2 ms; its recovery pass completes
+            // around 36 ms of modeled time, so a 6 ms join request
+            // queues behind the pass and commits shortly after it.
+            const SimTime joinAfter = 6 * kMillisecond;
+            // Join-after-kill: the baseline rejoin must complete and
+            // the run must verify bit-exact on the restored cluster.
+            scenarios.push_back({app, {}, /*homing=*/false,
+                                 /*stall=*/false, /*join=*/true,
+                                 joinAfter});
+            // Join-during-recovery: the request lands in the window
+            // between the death and the detector's declaration; it
+            // must hold until the pass finishes, never mid-pass.
+            scenarios.push_back({app, {}, /*homing=*/false,
+                                 /*stall=*/false, /*join=*/true,
+                                 2 * kMillisecond + 10 * kMicrosecond});
+            // Kill-during-join: a second death at every join step, on
+            // the joiner (pre-commit: roll the join back out) and on a
+            // bystander (abort, requeue behind the new recovery).
+            for (const char *jp : failpoints::kJoinPoints) {
+                scenarios.push_back({app, {{victim, jp, 1}},
+                                     /*homing=*/false, /*stall=*/false,
+                                     /*join=*/true, joinAfter});
+                scenarios.push_back({app, {{backup, jp, 1}},
+                                     /*homing=*/false, /*stall=*/false,
+                                     /*join=*/true, joinAfter});
+            }
+        }
     }
 
     std::string json = "{\n  \"scenarios\": [\n";
@@ -358,7 +432,8 @@ main(int argc, char **argv)
         }
         json += "    {\"app\": \"" + sc.app + "\", \"homing\": " +
                 (sc.homing ? "true" : "false") + ", \"stall\": " +
-                (sc.stall ? "true" : "false") + ", \"kills\": [" +
+                (sc.stall ? "true" : "false") + ", \"join\": " +
+                (sc.join ? "true" : "false") + ", \"kills\": [" +
                 kills + "], \"outcome\": \"" + o.verdict +
                 "\", \"kills_fired\": " + std::to_string(o.killsFired) +
                 ", \"recoveries\": " + std::to_string(o.recoveries) +
@@ -374,13 +449,20 @@ main(int argc, char **argv)
                 std::to_string(o.staleEpochRejected) +
                 ", \"false_suspicions\": " +
                 std::to_string(o.falseSuspicions) +
+                ", \"joins_completed\": " +
+                std::to_string(o.joinsCompleted) +
+                ", \"joins_rolled_back\": " +
+                std::to_string(o.joinsRolledBack) +
+                ", \"bulk_transfer_bytes\": " +
+                std::to_string(o.bulkTransferBytes) +
                 ", \"detail\": \"" + jsonEscape(o.detail) + "\"}";
         json += (i + 1 < scenarios.size()) ? ",\n" : "\n";
 
-        std::fprintf(stderr, "[%3zu/%zu] %-8s%s%s %-50s %s\n", i + 1,
+        std::fprintf(stderr, "[%3zu/%zu] %-8s%s%s%s %-50s %s\n", i + 1,
                      scenarios.size(), sc.app.c_str(),
                      sc.homing ? " [homing]" : "",
-                     sc.stall ? " [stall]" : "", kills.c_str(),
+                     sc.stall ? " [stall]" : "",
+                     sc.join ? " [join]" : "", kills.c_str(),
                      o.verdict.c_str());
     }
     json += "  ],\n  \"summary\": {\"pass\": " +

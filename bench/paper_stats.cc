@@ -178,6 +178,53 @@ run()
         if (!r.verified)
             failures++;
     }
+
+    // Persistence tier (base/persist + runtime/persist_manager): the
+    // same suite with the async durability tier on, against a tier-off
+    // run of the same seed. The contract is that the tier is invisible
+    // to the application — wallDelta must be exactly 0 ns for every
+    // app (the drainer never charges simulated time to a release) —
+    // while epochs/records/durableB show the durability work done off
+    // the critical path and drainNs the simulated disk latency per
+    // record. Restart correctness is exercised by the fault campaign's
+    // --kill-all matrix, not here.
+    std::printf("\n# Persistence tier (persistEnabled=1, "
+                "epoch=500us, same geometry)\n");
+    std::printf("%-11s %12s %8s %10s %12s %10s %-26s %s\n", "app",
+                "wallDeltaNs", "epochs", "records", "durableB",
+                "dropped", "drainNs", "ok");
+    for (const std::string &app : benchApps()) {
+        Config cfg;
+        cfg.protocol = ProtocolKind::FaultTolerant;
+        cfg.numNodes = 8;
+        cfg.threadsPerNode = 1;
+        cfg.sharedBytes = 256u << 20;
+        RunResult off = runApp(app, cfg, scale);
+        cfg.persistEnabled = true;
+        cfg.persistEpoch = 500 * kMicrosecond;
+        RunResult on = runApp(app, cfg, scale);
+        const Counters &c = on.counters;
+        long long delta = static_cast<long long>(on.wall) -
+                          static_cast<long long>(off.wall);
+        bool ok = on.verified && off.verified && delta == 0 &&
+                  c.persistRecordsDropped == 0 &&
+                  c.persistEpochsClosed > 0;
+        std::printf("%-11s %12lld %8llu %10llu %12llu %10llu %-26s "
+                    "%s\n",
+                    app.c_str(), delta,
+                    static_cast<unsigned long long>(
+                        c.persistEpochsClosed),
+                    static_cast<unsigned long long>(
+                        c.persistRecordsDurable),
+                    static_cast<unsigned long long>(
+                        c.persistBytesDurable),
+                    static_cast<unsigned long long>(
+                        c.persistRecordsDropped),
+                    c.persistDrainNsHist.toString().c_str(),
+                    ok ? "ok" : "NOT-TRANSPARENT");
+        if (!ok)
+            failures++;
+    }
     return failures;
 }
 

@@ -72,6 +72,13 @@ Config::applyOverride(const std::string &kv)
     else if (key == "homingHysteresis") homingHysteresis = as_f();
     else if (key == "homingMinBytes") homingMinBytes = as_u64();
     else if (key == "homingCooldownEpochs") homingCooldownEpochs = as_u64();
+    else if (key == "persistEnabled") persistEnabled = (val == "1" ||
+                                                        val == "true");
+    else if (key == "persistEpoch") persistEpoch = as_u64();
+    else if (key == "persistDiskLatency") persistDiskLatency = as_u64();
+    else if (key == "persistDiskBandwidthBytesPerSec")
+        persistDiskBandwidthBytesPerSec = as_f();
+    else if (key == "persistDiskJitterMax") persistDiskJitterMax = as_u64();
     else if (key == "smpComputeInflation") smpComputeInflation = as_f();
     else if (key == "seed") seed = as_u64();
     else if (key == "paranoidChecks") paranoidChecks = (val == "1" ||
@@ -114,6 +121,11 @@ Config::toString() const
        << " heartbeatPeriod=" << heartbeatPeriod
        << " missedLeases=" << missedLeases
        << " replicationDegree=" << replicationDegree
+       << " persistEnabled=" << persistEnabled
+       << " persistEpoch=" << persistEpoch
+       << " persistDiskLatency=" << persistDiskLatency
+       << " persistDiskBandwidth=" << persistDiskBandwidthBytesPerSec
+       << " persistDiskJitterMax=" << persistDiskJitterMax
        << " seed=" << seed;
     return os.str();
 }

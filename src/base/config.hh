@@ -195,6 +195,25 @@ struct Config
     /** Epochs a migrated page stays put before it may move again. */
     std::uint32_t homingCooldownEpochs = 2;
 
+    // ---- Persistence tier (base/persist, runtime/persist_manager) ----------
+    /**
+     * Opt-in async persistence: stream checkpoint stores, committed
+     * page images and lock metadata to a simulated log-structured
+     * disk off the critical path (a release never blocks on the
+     * store), enabling bit-exact cold restart after whole-cluster
+     * loss. Requires the fault-tolerant protocol.
+     */
+    bool persistEnabled = false;
+    /** Capture period: dirty state is snapshotted every this often
+     *  (at a release-quiescent engine instant). */
+    SimTime persistEpoch = 2 * kMillisecond;
+    /** Fixed per-record latency of the simulated log disk. */
+    SimTime persistDiskLatency = 50 * kMicrosecond;
+    /** Sequential-write bandwidth of the simulated log disk. */
+    double persistDiskBandwidthBytesPerSec = 200e6;
+    /** Max seeded uniform extra jitter per disk write (0 disables). */
+    SimTime persistDiskJitterMax = 0;
+
     // ---- SMP contention model ---------------------------------------------
     /**
      * Fractional compute-time inflation per additional concurrently

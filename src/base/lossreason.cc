@@ -1,0 +1,27 @@
+#include "base/lossreason.hh"
+
+namespace rsvm {
+
+const char *
+lossReasonName(LossReason r)
+{
+    switch (r) {
+    case LossReason::None:
+        return "none";
+    case LossReason::TooFewHosts:
+        return "too-few-hosts";
+    case LossReason::StaleCheckpointStore:
+        return "stale-checkpoint-store";
+    case LossReason::ReplicasExhausted:
+        return "replicas-exhausted";
+    case LossReason::LockStateLost:
+        return "lock-state-lost";
+    case LossReason::NoEligibleBackup:
+        return "no-eligible-backup";
+    case LossReason::AllNodesFailed:
+        return "all-nodes-failed";
+    }
+    return "unknown";
+}
+
+} // namespace rsvm

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Standardized cluster-loss reasons.
+ *
+ * Every path that declares the cluster unrecoverable names one of
+ * these codes instead of an ad-hoc string, so tests and campaign
+ * tooling can assert the *exact* loss path that fired. The free-form
+ * detail string (page number, node id, interval evidence) still rides
+ * along for humans; the code is the machine-checkable part.
+ */
+
+#ifndef RSVM_BASE_LOSSREASON_HH
+#define RSVM_BASE_LOSSREASON_HH
+
+namespace rsvm {
+
+/** Why a cluster was declared unrecoverable. */
+enum class LossReason {
+    /** Not lost (sentinel). */
+    None,
+    /** Fewer than two physical nodes host live state (§4.5). */
+    TooFewHosts,
+    /** A failed node's checkpoint store is missing or older than
+     *  committed state some survivor observed. */
+    StaleCheckpointStore,
+    /** A referenced page lost every replica and its owning store. */
+    ReplicasExhausted,
+    /** An in-use lock lost both homes and the salvaged copy. */
+    LockStateLost,
+    /** No eligible backup placement exists for some live node. */
+    NoEligibleBackup,
+    /** Every physical node died (total/correlated failure). */
+    AllNodesFailed,
+};
+
+/** Stable short name of a loss reason ("replicas-exhausted"). */
+const char *lossReasonName(LossReason r);
+
+} // namespace rsvm
+
+#endif // RSVM_BASE_LOSSREASON_HH

@@ -1,0 +1,82 @@
+#include "base/persist.hh"
+
+#include "base/panic.hh"
+
+namespace rsvm {
+
+void
+PersistLog::closeEpoch(std::uint64_t epoch, std::uint64_t records)
+{
+    rsvm_assert_msg(epoch > watermark_,
+                    "persist epoch closed at or below the watermark");
+    auto [it, inserted] =
+        epochs_.try_emplace(epoch, std::make_pair(records, 0));
+    rsvm_assert_msg(inserted, "persist epoch closed twice");
+    (void)it;
+    advanceWatermark();
+}
+
+void
+PersistLog::appendDurable(PersistRecord rec)
+{
+    auto it = epochs_.find(rec.epoch);
+    rsvm_assert_msg(it != epochs_.end(),
+                    "durable record for an unclosed persist epoch");
+    it->second.second++;
+    rsvm_assert_msg(it->second.second <= it->second.first,
+                    "more durable records than the epoch declared");
+    log_.push_back(std::move(rec));
+    advanceWatermark();
+}
+
+void
+PersistLog::advanceWatermark()
+{
+    // The watermark is the contiguous complete prefix: walk epochs in
+    // order from just past the current watermark and stop at the
+    // first gap or incomplete epoch.
+    for (auto it = epochs_.upper_bound(watermark_);
+         it != epochs_.end(); ++it) {
+        if (it->first != watermark_ + 1)
+            break; // a missing epoch can never complete
+        if (it->second.second < it->second.first)
+            break;
+        watermark_ = it->first;
+    }
+}
+
+PersistScan
+PersistLog::scan() const
+{
+    PersistScan out;
+    out.watermark = watermark_;
+    for (const PersistRecord &r : log_) {
+        if (r.epoch > watermark_) {
+            out.partialsDiscarded++;
+            continue;
+        }
+        // Log order is completion order, but epochs give the true
+        // version order: keep the record with the highest epoch per
+        // key (ties cannot happen — one record per key per epoch).
+        auto key = std::make_pair(r.kind, r.key);
+        auto it = out.latest.find(key);
+        if (it == out.latest.end() || r.epoch > it->second->epoch)
+            out.latest[key] = &r;
+    }
+    return out;
+}
+
+void
+PersistLog::truncateToWatermark()
+{
+    std::vector<PersistRecord> kept;
+    kept.reserve(log_.size());
+    for (PersistRecord &r : log_) {
+        if (r.epoch <= watermark_)
+            kept.push_back(std::move(r));
+    }
+    log_ = std::move(kept);
+    epochs_.erase(epochs_.upper_bound(watermark_), epochs_.end());
+}
+
+} // namespace rsvm

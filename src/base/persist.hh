@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Narrow persistence-store API: an append-only, epoch-versioned
+ * record log modelling a log-structured disk shared by the cluster.
+ *
+ * The store is deliberately generic — records carry a kind, an epoch
+ * number, a key, the physical node responsible for draining them, a
+ * modelled byte size, and an opaque payload. The runtime-side
+ * PersistManager (runtime/persist_manager) decides what to capture
+ * and when; this layer only tracks durability:
+ *
+ *  - records are *appended* (pending) when captured and *durable*
+ *    once the simulated disk write completes, in completion order;
+ *  - each capture closes an epoch by declaring how many records it
+ *    produced; an epoch is *complete* when all of them are durable;
+ *  - the cluster-wide watermark is the highest epoch E such that
+ *    every epoch <= E is complete (a contiguous durable prefix). A
+ *    record that never drains (its writer died with it queued)
+ *    stalls the watermark below its epoch forever — exactly the
+ *    semantics cold restart needs;
+ *  - restartImage() folds the durable log into latest-record-per-key
+ *    state at the watermark; durable records *past* the watermark are
+ *    counted and discarded, never replayed (a partial epoch is not a
+ *    consistent cut).
+ */
+
+#ifndef RSVM_BASE_PERSIST_HH
+#define RSVM_BASE_PERSIST_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace rsvm {
+
+/** What a persisted record describes. */
+enum class PersistRecordKind : std::uint8_t {
+    /** A node's backup checkpoint store (threads + saved metadata). */
+    NodeState,
+    /** A page's committed bytes, version and home set. */
+    PageImage,
+    /** A lock's home-side slot state and directory homes. */
+    LockImage,
+};
+
+/** One append-only log record. */
+struct PersistRecord
+{
+    PersistRecordKind kind = PersistRecordKind::NodeState;
+    /** Capture epoch this record belongs to. */
+    std::uint64_t epoch = 0;
+    /** Node / page / lock id, per kind. */
+    std::uint64_t key = 0;
+    /** Physical node whose background drainer must write it. */
+    PhysNodeId writer = 0;
+    /** Modelled on-disk size (drives the simulated write time). */
+    std::uint64_t bytes = 0;
+    /** Typed payload owned by the producer (runtime layer). */
+    std::shared_ptr<const void> payload;
+};
+
+/** Restart-time view of the durable log. */
+struct PersistScan
+{
+    /** Highest fully-persisted epoch (0 = nothing usable). */
+    std::uint64_t watermark = 0;
+    /** Latest durable record per (kind, key) with epoch <= watermark. */
+    std::map<std::pair<PersistRecordKind, std::uint64_t>,
+             const PersistRecord *>
+        latest;
+    /** Durable records past the watermark, detected and discarded. */
+    std::uint64_t partialsDiscarded = 0;
+};
+
+/** The simulated log-structured store (one per cluster). */
+class PersistLog
+{
+  public:
+    /** Declare epoch @p epoch closed with @p records records. */
+    void closeEpoch(std::uint64_t epoch, std::uint64_t records);
+
+    /** A record's simulated disk write completed: it is durable. */
+    void appendDurable(PersistRecord rec);
+
+    /** Highest epoch E with every epoch <= E fully durable. */
+    std::uint64_t watermark() const { return watermark_; }
+
+    /** Durable records so far (append order). */
+    const std::vector<PersistRecord> &records() const { return log_; }
+
+    /**
+     * Fold the durable log for cold restart: latest record per key at
+     * the watermark; everything past it is counted as discarded.
+     * Pointers are valid until the next appendDurable/reset call.
+     */
+    PersistScan scan() const;
+
+    /**
+     * Cold restart committed: drop durable records past the watermark
+     * (the discarded partials) and every epoch account above it, so a
+     * post-restart capture restarts epoch numbering cleanly.
+     */
+    void truncateToWatermark();
+
+  private:
+    void advanceWatermark();
+
+    std::vector<PersistRecord> log_;
+    /** epoch -> (expected, durable) record counts. */
+    std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+        epochs_;
+    std::uint64_t watermark_ = 0;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_BASE_PERSIST_HH

@@ -200,6 +200,16 @@ Counters::operator+=(const Counters &other)
     joinsQueued += other.joinsQueued;
     channelsReclaimed += other.channelsReclaimed;
     reclaimedTxEntries += other.reclaimedTxEntries;
+    persistRecordsAppended += other.persistRecordsAppended;
+    persistRecordsDurable += other.persistRecordsDurable;
+    persistBytesAppended += other.persistBytesAppended;
+    persistBytesDurable += other.persistBytesDurable;
+    persistEpochsClosed += other.persistEpochsClosed;
+    persistCapturesSkipped += other.persistCapturesSkipped;
+    persistRecordsDropped += other.persistRecordsDropped;
+    persistPartialsDiscarded += other.persistPartialsDiscarded;
+    coldRestarts += other.coldRestarts;
+    coldRestartAttempts += other.coldRestartAttempts;
     batchBytesHist += other.batchBytesHist;
     batchPagesHist += other.batchPagesHist;
     phaseWallHist += other.phaseWallHist;
@@ -210,6 +220,8 @@ Counters::operator+=(const Counters &other)
     reorderDepthHist += other.reorderDepthHist;
     joinTimeNsHist += other.joinTimeNsHist;
     pagesPerDegreeHist += other.pagesPerDegreeHist;
+    persistDrainNsHist += other.persistDrainNsHist;
+    persistRecordBytesHist += other.persistRecordBytesHist;
     return *this;
 }
 
@@ -280,6 +292,16 @@ Counters::toString() const
        << " joinsQueued=" << joinsQueued
        << " channelsReclaimed=" << channelsReclaimed
        << " reclaimedTxEntries=" << reclaimedTxEntries
+       << " persistAppended=" << persistRecordsAppended
+       << " persistDurable=" << persistRecordsDurable
+       << " persistBytesAppended=" << persistBytesAppended
+       << " persistBytesDurable=" << persistBytesDurable
+       << " persistEpochs=" << persistEpochsClosed
+       << " persistSkipped=" << persistCapturesSkipped
+       << " persistDropped=" << persistRecordsDropped
+       << " persistPartials=" << persistPartialsDiscarded
+       << " coldRestarts=" << coldRestarts
+       << " coldRestartAttempts=" << coldRestartAttempts
        << " batchBytes{" << batchBytesHist.toString() << "}"
        << " batchPages{" << batchPagesHist.toString() << "}"
        << " phaseWall{" << phaseWallHist.toString() << "}"
@@ -290,7 +312,10 @@ Counters::toString() const
        << "}"
        << " reorderDepth{" << reorderDepthHist.toString() << "}"
        << " joinTimeNs{" << joinTimeNsHist.toString() << "}"
-       << " pagesPerDegree{" << pagesPerDegreeHist.toString() << "}";
+       << " pagesPerDegree{" << pagesPerDegreeHist.toString() << "}"
+       << " persistDrainNs{" << persistDrainNsHist.toString() << "}"
+       << " persistRecordBytes{" << persistRecordBytesHist.toString()
+       << "}";
     return os.str();
 }
 

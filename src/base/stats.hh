@@ -245,6 +245,27 @@ struct Counters
     /** Tx/held entries freed by channel reclamation. */
     std::uint64_t reclaimedTxEntries = 0;
 
+    // Persistence tier (base/persist, runtime/persist_manager). The
+    // drainer runs entirely off the critical path: these counters
+    // change with persistEnabled, but wall time and release-latency
+    // histograms must not.
+    std::uint64_t persistRecordsAppended = 0;
+    std::uint64_t persistRecordsDurable = 0;
+    std::uint64_t persistBytesAppended = 0;
+    std::uint64_t persistBytesDurable = 0;
+    /** Capture epochs closed (each a consistent cluster-wide cut). */
+    std::uint64_t persistEpochsClosed = 0;
+    /** Capture ticks skipped because the cluster was not quiescent. */
+    std::uint64_t persistCapturesSkipped = 0;
+    /** Pending/in-flight records lost when their writer node died. */
+    std::uint64_t persistRecordsDropped = 0;
+    /** Durable records past the watermark discarded at restart scan. */
+    std::uint64_t persistPartialsDiscarded = 0;
+    /** Completed cold restarts from the persisted watermark. */
+    std::uint64_t coldRestarts = 0;
+    /** Cold-restart attempts (retries after mid-restart kills). */
+    std::uint64_t coldRestartAttempts = 0;
+
     /** Wire bytes per posted batch message. */
     Histogram batchBytesHist;
     /** Page diffs packed into each posted batch message. */
@@ -265,6 +286,10 @@ struct Counters
     Histogram joinTimeNsHist;
     /** Effective replication degree per page (sampled at reporting). */
     Histogram pagesPerDegreeHist;
+    /** Simulated ns per drained (durable) persist record. */
+    Histogram persistDrainNsHist;
+    /** Modelled bytes per persisted record. */
+    Histogram persistRecordBytesHist;
 
     Counters &operator+=(const Counters &other);
     std::string toString() const;

@@ -98,6 +98,30 @@ class CkptStore
         savedDiffsInterval = interval;
     }
 
+    /**
+     * Modelled byte size of everything the store holds (drives the
+     * persistence tier's simulated disk-write time).
+     */
+    std::uint64_t
+    modelBytes() const
+    {
+        std::uint64_t b = 64 + savedTs.size() * 8;
+        for (const auto &[interval, pages] : intervalPages) {
+            (void)interval;
+            b += 16 + pages.size() * 8;
+        }
+        for (const Diff &d : savedDiffs)
+            b += d.wireBytes();
+        for (const auto &[thread, arr] : slots) {
+            (void)thread;
+            for (const ThreadCkpt &c : arr) {
+                if (c.valid || c.finished)
+                    b += 32 + (c.valid ? c.image.bytes() : 0);
+            }
+        }
+        return b;
+    }
+
     std::vector<Diff> savedDiffs;
     IntervalNum savedDiffsInterval = 0;
 

@@ -165,6 +165,7 @@ class FtProtocolNode : public SvmNode
     friend class RecoveryManager;
     friend class HomingManager;
     friend class JoinManager;
+    friend class PersistManager;
 };
 
 } // namespace rsvm

@@ -113,15 +113,26 @@ RecoveryManager::pollQuiesce()
 }
 
 void
-RecoveryManager::declareLost(const std::string &reason)
+RecoveryManager::declareLost(LossReason code, const std::string &detail)
 {
     if (lostDeclared)
         return;
     lostDeclared = true;
     running = false;
     ctx.pendingRecovery = false;
-    RSVM_LOG(LogComp::Recovery, "unrecoverable: %s", reason.c_str());
-    ctx.ops->clusterLost(reason);
+    RSVM_LOG(LogComp::Recovery, "unrecoverable [%s]: %s",
+             lossReasonName(code), detail.c_str());
+    ctx.ops->clusterLost(code, detail);
+}
+
+void
+RecoveryManager::resetAfterColdRestart()
+{
+    lostDeclared = false;
+    running = false;
+    accumCost = 0;
+    salvage.clear();
+    lockSalvage.clear();
 }
 
 void
@@ -147,7 +158,8 @@ RecoveryManager::runPasses()
                 live_hosts.insert(ctx.ops->hostOf(n));
         }
         if (live_hosts.size() < 2) {
-            declareLost("fewer than two physical nodes host live "
+            declareLost(LossReason::TooFewHosts,
+                        "fewer than two physical nodes host live "
                         "state; replication is impossible");
             return;
         }
@@ -408,7 +420,8 @@ RecoveryManager::checkStoresUsable(const std::vector<NodeId> &failed)
             // Survivors observed committed intervals the (missing or
             // stale) store cannot reproduce: rolling the node back
             // would strand them, rolling them back is impossible.
-            declareLost("checkpoint store for node " +
+            declareLost(LossReason::StaleCheckpointStore,
+                        "checkpoint store for node " +
                         std::to_string(f) +
                         " is missing or stale (covers interval " +
                         std::to_string(limit) + ", survivors saw " +
@@ -629,7 +642,8 @@ RecoveryManager::stepReReplicate(const std::vector<NodeId> &failed)
         }
         if (ccands.empty() && tcands.empty()) {
             if (referenced.count(p)) {
-                declareLost("page " + std::to_string(p) +
+                declareLost(LossReason::ReplicasExhausted,
+                            "page " + std::to_string(p) +
                             ": both replicas and the owning store are "
                             "gone");
                 return;
@@ -833,7 +847,8 @@ RecoveryManager::stepLocks(const std::vector<NodeId> &failed)
                 in_use = in_use || s != 0;
         }
         if (in_use) {
-            declareLost("lock " + std::to_string(l) +
+            declareLost(LossReason::LockStateLost,
+                        "lock " + std::to_string(l) +
                         ": both homes and the salvaged ownership "
                         "state are gone");
             return;
@@ -980,7 +995,8 @@ RecoveryManager::stepReProtect(const std::vector<NodeId> &failed)
                 }
             }
             if (cand == kInvalidNode) {
-                declareLost("no eligible backup for node " +
+                declareLost(LossReason::NoEligibleBackup,
+                            "no eligible backup for node " +
                             std::to_string(g));
                 return;
             }

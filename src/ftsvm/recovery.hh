@@ -92,6 +92,14 @@ class RecoveryManager
     /** True once the cluster was declared unrecoverable. */
     bool clusterLost() const { return lostDeclared; }
 
+    /**
+     * Forget a declared loss and any in-flight cycle state after a
+     * cold restart rebuilt the cluster from the persistence tier: the
+     * salvage caches describe pre-loss state and must not leak into
+     * the restarted world.
+     */
+    void resetAfterColdRestart();
+
   private:
     enum class PassResult { Done, Aborted, Lost };
 
@@ -141,7 +149,7 @@ class RecoveryManager
     bool firePoint(const char *name, std::vector<bool> &live_before);
 
     /** Unrecoverable: surface through the runtime, never assert. */
-    void declareLost(const std::string &reason);
+    void declareLost(LossReason code, const std::string &detail);
 
     // ---- Queries ---------------------------------------------------------
     std::vector<NodeId> failedNodes() const;

@@ -139,6 +139,17 @@ class AddressSpace
         NodeId failed, const Eligible &eligible,
         const std::function<void(PageId page, NodeId survivor)> &moved);
 
+    /**
+     * Install a persisted home set verbatim (cold restart). Bypasses
+     * eligibility checks: the persistence tier recorded a set that was
+     * valid at the watermark cut, and every node is being revived.
+     */
+    void
+    restoreHomeSet(PageId page, const std::vector<NodeId> &homes)
+    {
+        rebuildHomeSet(page, homes);
+    }
+
   private:
     void rebuildHomeSet(PageId page, const std::vector<NodeId> &homes);
     NodeId nextEligible(NodeId after, const std::vector<NodeId> &chosen,

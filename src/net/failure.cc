@@ -28,6 +28,9 @@ isKnown(const std::string &name)
     for (const char *p : kOtherPoints)
         if (name == p)
             return true;
+    for (const char *p : kPersistPoints)
+        if (name == p)
+            return true;
     for (const char *p : kNetFaultPoints)
         if (name == p)
             return true;

@@ -103,6 +103,25 @@ inline constexpr const char *kNetFaultPoints[] = {
     kNetDrop, kNetDup, kNetDelay,
 };
 
+// Persistence-tier failpoints (base/persist, runtime/persist_manager):
+// fired on a record's writer as it is enqueued and as its simulated
+// disk write completes, on the completing node when the cluster-wide
+// watermark advances, and on every node around the two cold-restart
+// stages (log scan and state rebuild), so the campaign can kill
+// mid-persist and mid-restart.
+inline constexpr const char *kPersistEnqueue = "persist:enqueue";
+inline constexpr const char *kPersistDrain = "persist:drain";
+inline constexpr const char *kPersistWatermark =
+    "persist:watermark-advance";
+inline constexpr const char *kPersistRestartScan = "persist:restart-scan";
+inline constexpr const char *kPersistRebuild = "persist:rebuild";
+
+/** Persistence failpoints, in pipeline/restart order. */
+inline constexpr const char *kPersistPoints[] = {
+    kPersistEnqueue, kPersistDrain, kPersistWatermark,
+    kPersistRestartScan, kPersistRebuild,
+};
+
 /** Standalone points fired outside the release/recovery sweeps. */
 inline constexpr const char *kOtherPoints[] = {
     kInBarrier, kInCompute,

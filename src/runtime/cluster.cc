@@ -6,6 +6,7 @@
 #include "base/panic.hh"
 #include "ftsvm/ft_protocol.hh"
 #include "net/nic.hh"
+#include "runtime/persist_manager.hh"
 #include "svm/base_protocol.hh"
 #include "svm/homing/homing.hh"
 
@@ -94,6 +95,28 @@ Cluster::Cluster(const Config &config)
         ctx.homing = &homing->profiler();
         homing->start();
     }
+
+    if (cfg.persistEnabled) {
+        rsvm_assert_msg(
+            cfg.protocol == ProtocolKind::FaultTolerant,
+            "the persistence tier requires the fault-tolerant protocol: "
+            "it captures checkpoint stores and committed replicas, "
+            "which the base protocol does not maintain");
+        persist = std::make_unique<PersistManager>(ctx);
+        persist->setAliveCheck([this] {
+            for (const auto &t : threads) {
+                ThreadState s = t->sim().state();
+                if (s != ThreadState::Finished && s != ThreadState::Dead)
+                    return true;
+            }
+            return false;
+        });
+        persist->setQuiesceCheck([this] {
+            return (!join || !join->joining()) &&
+                   (!homing || !homing->migrationInFlight());
+        });
+        persist->start();
+    }
 }
 
 Cluster::~Cluster() = default;
@@ -127,17 +150,37 @@ void
 Cluster::run()
 {
     eng.run();
+    // A simultaneous whole-cluster kill can leave nobody alive to run
+    // recovery (and thus nobody to declare the loss): detect the
+    // everything-is-dead outcome here so callers still get a clean,
+    // reason-coded report instead of a silent half-finished run.
+    if (!lost() && !threads.empty()) {
+        bool unfinished = false;
+        for (const auto &t : threads)
+            unfinished |= t->sim().state() != ThreadState::Finished;
+        bool any_alive = false;
+        for (PhysNodeId p = 0; p < cfg.numNodes && !any_alive; ++p)
+            any_alive = net.nodeAlive(p);
+        // Kills landing after the last thread finished are harmless;
+        // only an unfinished application with nobody left is a loss.
+        if (unfinished && !any_alive)
+            clusterLost(LossReason::AllNodesFailed,
+                        "every physical node failed; no survivor to "
+                        "run recovery");
+    }
     if (lost())
-        throw ClusterLostError(lostReason_);
+        throw ClusterLostError(lostCode_, lostReason_);
 }
 
 void
-Cluster::clusterLost(const std::string &reason)
+Cluster::clusterLost(LossReason code, const std::string &detail)
 {
     if (lost())
         return;
-    lostReason_ = reason;
-    RSVM_LOG(LogComp::Recovery, "cluster lost: %s", reason.c_str());
+    lostCode_ = code;
+    lostReason_ = detail;
+    RSVM_LOG(LogComp::Recovery, "cluster lost [%s]: %s",
+             lossReasonName(code), detail.c_str());
     if (homing)
         homing->stop();
     if (detector)
@@ -163,6 +206,131 @@ Cluster::restartThreadFromTop(ThreadId tid)
 }
 
 void
+Cluster::coldRestart()
+{
+    rsvm_assert_msg(persist != nullptr,
+                    "coldRestart() requires Config::persistEnabled");
+    rsvm_assert_msg(!threads.empty(),
+                    "coldRestart() before spawn() makes no sense");
+
+    // Stragglers first: rebuild only ever starts from everything-dead.
+    for (PhysNodeId p = 0; p < cfg.numNodes; ++p) {
+        if (net.nodeAlive(p))
+            killPhysNode(p);
+    }
+
+    // A persist:restart-scan / persist:rebuild failpoint can kill a
+    // node in the middle of the rebuild; the whole attempt is then
+    // abandoned and retried from scratch (the log is untouched until
+    // the attempt succeeds, so retrying is always safe).
+    const int kMaxAttempts = 8;
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+        persist->counters().coldRestartAttempts++;
+
+        // Revive every physical node and reset identity hosting (the
+        // persisted cut is host-agnostic: record placement is volatile
+        // runtime state). Mirrors the membership admit sequence; the
+        // detector is readmitted/restarted last so a failpoint kill
+        // during rebuild cannot cascade into live recovery.
+        for (PhysNodeId p = 0; p < cfg.numNodes; ++p) {
+            net.nic(p).revive();
+            vm.readmit(p);
+            inj.readmit(p);
+        }
+        vm.bumpEpoch();
+        for (NodeId n = 0; n < cfg.numNodes; ++n) {
+            hostMap[n] = n;
+            backupMap[n] = (n + 1) % cfg.numNodes;
+            vm.setHost(n, n);
+        }
+
+        auto allAlive = [this] {
+            for (PhysNodeId p = 0; p < cfg.numNodes; ++p)
+                if (!net.nodeAlive(p))
+                    return false;
+            return true;
+        };
+
+        for (PhysNodeId p = 0; p < cfg.numNodes; ++p)
+            inj.failpoint(p, failpoints::kPersistRestartScan);
+        if (!allAlive()) {
+            RSVM_LOG(LogComp::Recovery,
+                     "cold restart attempt %d died at restart-scan",
+                     attempt);
+            continue;
+        }
+
+        PersistScan scan = persist->scanForRestart();
+        RSVM_LOG(LogComp::Recovery,
+                 "cold restart: watermark %llu, %zu records, "
+                 "%llu partials discarded",
+                 static_cast<unsigned long long>(scan.watermark),
+                 scan.latest.size(),
+                 static_cast<unsigned long long>(scan.partialsDiscarded));
+        persist->rebuildFromScan(scan);
+
+        for (PhysNodeId p = 0; p < cfg.numNodes; ++p)
+            inj.failpoint(p, failpoints::kPersistRebuild);
+        if (!allAlive()) {
+            RSVM_LOG(LogComp::Recovery,
+                     "cold restart attempt %d died at rebuild",
+                     attempt);
+            continue;
+        }
+
+        // Thread restore — same template as recovery's roll-back
+        // (§4.5.3): restore from the checkpoint tagged with the node's
+        // saved interval, restart from the top when none exists, and
+        // leave threads the cut saw finish.
+        for (ThreadId tid = 0; tid < threads.size(); ++tid) {
+            AppThread &t = *threads[tid];
+            NodeId n = t.node();
+            auto *bk = static_cast<FtProtocolNode *>(
+                nodes[backupMap[n]].get());
+            const CkptStore *cs = bk->findStoreFor(n);
+            IntervalNum tag =
+                cs && cs->hasSaved ? cs->savedInterval : 0;
+            const ThreadCkpt *ck =
+                cs ? cs->find(t.sim().id(), tag) : nullptr;
+            if (!ck) {
+                restartThreadFromTop(tid);
+            } else if (ck->finished) {
+                // Finished before the cut: its side effects are in the
+                // restored memory; leave it down.
+            } else {
+                t.sim().restoreFromImage(ck->image);
+            }
+        }
+
+        // Forget the loss and every in-flight recovery remnant.
+        ctx.pendingRecovery = false;
+        ctx.recoveryWaiters.clear();
+        recov->resetAfterColdRestart();
+        lostReason_.clear();
+        lostCode_ = LossReason::None;
+
+        // Runtime services come back last, detector-first readmits so
+        // stale declarations cannot instantly re-fence anyone.
+        for (PhysNodeId p = 0; p < cfg.numNodes; ++p)
+            detector->readmit(p);
+        detector->restart();
+        join->restart();
+        if (homing)
+            homing->restart();
+        persist->resetAfterColdRestart();
+        RSVM_LOG(LogComp::Recovery,
+                 "cold restart complete (attempt %d, watermark %llu)",
+                 attempt,
+                 static_cast<unsigned long long>(persist->watermark()));
+        return;
+    }
+    throw ClusterLostError(
+        LossReason::AllNodesFailed,
+        "cold restart retry budget exhausted: a node died during "
+        "every rebuild attempt");
+}
+
+void
 Cluster::killPhysNode(PhysNodeId phys)
 {
     RSVM_LOG(LogComp::Ft, "killing physical node %u", phys);
@@ -176,6 +344,10 @@ Cluster::killPhysNode(PhysNodeId phys)
                 t->kill();
         }
     }
+    // Records queued or in flight on this node's drainer die with its
+    // volatile buffers.
+    if (persist)
+        persist->onPhysDeath(phys);
 }
 
 Counters
@@ -194,6 +366,8 @@ Cluster::totalCounters() const
         total += detector->counters();
     if (join)
         total += join->counters();
+    if (persist)
+        total += persist->counters();
     total += vm.transportCounters();
     total += net.faults().counters();
     if (cfg.protocol == ProtocolKind::FaultTolerant) {

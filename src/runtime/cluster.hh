@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "base/config.hh"
+#include "base/lossreason.hh"
 #include "base/stats.hh"
 #include "ftsvm/recovery.hh"
 #include "mem/addrspace.hh"
@@ -44,20 +45,30 @@
 namespace rsvm {
 
 class HomingManager;
+class PersistManager;
 
 /**
  * Thrown by Cluster::run() when recovery determined the cluster is
  * genuinely unrecoverable (§4.5): some state's checkpoint store and
  * both page replicas are gone, or fewer than two physical nodes
  * survive. This is the clean, reportable alternative to crashing.
+ * The machine-checkable code() names the loss path; what() carries
+ * the code name plus a human-readable detail string.
  */
 class ClusterLostError : public std::runtime_error
 {
   public:
-    explicit ClusterLostError(const std::string &reason)
-        : std::runtime_error("cluster lost: " + reason)
+    ClusterLostError(LossReason code, const std::string &detail)
+        : std::runtime_error(std::string("cluster lost: [") +
+                             lossReasonName(code) + "] " + detail),
+          code_(code)
     {
     }
+
+    LossReason code() const { return code_; }
+
+  private:
+    LossReason code_;
 };
 
 /** A complete simulated SVM cluster. */
@@ -79,8 +90,21 @@ class Cluster : public ClusterOps
     void run();
 
     /** True once recovery declared the cluster unrecoverable. */
-    bool lost() const { return !lostReason_.empty(); }
+    bool lost() const { return lostCode_ != LossReason::None; }
     const std::string &lostReason() const { return lostReason_; }
+    /** Machine-checkable loss path (None while the cluster lives). */
+    LossReason lostCode() const { return lostCode_; }
+
+    /**
+     * Cold restart after whole-cluster loss (persistence tier). Kills
+     * any straggler nodes, rebuilds directory, homes, locks, page
+     * contents and thread checkpoints from the persisted watermark
+     * epoch, then resumes execution from the restored cut. Requires
+     * Config::persistEnabled; throws ClusterLostError if a mid-restart
+     * kill exhausts the retry budget. After it returns, call run()
+     * again to continue the application to completion.
+     */
+    void coldRestart();
 
     // ---- Accessors -----------------------------------------------------------
     Engine &engine() { return eng; }
@@ -95,6 +119,8 @@ class Cluster : public ClusterOps
     HomingManager *homingManager() { return homing.get(); }
     /** Join/rejoin manager (null for base-protocol clusters). */
     JoinManager *joinManager() { return join.get(); }
+    /** Async persistence tier (null unless Config::persistEnabled). */
+    PersistManager *persistManager() { return persist.get(); }
     const Config &config() const { return cfg; }
     SvmNode &node(NodeId n) { return *nodes[n]; }
     AppThread &appThread(ThreadId t) { return *threads[t]; }
@@ -107,8 +133,17 @@ class Cluster : public ClusterOps
     TimeBreakdown totalBreakdown() const;
     /** Per-thread average breakdown (the paper's bar heights). */
     TimeBreakdown avgBreakdown() const;
-    /** Simulated completion time. */
-    SimTime wallTime() const { return eng.now(); }
+    /**
+     * Simulated application completion time: when the last compute
+     * thread finished. Background persist-drain events may extend
+     * eng.now() past this point; they are deliberately excluded so
+     * wall time is bit-exact with and without the persistence tier.
+     */
+    SimTime wallTime() const
+    {
+        SimTime fin = eng.lastThreadFinish();
+        return fin ? fin : eng.now();
+    }
 
     /** Compute-time inflation factor for a thread on node @p n. */
     double computeInflation(NodeId n) const;
@@ -138,7 +173,7 @@ class Cluster : public ClusterOps
     NodeId backupOf(NodeId node) const override;
     void setBackupOf(NodeId node, NodeId backup) override;
     void paranoidCheck() override;
-    void clusterLost(const std::string &reason) override;
+    void clusterLost(LossReason code, const std::string &detail) override;
 
   private:
     void killPhysNode(PhysNodeId phys);
@@ -157,12 +192,14 @@ class Cluster : public ClusterOps
     std::unique_ptr<HomingManager> homing;
     std::unique_ptr<FailureDetector> detector;
     std::unique_ptr<JoinManager> join;
+    std::unique_ptr<PersistManager> persist;
     std::vector<std::unique_ptr<SvmNode>> nodes;
     std::vector<std::unique_ptr<AppThread>> threads;
     std::vector<PhysNodeId> hostMap;
     std::vector<NodeId> backupMap;
     AppFn appFn;
     std::string lostReason_;
+    LossReason lostCode_ = LossReason::None;
 };
 
 } // namespace rsvm

@@ -63,6 +63,20 @@ class FailureDetector
     /** Stop permanently (cluster lost / teardown). */
     void stop() { stopped_ = true; }
 
+    /**
+     * Resume after a cold restart: fresh leases all around and a new
+     * tick chain. Callers must readmit() each revived node first so
+     * stale declarations do not instantly re-fence the restarted
+     * cluster. The pre-stop tick already fired as a no-op, so this
+     * cannot double-tick.
+     */
+    void
+    restart()
+    {
+        stopped_ = false;
+        start();
+    }
+
     /** True while the detector is the cluster's death authority. */
     bool active() const { return started_ && !stopped_; }
 

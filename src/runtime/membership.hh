@@ -81,6 +81,20 @@ class JoinManager
     /** Stop permanently (cluster lost / teardown); drops the queue. */
     void stop();
 
+    /**
+     * Accept joins again after a cold restart. The queue was dropped
+     * by stop() and any in-flight join died with the cluster, so the
+     * manager restarts idle and empty.
+     */
+    void
+    restart()
+    {
+        stopped_ = false;
+        state_ = State::Idle;
+        pollArmed_ = false;
+        pending_.clear();
+    }
+
     /** True while a join is in flight. */
     bool joining() const { return state_ != State::Idle; }
     /** Joins requested but not yet started. */

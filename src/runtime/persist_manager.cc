@@ -1,0 +1,448 @@
+#include "runtime/persist_manager.hh"
+
+#include <cstring>
+#include <utility>
+
+#include "base/log.hh"
+#include "base/panic.hh"
+#include "ftsvm/ft_protocol.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+
+PersistManager::PersistManager(SvmContext &context)
+    : ctx(context),
+      // Deterministic but decoupled from every protocol draw: the
+      // tier must not consume Engine::rng() numbers, or enabling it
+      // would perturb the application's event stream.
+      diskRng(context.cfg.seed * 0x9e3779b9u + 0x7075u)
+{
+    rsvm_assert_msg(ctx.cfg.protocol == ProtocolKind::FaultTolerant,
+                    "the persistence tier requires the fault-tolerant "
+                    "protocol");
+    nodeSigs.assign(ctx.cfg.numNodes, NodeSig{});
+    pageSigs.assign(ctx.as.numPages(), PageSig{});
+    lockSigs.assign(ctx.locks.numLocks(), LockSig{});
+    queues.resize(ctx.cfg.numNodes);
+    draining.assign(ctx.cfg.numNodes, false);
+    drainGen.assign(ctx.cfg.numNodes, 0);
+}
+
+FtProtocolNode *
+PersistManager::ft(NodeId n) const
+{
+    return static_cast<FtProtocolNode *>(ctx.nodes[n]);
+}
+
+void
+PersistManager::start()
+{
+    ctx.eng.schedule(ctx.cfg.persistEpoch, [this] { tick(); });
+}
+
+bool
+PersistManager::quiescent() const
+{
+    if (ctx.pendingRecovery)
+        return false;
+    for (SvmNode *n : ctx.nodes) {
+        if (n->releaseInProgress())
+            return false;
+    }
+    // Every logical node's host must be alive: records are attributed
+    // to hosts, and a dead-but-undeclared host means a recovery is
+    // about to rewrite the state being captured.
+    for (NodeId n = 0; n < ctx.numNodes(); ++n) {
+        if (!ctx.ops->physAlive(ctx.ops->hostOf(n)))
+            return false;
+    }
+    if (quiesceCheck && !quiesceCheck())
+        return false;
+    return true;
+}
+
+void
+PersistManager::tick()
+{
+    bool alive = aliveCheck ? aliveCheck() : true;
+    if (!alive) {
+        // Application done (or cluster dead): persist the end state
+        // once if a consistent cut is still available, then let the
+        // engine drain — no further ticks.
+        if (!finalDone && !stalled_ && quiescent()) {
+            finalDone = true;
+            capture();
+        }
+        return;
+    }
+    if (stalled_ || !quiescent())
+        stats.persistCapturesSkipped++;
+    else
+        capture();
+    ctx.eng.schedule(ctx.cfg.persistEpoch, [this] { tick(); });
+}
+
+void
+PersistManager::capture()
+{
+    const NodeId num_nodes = ctx.numNodes();
+    const std::uint64_t epoch = nextEpoch;
+    std::vector<PersistRecord> recs;
+
+    // ---- Node states: each node's backup checkpoint store ------------
+    for (NodeId n = 0; n < num_nodes; ++n) {
+        NodeId b = ctx.ops->backupOf(n);
+        const CkptStore *cs = ft(b)->findStoreFor(n);
+        NodeSig cur;
+        cur.seen = true;
+        if (cs) {
+            cur.hasSaved = cs->hasSaved;
+            cur.interval = cs->savedInterval;
+            cur.barrierEpoch = cs->savedBarrierEpoch;
+            cur.ts = cs->savedTs;
+        }
+        NodeSig &old = nodeSigs[n];
+        bool changed = !old.seen || cur.hasSaved != old.hasSaved ||
+                       cur.interval != old.interval ||
+                       cur.barrierEpoch != old.barrierEpoch ||
+                       !(cur.ts == old.ts);
+        old = cur;
+        // A node with no store yet has nothing worth a record; its
+        // absence at restart means "start this node from the top".
+        if (!changed || !cs)
+            continue;
+        auto payload = std::make_shared<PersistedNodeState>();
+        payload->store = *cs;
+        PersistRecord rec;
+        rec.kind = PersistRecordKind::NodeState;
+        rec.epoch = epoch;
+        rec.key = n;
+        rec.writer = ctx.ops->hostOf(b);
+        rec.bytes = payload->store.modelBytes();
+        rec.payload = std::move(payload);
+        recs.push_back(std::move(rec));
+    }
+
+    // ---- Page images: committed bytes + version + home set ------------
+    for (PageId p = 0; p < ctx.as.numPages(); ++p) {
+        NodeId prim = ctx.as.primaryHome(p);
+        FtProtocolNode *pn = ft(prim);
+        HomeInfo *hi = pn->findHomeInfo(p);
+        PageSig cur;
+        cur.seen = true;
+        cur.hasData = hi && hi->committed != nullptr;
+        if (cur.hasData)
+            cur.ver = hi->committedVer;
+        cur.homes = ctx.as.homeSet(p);
+        PageSig &old = pageSigs[p];
+        // First sight of an untouched page sets the signature without
+        // a record: restart-by-omission leaves it fresh, which is what
+        // an uncommitted page is. After that, any change (including a
+        // home move or a data-to-tombstone transition) emits.
+        bool changed = old.seen
+                           ? (cur.hasData != old.hasData ||
+                              !(cur.ver == old.ver) ||
+                              cur.homes != old.homes)
+                           : cur.hasData;
+        old = cur;
+        if (!changed)
+            continue;
+        auto payload = std::make_shared<PersistedPageImage>();
+        payload->hasData = cur.hasData;
+        payload->ver = cur.ver;
+        payload->homes = cur.homes;
+        if (cur.hasData) {
+            const std::byte *src = hi->committed.get();
+            payload->bytes.assign(src, src + ctx.cfg.pageSize);
+        }
+        PersistRecord rec;
+        rec.kind = PersistRecordKind::PageImage;
+        rec.epoch = epoch;
+        rec.key = p;
+        rec.writer = ctx.ops->hostOf(prim);
+        rec.bytes = 64 + payload->homes.size() * 4 +
+                    (cur.hasData
+                         ? ctx.cfg.pageSize + payload->ver.size() * 8
+                         : 0);
+        rec.payload = std::move(payload);
+        recs.push_back(std::move(rec));
+    }
+
+    // ---- Lock images: home slots + timestamp + directory homes --------
+    for (LockId l = 0; l < ctx.locks.numLocks(); ++l) {
+        NodeId prim = ctx.locks.primaryHome(l);
+        NodeId sec = ctx.locks.secondaryHome(l);
+        auto it = ft(prim)->pollLocks.find(l);
+        const PollLockHome *ph =
+            it != ft(prim)->pollLocks.end() ? &it->second : nullptr;
+        LockSig cur;
+        cur.seen = true;
+        cur.materialized = ph != nullptr;
+        if (ph) {
+            cur.slots = ph->slots;
+            cur.ts = ph->ts;
+        }
+        cur.primary = prim;
+        cur.secondary = sec;
+        LockSig &old = lockSigs[l];
+        bool initial_homes = prim == l % num_nodes &&
+                             sec == (l % num_nodes + 1) % num_nodes;
+        bool changed = old.seen
+                           ? (cur.materialized != old.materialized ||
+                              cur.slots != old.slots ||
+                              !(cur.ts == old.ts) ||
+                              cur.primary != old.primary ||
+                              cur.secondary != old.secondary)
+                           : (cur.materialized || !initial_homes);
+        old = cur;
+        if (!changed)
+            continue;
+        auto payload = std::make_shared<PersistedLockImage>();
+        payload->materialized = cur.materialized;
+        payload->slots = cur.slots;
+        payload->ts = cur.ts;
+        payload->primary = prim;
+        payload->secondary = sec;
+        PersistRecord rec;
+        rec.kind = PersistRecordKind::LockImage;
+        rec.epoch = epoch;
+        rec.key = l;
+        rec.writer = ctx.ops->hostOf(prim);
+        rec.bytes = 32 + payload->slots.size() + payload->ts.size() * 8;
+        rec.payload = std::move(payload);
+        recs.push_back(std::move(rec));
+    }
+
+    if (recs.empty())
+        return; // nothing changed; no epoch number consumed
+
+    store.closeEpoch(epoch, recs.size());
+    nextEpoch++;
+    stats.persistEpochsClosed++;
+    RSVM_LOG(LogComp::Ft, "persist: epoch %llu captured %zu records",
+             static_cast<unsigned long long>(epoch), recs.size());
+
+    for (PersistRecord &rec : recs) {
+        stats.persistRecordsAppended++;
+        stats.persistBytesAppended += rec.bytes;
+        stats.persistRecordBytesHist.sample(rec.bytes);
+        PhysNodeId w = rec.writer;
+        if (ctx.injector)
+            ctx.injector->failpoint(w, failpoints::kPersistEnqueue);
+        if (!ctx.ops->physAlive(w)) {
+            // The writer died at (or just before) the enqueue point:
+            // the record is lost with its volatile buffers and this
+            // epoch can never complete.
+            stats.persistRecordsDropped++;
+            stalled_ = true;
+            continue;
+        }
+        enqueue(std::move(rec));
+    }
+}
+
+void
+PersistManager::enqueue(PersistRecord rec)
+{
+    PhysNodeId p = rec.writer;
+    queues[p].push_back(std::move(rec));
+    if (!draining[p])
+        pumpDrain(p);
+}
+
+void
+PersistManager::pumpDrain(PhysNodeId phys)
+{
+    if (queues[phys].empty()) {
+        draining[phys] = false;
+        return;
+    }
+    draining[phys] = true;
+    auto rec = std::make_shared<PersistRecord>(
+        std::move(queues[phys].front()));
+    queues[phys].pop_front();
+
+    SimTime lat = ctx.cfg.persistDiskLatency;
+    if (ctx.cfg.persistDiskBandwidthBytesPerSec > 0) {
+        lat += static_cast<SimTime>(
+            static_cast<double>(rec->bytes) * 1e9 /
+            ctx.cfg.persistDiskBandwidthBytesPerSec);
+    }
+    if (ctx.cfg.persistDiskJitterMax > 0)
+        lat += diskRng.below(
+            static_cast<std::uint64_t>(ctx.cfg.persistDiskJitterMax) + 1);
+
+    std::uint64_t gen = drainGen[phys];
+    ctx.eng.schedule(lat, [this, phys, gen, rec, lat] {
+        if (gen != drainGen[phys])
+            return; // the writer died; the in-flight write is lost
+        stats.persistRecordsDurable++;
+        stats.persistBytesDurable += rec->bytes;
+        stats.persistDrainNsHist.sample(lat);
+        std::uint64_t before = store.watermark();
+        store.appendDurable(std::move(*rec));
+        if (ctx.injector &&
+            ctx.injector->failpoint(phys, failpoints::kPersistDrain))
+            return; // killed: onPhysDeath already reset our queue
+        if (store.watermark() > before) {
+            RSVM_LOG(LogComp::Ft, "persist: watermark -> %llu",
+                     static_cast<unsigned long long>(store.watermark()));
+            if (ctx.injector &&
+                ctx.injector->failpoint(phys,
+                                        failpoints::kPersistWatermark))
+                return;
+        }
+        pumpDrain(phys);
+    });
+}
+
+void
+PersistManager::onPhysDeath(PhysNodeId phys)
+{
+    std::uint64_t dropped = queues[phys].size();
+    if (draining[phys])
+        dropped++; // the in-flight write dies with the node
+    drainGen[phys]++;
+    queues[phys].clear();
+    draining[phys] = false;
+    if (dropped == 0)
+        return;
+    stats.persistRecordsDropped += dropped;
+    stalled_ = true;
+    RSVM_LOG(LogComp::Ft,
+             "persist: node %u died with %llu records pending; "
+             "watermark stalls at %llu",
+             phys, static_cast<unsigned long long>(dropped),
+             static_cast<unsigned long long>(store.watermark()));
+}
+
+// ------------------------------------------------------------ cold restart
+
+PersistScan
+PersistManager::scanForRestart()
+{
+    // Count partials before truncation discards them; re-scan after so
+    // the returned record pointers reference the surviving log only.
+    PersistScan pre = store.scan();
+    stats.persistPartialsDiscarded += pre.partialsDiscarded;
+    store.truncateToWatermark();
+    PersistScan out = store.scan();
+    out.partialsDiscarded = pre.partialsDiscarded;
+    return out;
+}
+
+void
+PersistManager::rebuildFromScan(const PersistScan &scan)
+{
+    static const std::unordered_map<IntervalNum, std::vector<PageId>>
+        kNoPages;
+    const NodeId num_nodes = ctx.numNodes();
+
+    auto find = [&scan](PersistRecordKind kind, std::uint64_t key)
+        -> const PersistRecord * {
+        auto it = scan.latest.find(std::make_pair(kind, key));
+        return it == scan.latest.end() ? nullptr : it->second;
+    };
+
+    // 1. Reset every node to its persisted cut (fresh boot without a
+    //    record: the node never completed a release before the cut).
+    for (NodeId n = 0; n < num_nodes; ++n) {
+        const PersistRecord *rec = find(PersistRecordKind::NodeState, n);
+        const auto *ps =
+            rec ? static_cast<const PersistedNodeState *>(
+                      rec->payload.get())
+                : nullptr;
+        VectorClock ts(ctx.cfg.numNodes);
+        IntervalNum interval = 0;
+        std::uint64_t barrier_epoch = 0;
+        if (ps && ps->store.hasSaved) {
+            ts = ps->store.savedTs;
+            interval = ps->store.savedInterval;
+            barrier_epoch = ps->store.savedBarrierEpoch;
+        }
+        ft(n)->resetForRehost(ts, interval, barrier_epoch,
+                              ps ? ps->store.intervalPages : kNoPages);
+    }
+
+    // 2. Reinstall backup stores under the restored (identity) backup
+    //    assignment — store placement is volatile runtime state, so
+    //    any consistent placement is valid.
+    for (NodeId n = 0; n < num_nodes; ++n) {
+        const PersistRecord *rec = find(PersistRecordKind::NodeState, n);
+        if (!rec)
+            continue;
+        const auto *ps =
+            static_cast<const PersistedNodeState *>(rec->payload.get());
+        ft(ctx.ops->backupOf(n))->storeFor(n) = ps->store;
+    }
+
+    // 3. Locks: directory homes + materialized home state at both
+    //    homes (full-copy installs, like recovery's lock cleanup).
+    for (LockId l = 0; l < ctx.locks.numLocks(); ++l) {
+        const PersistRecord *rec = find(PersistRecordKind::LockImage, l);
+        if (!rec) {
+            ctx.locks.restoreHomes(l, l % num_nodes,
+                                   (l % num_nodes + 1) % num_nodes);
+            continue;
+        }
+        const auto *pl =
+            static_cast<const PersistedLockImage *>(rec->payload.get());
+        ctx.locks.restoreHomes(l, pl->primary, pl->secondary);
+        if (!pl->materialized)
+            continue;
+        PollLockHome home(ctx.cfg.numNodes);
+        home.slots = pl->slots;
+        home.ts = pl->ts;
+        ft(pl->primary)->pollHome(l) = home;
+        ft(pl->secondary)->pollHome(l) = home;
+    }
+
+    // 4. Pages: home directory + committed bytes at the primary and
+    //    tentative mirrors at the secondaries. Pages without a record
+    //    stay fresh (never committed at any persisted cut); their
+    //    current home assignment only affects timing, not results.
+    for (PageId p = 0; p < ctx.as.numPages(); ++p) {
+        const PersistRecord *rec = find(PersistRecordKind::PageImage, p);
+        if (!rec)
+            continue;
+        const auto *pi =
+            static_cast<const PersistedPageImage *>(rec->payload.get());
+        if (!pi->homes.empty())
+            ctx.as.restoreHomeSet(p, pi->homes);
+        if (!pi->hasData)
+            continue;
+        NodeId prim = ctx.as.primaryHome(p);
+        FtProtocolNode *pn = ft(prim);
+        std::memcpy(pn->committedData(p), pi->bytes.data(),
+                    ctx.cfg.pageSize);
+        pn->homeInfo(p).committedVer = pi->ver;
+        for (NodeId s : ctx.as.secondaryHomes(p)) {
+            FtProtocolNode *sn = ft(s);
+            std::memcpy(sn->tentativeData(p), pi->bytes.data(),
+                        ctx.cfg.pageSize);
+            sn->homeInfo(p).tentativeVer = pi->ver;
+        }
+    }
+}
+
+void
+PersistManager::resetAfterColdRestart()
+{
+    stats.coldRestarts++;
+    stalled_ = false;
+    finalDone = false;
+    nextEpoch = store.watermark() + 1;
+    for (auto &q : queues)
+        q.clear();
+    for (auto &g : drainGen)
+        g++; // neuter anything still in flight from the old world
+    std::fill(draining.begin(), draining.end(), false);
+    // Clearing the signatures makes the next capture a full snapshot:
+    // redundant against the restored log, but self-evidently correct.
+    nodeSigs.assign(ctx.cfg.numNodes, NodeSig{});
+    pageSigs.assign(ctx.as.numPages(), PageSig{});
+    lockSigs.assign(ctx.locks.numLocks(), LockSig{});
+    start();
+}
+
+} // namespace rsvm

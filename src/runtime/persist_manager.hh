@@ -1,0 +1,216 @@
+/**
+ * @file
+ * The persistence manager: async epoch durability off the critical
+ * path, and the rebuild half of cold restart.
+ *
+ * The paper's protocol keeps every replica in volatile memory: a
+ * whole-cluster loss is unrecoverable by design ("no stable storage").
+ * This optional tier (Config::persistEnabled) closes that gap without
+ * touching the protocol's critical path:
+ *
+ *  - every Config::persistEpoch, at a release-quiescent engine
+ *    instant (no release in flight, no recovery pending, no join or
+ *    migration mid-handoff), the manager *captures* a consistent cut:
+ *    each node's backup checkpoint store, each page's committed bytes
+ *    + version + home set, each lock's home slots + directory homes.
+ *    Capture is delta-compressed — a record is emitted only when its
+ *    signature changed since the last emission;
+ *  - emitted records are handed to per-physical-node FIFO drain
+ *    queues feeding a simulated log-structured disk (seeded, private
+ *    jitter RNG — never the engine RNG). Releases never block on the
+ *    store: capture charges no thread time, posts no messages and
+ *    mutates no protocol state, so with the tier enabled the app's
+ *    event stream is bit-exactly the persistence-off one;
+ *  - the PersistLog watermark advances only when every record of
+ *    every epoch up to it is durable. A writer dying with records
+ *    queued or in flight drops them (persistRecordsDropped) and
+ *    stalls the watermark below that epoch forever — restart then
+ *    discards everything past the watermark as partial.
+ *
+ * Why a release-quiescent cut is consistent (§4.5 argument): with no
+ * release in flight, every committed copy contains exactly the
+ * intervals each origin's backup has saved, so {checkpoint stores +
+ * committed pages + lock homes} at one instant form a causally
+ * consistent snapshot; re-execution from the restored checkpoints is
+ * idempotent against the restored memory.
+ *
+ * Failpoints: persist:enqueue (record handed to its writer's queue),
+ * persist:drain (simulated write completed), persist:watermark-advance
+ * (this write completed an epoch prefix). The restart-stage points
+ * (persist:restart-scan, persist:rebuild) are fired by
+ * Cluster::coldRestart.
+ */
+
+#ifndef RSVM_RUNTIME_PERSIST_MANAGER_HH
+#define RSVM_RUNTIME_PERSIST_MANAGER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "base/persist.hh"
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "ftsvm/checkpoint.hh"
+#include "svm/protocol.hh"
+#include "svm/timestamp.hh"
+
+namespace rsvm {
+
+class FtProtocolNode;
+
+/** Persisted payload: one node's backup checkpoint store at the cut. */
+struct PersistedNodeState
+{
+    CkptStore store;
+};
+
+/** Persisted payload: one page's committed image at the cut. */
+struct PersistedPageImage
+{
+    /** A committed copy existed (false = tombstone: homes only). */
+    bool hasData = false;
+    std::vector<std::byte> bytes;
+    VectorClock ver;
+    /** Home set at the cut, primary first. */
+    std::vector<NodeId> homes;
+};
+
+/** Persisted payload: one lock's home state + directory at the cut. */
+struct PersistedLockImage
+{
+    /** A poll-lock home was materialized at the primary. */
+    bool materialized = false;
+    std::vector<std::uint8_t> slots;
+    VectorClock ts;
+    NodeId primary = 0;
+    NodeId secondary = 0;
+};
+
+/** Captures epochs, drains them to the simulated disk, rebuilds. */
+class PersistManager
+{
+  public:
+    explicit PersistManager(SvmContext &context);
+
+    /** Engine-liveness gate (same contract as the failure detector). */
+    void setAliveCheck(std::function<bool()> check)
+    { aliveCheck = std::move(check); }
+
+    /** Extra runtime quiescence (no join / migration in flight). */
+    void setQuiesceCheck(std::function<bool()> check)
+    { quiesceCheck = std::move(check); }
+
+    /** Schedule the first capture tick. */
+    void start();
+
+    /** The simulated store (tests, campaign reporting). */
+    const PersistLog &log() const { return store; }
+    /** Cluster-wide fully-persisted epoch. */
+    std::uint64_t watermark() const { return store.watermark(); }
+    /**
+     * True once records were lost to a writer death: the watermark can
+     * never advance past their epoch, so captures stop (skips are
+     * still counted) until a cold restart resets the tier.
+     */
+    bool stalled() const { return stalled_; }
+
+    /**
+     * A physical node died: its queued and in-flight records are lost
+     * (volatile buffers), stalling the watermark below their epoch.
+     * Installed by the runtime's kill path.
+     */
+    void onPhysDeath(PhysNodeId phys);
+
+    Counters &counters() { return stats; }
+    const Counters &counters() const { return stats; }
+
+    // ---- Cold restart ----------------------------------------------------
+
+    /**
+     * Restart step 1: count and discard durable records past the
+     * watermark (partial epochs are never replayed), then fold the
+     * surviving log into latest-record-per-key state. The returned
+     * record pointers stay valid until capturing resumes.
+     */
+    PersistScan scanForRestart();
+
+    /**
+     * Restart step 2: rebuild protocol state from a scan — reset every
+     * node to its persisted cut (or a fresh boot when no record
+     * exists), reinstall backup stores, lock directory + homes, and
+     * committed/tentative page copies. Thread restore and runtime
+     * wiring (hosts, NICs, detector) are the Cluster's job.
+     */
+    void rebuildFromScan(const PersistScan &scan);
+
+    /**
+     * Restart step 3: forget volatile tier state (queues, signatures,
+     * the stall) and resume capturing after the restored cut.
+     */
+    void resetAfterColdRestart();
+
+  private:
+    struct NodeSig
+    {
+        bool seen = false;
+        bool hasSaved = false;
+        IntervalNum interval = 0;
+        std::uint64_t barrierEpoch = 0;
+        VectorClock ts;
+    };
+    struct PageSig
+    {
+        bool seen = false;
+        bool hasData = false;
+        VectorClock ver;
+        std::vector<NodeId> homes;
+    };
+    struct LockSig
+    {
+        bool seen = false;
+        bool materialized = false;
+        std::vector<std::uint8_t> slots;
+        VectorClock ts;
+        NodeId primary = 0;
+        NodeId secondary = 0;
+    };
+
+    void tick();
+    bool quiescent() const;
+    void capture();
+    void enqueue(PersistRecord rec);
+    /** Start (or continue) the drain chain of one physical node. */
+    void pumpDrain(PhysNodeId phys);
+    FtProtocolNode *ft(NodeId n) const;
+
+    SvmContext &ctx;
+    PersistLog store;
+    /** Disk-latency jitter; never the engine RNG (bit-exactness). */
+    Rng diskRng;
+    std::function<bool()> aliveCheck;
+    std::function<bool()> quiesceCheck;
+    Counters stats;
+
+    bool stalled_ = false;
+    /** The post-application final capture was taken. */
+    bool finalDone = false;
+    std::uint64_t nextEpoch = 1;
+
+    std::vector<NodeSig> nodeSigs;
+    std::vector<PageSig> pageSigs;
+    std::vector<LockSig> lockSigs;
+
+    /** Per-physical-node FIFO drain queues. */
+    std::vector<std::deque<PersistRecord>> queues;
+    /** A drain event is in flight for this physical node. */
+    std::vector<bool> draining;
+    /** Bumped on death/restart to neuter in-flight drain events. */
+    std::vector<std::uint64_t> drainGen;
+};
+
+} // namespace rsvm
+
+#endif // RSVM_RUNTIME_PERSIST_MANAGER_HH

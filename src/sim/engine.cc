@@ -51,6 +51,11 @@ Engine::scheduleResume(SimThread &thread)
         running = t;
         t->fib.resume(engineCtx);
         running = nullptr;
+        // Stamped here — on the engine stack, after the fiber yielded
+        // back — so completion tracking cannot change any frame a
+        // checkpoint stack image captures.
+        if (t->state() == ThreadState::Finished)
+            lastFinish = currentTime;
     });
 }
 

@@ -73,6 +73,16 @@ class Engine
     /** Count of threads in the given state. */
     std::size_t countThreads(ThreadState state) const;
 
+    /** Events still queued (0 after a clean drain; leak check). */
+    std::size_t pendingEvents() const { return events.size(); }
+
+    /**
+     * Time the most recent thread entered Finished (0 if none has).
+     * Stamped on the engine stack, never inside a fiber, so tracking
+     * it cannot perturb checkpoint stack images.
+     */
+    SimTime lastThreadFinish() const { return lastFinish; }
+
   private:
     friend class SimThread;
 
@@ -97,6 +107,7 @@ class Engine
 
     Config cfg;
     SimTime currentTime = 0;
+    SimTime lastFinish = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t dispatchCount = 0;
     std::priority_queue<Event, std::vector<Event>, std::greater<>> events;

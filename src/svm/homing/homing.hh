@@ -76,6 +76,24 @@ class HomingManager
      */
     void stop() { stopped = true; }
 
+    /**
+     * Resume ticking after a cold restart un-lost the cluster. Any
+     * pre-stop tick event has already fired as a no-op, so scheduling
+     * a fresh one cannot double-tick.
+     */
+    void
+    restart()
+    {
+        stopped = false;
+        quiesceRetries = 0;
+        epochCost = 0;
+        lockedByUs.clear();
+        start();
+    }
+
+    /** True while an epoch's handoff locks are still held. */
+    bool migrationInFlight() const { return !lockedByUs.empty(); }
+
     /** The profiler the protocol hot paths feed. */
     HomingProfiler &profiler() { return prof; }
 

@@ -113,6 +113,18 @@ class LockDirectory
         const std::function<bool(NodeId candidate, NodeId other)> &eligible,
         const std::function<void(LockId lock, NodeId survivor)> &moved);
 
+    /**
+     * Install a persisted home assignment verbatim (cold restart).
+     * Bypasses the eligibility contract: the persistence tier recorded
+     * an assignment that was valid at the watermark cut.
+     */
+    void
+    restoreHomes(LockId l, NodeId prim, NodeId sec)
+    {
+        primary[l] = prim;
+        secondary[l] = sec;
+    }
+
   private:
     NodeId nextEligible(NodeId after, NodeId other,
                         const std::function<bool(NodeId, NodeId)> &

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "base/config.hh"
+#include "base/lossreason.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "mem/addrspace.hh"
@@ -77,11 +78,16 @@ class ClusterOps
     /**
      * Recovery determined the cluster cannot continue (checkpoint
      * store and both replicas of some state are gone, or too few
-     * physical nodes survive). The runtime records the reason, tears
-     * the remaining threads down and reports the loss to the caller
-     * of run() — it must not assert or crash.
+     * physical nodes survive). The runtime records the reason code
+     * and detail, tears the remaining threads down and reports the
+     * loss to the caller of run() — it must not assert or crash.
      */
-    virtual void clusterLost(const std::string &reason) { (void)reason; }
+    virtual void
+    clusterLost(LossReason code, const std::string &detail)
+    {
+        (void)code;
+        (void)detail;
+    }
 };
 
 /** Cluster-wide state shared by every SvmNode. */
@@ -299,6 +305,7 @@ class SvmNode
   protected:
     friend class RecoveryManager;
     friend class JoinManager;
+    friend class PersistManager;
 
     // ---- Page access machinery ---------------------------------------------
 

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Declared-loss paths: every way recovery can conclude the cluster is
+ * unrecoverable must produce a clean ClusterLostError carrying the
+ * exact machine-checkable LossReason for that path — and must leave
+ * the engine fully drained (no leaked events), because CI runs these
+ * under asan and a leaked event is a latent use-after-free.
+ *
+ * Paths covered:
+ *  - TooFewHosts: survivors span fewer than two physical nodes;
+ *  - ReplicasExhausted, k=1 variant: a sole-replica (scratch) page's
+ *    only home dies while survivors reference it;
+ *  - ReplicasExhausted, k=2 variant: both homes of a page die at once
+ *    (idle homes, so no earlier path preempts the declaration);
+ *  - StaleCheckpointStore (backup-chain exhaustion): a node and its
+ *    backup die together, destroying the only store that could roll
+ *    the node back below what survivors already observed;
+ *  - LockStateLost: both homes of a contended lock die at once;
+ *  - AllNodesFailed: simultaneous whole-cluster kill, declared by the
+ *    runtime's nobody-left fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/failure.hh"
+#include "runtime/cluster.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+namespace {
+
+Config
+ftConfig(std::uint32_t nodes = 4, std::uint32_t tpn = 1)
+{
+    Config cfg;
+    cfg.protocol = ProtocolKind::FaultTolerant;
+    cfg.numNodes = nodes;
+    cfg.threadsPerNode = tpn;
+    cfg.sharedBytes = 16u << 20;
+    return cfg;
+}
+
+struct RunOutcome
+{
+    bool lost = false;
+    LossReason code = LossReason::None;
+    std::string reason;
+};
+
+RunOutcome
+run(Cluster &cluster)
+{
+    RunOutcome out;
+    try {
+        cluster.run();
+    } catch (const ClusterLostError &e) {
+        out.lost = true;
+        out.code = e.code();
+        out.reason = e.what();
+    }
+    return out;
+}
+
+void
+expectCleanLoss(Cluster &cluster, const RunOutcome &out,
+                LossReason expected)
+{
+    ASSERT_TRUE(out.lost) << "expected a declared loss";
+    EXPECT_EQ(out.code, expected) << out.reason;
+    // what() leads with the reason-code name.
+    EXPECT_NE(out.reason.find(lossReasonName(expected)),
+              std::string::npos)
+        << out.reason;
+    EXPECT_EQ(cluster.engine().pendingEvents(), 0u)
+        << "declared loss leaked engine events";
+}
+
+TEST(LossPaths, TooFewHosts)
+{
+    // A two-node cluster losing one node cannot place two replicas of
+    // anything on distinct hosts: recovery must declare, not limp on.
+    Config cfg = ftConfig(2);
+    Cluster cluster(cfg);
+    Addr counter = cluster.mem().alloc(8);
+    cluster.injector().killAt(1, 2 * kMillisecond);
+    cluster.spawn([counter](AppThread &t) {
+        for (int i = 0; i < 60; ++i) {
+            t.lock(1);
+            std::uint64_t v = t.get<std::uint64_t>(counter);
+            t.put<std::uint64_t>(counter, v + 1);
+            t.unlock(1);
+            t.compute(20 * kMicrosecond);
+        }
+    });
+    RunOutcome out = run(cluster);
+    expectCleanLoss(cluster, out, LossReason::TooFewHosts);
+}
+
+TEST(LossPaths, SoleReplicaPageDeathIsReplicasExhausted)
+{
+    // A k = 1 page lives only at its home (node 2); when that host
+    // dies, survivors that referenced the page have nothing to rebuild
+    // from. The k = 1 contract: scratch data may die with its home —
+    // but referencing it afterwards is a reasoned loss, not a crash.
+    Config cfg = ftConfig(4);
+    Cluster cluster(cfg);
+    AddressSpace &as = cluster.mem();
+    Addr counter = as.allocPageAligned(cfg.pageSize);
+    as.setPrimaryHome(as.pageOf(counter), 2);
+    as.setReplicationDegree(as.pageOf(counter), 1);
+    cluster.injector().killAt(2, 2 * kMillisecond);
+    cluster.spawn([counter](AppThread &t) {
+        for (int i = 0; i < 60; ++i) {
+            t.lock(1);
+            std::uint64_t v = t.get<std::uint64_t>(counter);
+            t.put<std::uint64_t>(counter, v + 1);
+            t.unlock(1);
+            t.compute(20 * kMicrosecond);
+        }
+    });
+    RunOutcome out = run(cluster);
+    expectCleanLoss(cluster, out, LossReason::ReplicasExhausted);
+}
+
+TEST(LossPaths, BothHomesDeadIsReplicasExhausted)
+{
+    // The k = 2 exhaustion: the page's primary (0) and secondary (1)
+    // die simultaneously. Only node 3 ever writes, so the dead nodes
+    // have no committed intervals and no earlier declaration (store
+    // or host checks) can preempt the page scan.
+    Config cfg = ftConfig(4);
+    Cluster cluster(cfg);
+    AddressSpace &as = cluster.mem();
+    Addr counter = as.allocPageAligned(cfg.pageSize);
+    as.setPrimaryHome(as.pageOf(counter), 0);
+    cluster.injector().killAt(0, 2 * kMillisecond);
+    cluster.injector().killAt(1, 2 * kMillisecond);
+    cluster.spawn([counter](AppThread &t) {
+        if (t.node() != 3) {
+            t.compute(10 * kMillisecond);
+            return;
+        }
+        for (int i = 0; i < 120; ++i) {
+            t.lock(3); // lock 3 homes at 3 (primary) and 0 (secondary)
+            std::uint64_t v = t.get<std::uint64_t>(counter);
+            t.put<std::uint64_t>(counter, v + 1);
+            t.unlock(3);
+            t.compute(20 * kMicrosecond);
+        }
+    });
+    RunOutcome out = run(cluster);
+    expectCleanLoss(cluster, out, LossReason::ReplicasExhausted);
+}
+
+TEST(LossPaths, BackupChainExhaustionIsStaleCheckpointStore)
+{
+    // Node 2 and its backup node 3 die together: node 2's checkpoint
+    // store has no surviving replica, yet nodes 0/1 observed committed
+    // intervals of node 2 that a from-scratch restart of it would
+    // un-happen. That contradiction is the stale-store declaration.
+    Config cfg = ftConfig(4);
+    Cluster cluster(cfg);
+    Addr counter = cluster.mem().alloc(8);
+    cluster.injector().killAt(2, 2 * kMillisecond);
+    cluster.injector().killAt(3, 2 * kMillisecond);
+    cluster.spawn([counter](AppThread &t) {
+        for (int i = 0; i < 60; ++i) {
+            t.lock(1);
+            std::uint64_t v = t.get<std::uint64_t>(counter);
+            t.put<std::uint64_t>(counter, v + 1);
+            t.unlock(1);
+            t.compute(20 * kMicrosecond);
+        }
+    });
+    RunOutcome out = run(cluster);
+    expectCleanLoss(cluster, out, LossReason::StaleCheckpointStore);
+}
+
+TEST(LossPaths, BothLockHomesDeadIsLockStateLost)
+{
+    // Lock 1's homes are nodes 1 (primary) and 2 (secondary); both die
+    // while nodes 0 and 3 contend on it. The dead nodes never release
+    // anything (no committed intervals, trivially fresh stores) and
+    // the counter page is homed on survivors, so the lock scan is the
+    // first — and only — path that can declare.
+    Config cfg = ftConfig(4);
+    Cluster cluster(cfg);
+    AddressSpace &as = cluster.mem();
+    Addr counter = as.allocPageAligned(cfg.pageSize);
+    as.setPrimaryHome(as.pageOf(counter), 3);
+    cluster.injector().killAt(1, 2 * kMillisecond);
+    cluster.injector().killAt(2, 2 * kMillisecond);
+    cluster.spawn([counter](AppThread &t) {
+        if (t.node() == 1 || t.node() == 2) {
+            t.compute(10 * kMillisecond);
+            return;
+        }
+        for (int i = 0; i < 120; ++i) {
+            t.lock(1);
+            std::uint64_t v = t.get<std::uint64_t>(counter);
+            t.put<std::uint64_t>(counter, v + 1);
+            t.unlock(1);
+            t.compute(5 * kMicrosecond);
+        }
+    });
+    RunOutcome out = run(cluster);
+    expectCleanLoss(cluster, out, LossReason::LockStateLost);
+}
+
+TEST(LossPaths, SimultaneousTotalLossIsAllNodesFailed)
+{
+    Config cfg = ftConfig(4);
+    Cluster cluster(cfg);
+    Addr counter = cluster.mem().alloc(8);
+    for (PhysNodeId p = 0; p < cfg.numNodes; ++p)
+        cluster.injector().killAt(p, 2 * kMillisecond);
+    cluster.spawn([counter](AppThread &t) {
+        for (int i = 0; i < 60; ++i) {
+            t.lock(1);
+            std::uint64_t v = t.get<std::uint64_t>(counter);
+            t.put<std::uint64_t>(counter, v + 1);
+            t.unlock(1);
+            t.compute(20 * kMicrosecond);
+        }
+    });
+    RunOutcome out = run(cluster);
+    expectCleanLoss(cluster, out, LossReason::AllNodesFailed);
+}
+
+} // namespace
+} // namespace rsvm

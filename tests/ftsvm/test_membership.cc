@@ -46,6 +46,7 @@ struct RunOutcome
 {
     std::uint64_t value = 0;
     bool lost = false;
+    LossReason code = LossReason::None;
     std::string reason;
 };
 
@@ -69,6 +70,7 @@ runCounter(Cluster &cluster, int iters)
         cluster.run();
     } catch (const ClusterLostError &e) {
         out.lost = true;
+        out.code = e.code();
         out.reason = e.what();
         return out;
     }
@@ -290,6 +292,7 @@ INSTANTIATE_TEST_SUITE_P(K, ReplicationSweep,
 struct SliceOutcome
 {
     bool lost = false;
+    LossReason code = LossReason::None;
     std::string reason;
 };
 
@@ -324,6 +327,7 @@ runSlices(Cluster &cluster, Addr *arr_out)
         cluster.run();
     } catch (const ClusterLostError &e) {
         out.lost = true;
+        out.code = e.code();
         out.reason = e.what();
     }
     return out;
@@ -342,6 +346,7 @@ TEST(ReplicationDegree, SoleReplicaDeathIsCleanLossAtKOne)
     ASSERT_TRUE(out.lost)
         << "a referenced k=1 page lost its only home, but the "
            "cluster claims it recovered";
+    EXPECT_EQ(out.code, LossReason::ReplicasExhausted) << out.reason;
     EXPECT_NE(out.reason.find("gone"), std::string::npos)
         << out.reason;
 }
@@ -360,6 +365,7 @@ TEST(ReplicationDegree, AdjacentDoubleKillDestroysKTwoPages)
     Addr arr = 0;
     SliceOutcome out = runSlices(cluster, &arr);
     ASSERT_TRUE(out.lost);
+    EXPECT_EQ(out.code, LossReason::ReplicasExhausted) << out.reason;
     EXPECT_NE(out.reason.find("page"), std::string::npos)
         << out.reason;
 }

@@ -52,6 +52,7 @@ struct RunOutcome
     std::uint64_t counter = 0;
     std::vector<std::uint64_t> cells;
     bool lost = false;
+    LossReason code = LossReason::None;
     std::string reason;
 };
 
@@ -99,6 +100,7 @@ runMisHomed(Cluster &cluster, int iters)
         cluster.run();
     } catch (const ClusterLostError &e) {
         out.lost = true;
+        out.code = e.code();
         out.reason = e.what();
         return out;
     }
@@ -224,6 +226,7 @@ TEST(MigrationDoubleKill, CommitThenRecoveryResume)
         EXPECT_EQ(cluster.injector().killed().size(), 2u)
             << "declared lost without the double kill: " << out.reason;
         EXPECT_FALSE(out.reason.empty());
+        EXPECT_NE(out.code, LossReason::None) << out.reason;
         return;
     }
     expectExact(out, cfg, iters);
@@ -249,6 +252,7 @@ TEST(MigrationDoubleKill, ReleaseDeathThenTransferDeath)
         EXPECT_EQ(cluster.injector().killed().size(), 2u)
             << "declared lost without the double kill: " << out.reason;
         EXPECT_FALSE(out.reason.empty());
+        EXPECT_NE(out.code, LossReason::None) << out.reason;
         return;
     }
     expectExact(out, cfg, iters);

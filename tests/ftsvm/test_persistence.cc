@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Persistence-tier tests (base/persist + runtime/persist_manager):
+ *
+ *  - the tier is OFF the critical path: enabling it must leave wall
+ *    time, the release-latency histogram and the final memory image
+ *    bit-exactly identical to a persistence-off run;
+ *  - whole-cluster loss with the tier enabled cold-restarts from the
+ *    durable watermark and finishes bit-exact (simultaneous and
+ *    staggered kills, and with the restart itself under failpoint
+ *    fire);
+ *  - a writer death with records queued stalls the watermark forever
+ *    (dropped records, skipped captures) and the stalled log still
+ *    restores correctly — partial epochs are discarded, never
+ *    replayed;
+ *  - without the tier the same total loss is a clean, reason-coded
+ *    ClusterLostError with no event leaked in the engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/failure.hh"
+#include "runtime/cluster.hh"
+#include "runtime/persist_manager.hh"
+#include "sim/engine.hh"
+
+namespace rsvm {
+namespace {
+
+Config
+ftConfig(std::uint32_t nodes = 4, std::uint32_t tpn = 1)
+{
+    Config cfg;
+    cfg.protocol = ProtocolKind::FaultTolerant;
+    cfg.numNodes = nodes;
+    cfg.threadsPerNode = tpn;
+    cfg.sharedBytes = 16u << 20;
+    return cfg;
+}
+
+Config
+persistConfig(std::uint32_t nodes = 4, std::uint32_t tpn = 1)
+{
+    Config cfg = ftConfig(nodes, tpn);
+    cfg.persistEnabled = true;
+    cfg.persistEpoch = 500 * kMicrosecond;
+    return cfg;
+}
+
+struct RunOutcome
+{
+    std::uint64_t value = 0;
+    bool lost = false;
+    LossReason code = LossReason::None;
+    std::string reason;
+};
+
+/** Lock-counter workload; every thread runs @p iters increments. */
+RunOutcome
+runCounter(Cluster &cluster, Addr counter, int iters)
+{
+    cluster.spawn([counter, iters](AppThread &t) {
+        for (int i = 0; i < iters; ++i) {
+            t.lock(1);
+            std::uint64_t v = t.get<std::uint64_t>(counter);
+            t.compute(3 * kMicrosecond);
+            t.put<std::uint64_t>(counter, v + 1);
+            t.unlock(1);
+            t.compute(20 * kMicrosecond);
+        }
+        t.barrier();
+    });
+    RunOutcome out;
+    try {
+        cluster.run();
+    } catch (const ClusterLostError &e) {
+        out.lost = true;
+        out.code = e.code();
+        out.reason = e.what();
+        return out;
+    }
+    cluster.debugRead(counter, &out.value, 8);
+    return out;
+}
+
+// ---- Off the critical path -------------------------------------------
+
+TEST(Persistence, TierIsBitExactlyOffTheCriticalPath)
+{
+    // Same seed, same workload, tier off vs on: the application's
+    // event stream must be untouched — identical wall time, identical
+    // release-phase latency totals and histogram, identical result.
+    const int kIters = 60;
+    Config off_cfg = ftConfig();
+    Cluster off(off_cfg);
+    Addr c_off = off.mem().alloc(8);
+    RunOutcome r_off = runCounter(off, c_off, kIters);
+    ASSERT_FALSE(r_off.lost) << r_off.reason;
+
+    Config on_cfg = persistConfig();
+    Cluster on(on_cfg);
+    Addr c_on = on.mem().alloc(8);
+    ASSERT_EQ(c_off, c_on);
+    RunOutcome r_on = runCounter(on, c_on, kIters);
+    ASSERT_FALSE(r_on.lost) << r_on.reason;
+
+    EXPECT_EQ(r_off.value, r_on.value);
+    EXPECT_EQ(off.wallTime(), on.wallTime())
+        << "persistence charged simulated time to the application";
+
+    Counters c0 = off.totalCounters();
+    Counters c1 = on.totalCounters();
+    EXPECT_EQ(c0.phase1WallNs, c1.phase1WallNs);
+    EXPECT_EQ(c0.phase2WallNs, c1.phase2WallNs);
+    EXPECT_EQ(c0.phaseWallHist.count(), c1.phaseWallHist.count());
+    EXPECT_EQ(c0.phaseWallHist.sum(), c1.phaseWallHist.sum());
+    EXPECT_EQ(c0.phaseWallHist.min(), c1.phaseWallHist.min());
+    EXPECT_EQ(c0.phaseWallHist.max(), c1.phaseWallHist.max());
+
+    // ... and the tier itself must have actually worked meanwhile.
+    PersistManager *pm = on.persistManager();
+    ASSERT_NE(pm, nullptr);
+    EXPECT_FALSE(pm->stalled());
+    EXPECT_GT(pm->watermark(), 0u);
+    EXPECT_GT(c1.persistEpochsClosed, 0u);
+    EXPECT_GT(c1.persistRecordsDurable, 0u);
+    EXPECT_EQ(c1.persistRecordsDropped, 0u);
+    EXPECT_EQ(off.persistManager(), nullptr);
+}
+
+// ---- Cold restart ----------------------------------------------------
+
+TEST(Persistence, ColdRestartAfterSimultaneousTotalLoss)
+{
+    // Reference: the same workload, no faults.
+    Config ref_cfg = persistConfig();
+    Cluster ref(ref_cfg);
+    Addr c_ref = ref.mem().alloc(8);
+    RunOutcome r_ref = runCounter(ref, c_ref, 60);
+    ASSERT_FALSE(r_ref.lost) << r_ref.reason;
+
+    Config cfg = persistConfig();
+    Cluster cluster(cfg);
+    Addr counter = cluster.mem().alloc(8);
+    for (PhysNodeId p = 0; p < cfg.numNodes; ++p)
+        cluster.injector().killAt(p, 2 * kMillisecond);
+    RunOutcome out = runCounter(cluster, counter, 60);
+    ASSERT_TRUE(out.lost) << "kill-all did not lose the cluster";
+    EXPECT_EQ(out.code, LossReason::AllNodesFailed) << out.reason;
+
+    cluster.coldRestart();
+    cluster.run();
+
+    std::uint64_t value = 0;
+    cluster.debugRead(counter, &value, 8);
+    EXPECT_EQ(value, r_ref.value) << "restored run diverged";
+    Counters c = cluster.totalCounters();
+    EXPECT_EQ(c.coldRestarts, 1u);
+    EXPECT_EQ(c.coldRestartAttempts, 1u);
+    EXPECT_EQ(cluster.checkReplicaConsistency(), 0u);
+}
+
+TEST(Persistence, ColdRestartAfterStaggeredTotalLoss)
+{
+    // Nodes die 100 us apart: the tail deaths land while earlier ones
+    // are mid-recovery, so the loss is declared by a live node (not
+    // the all-dead fallback), and the watermark likely stalls with
+    // records dropped. Restore must still be exact.
+    Config cfg = persistConfig();
+    Cluster cluster(cfg);
+    Addr counter = cluster.mem().alloc(8);
+    for (PhysNodeId p = 0; p < cfg.numNodes; ++p)
+        cluster.injector().killAt(
+            p, 2 * kMillisecond + p * 100 * kMicrosecond);
+    RunOutcome out = runCounter(cluster, counter, 60);
+    ASSERT_TRUE(out.lost) << "kill-all did not lose the cluster";
+    EXPECT_NE(out.code, LossReason::None);
+
+    cluster.coldRestart();
+    cluster.run();
+
+    std::uint64_t value = 0;
+    cluster.debugRead(counter, &value, 8);
+    EXPECT_EQ(value, 60u * cfg.totalThreads());
+    EXPECT_EQ(cluster.totalCounters().coldRestarts, 1u);
+}
+
+TEST(Persistence, RestartRetriesWhenKilledMidRebuild)
+{
+    // A node dies at the persist:rebuild failpoint inside the first
+    // restart attempt; the attempt must be abandoned and retried, and
+    // the second attempt must restore exactly.
+    Config cfg = persistConfig();
+    Cluster cluster(cfg);
+    Addr counter = cluster.mem().alloc(8);
+    for (PhysNodeId p = 0; p < cfg.numNodes; ++p)
+        cluster.injector().killAt(p, 2 * kMillisecond);
+    cluster.injector().armFailpoint(1, failpoints::kPersistRebuild, 1);
+    RunOutcome out = runCounter(cluster, counter, 60);
+    ASSERT_TRUE(out.lost);
+
+    cluster.coldRestart();
+    cluster.run();
+
+    std::uint64_t value = 0;
+    cluster.debugRead(counter, &value, 8);
+    EXPECT_EQ(value, 60u * cfg.totalThreads());
+    Counters c = cluster.totalCounters();
+    EXPECT_EQ(c.coldRestarts, 1u);
+    EXPECT_GE(c.coldRestartAttempts, 2u);
+}
+
+// ---- Stall semantics -------------------------------------------------
+
+TEST(Persistence, WriterDeathStallsWatermarkAndDiscardsPartials)
+{
+    // Node 2 dies at its first persist:enqueue — records of that
+    // epoch are lost with its volatile buffers, so the watermark can
+    // never pass the epoch and captures stop. Later durable records
+    // of the incomplete epoch are partials: a cold restart after a
+    // subsequent total loss must count and discard them, and the
+    // (older) stalled watermark must still restore bit-exactly.
+    Config cfg = persistConfig();
+    Cluster cluster(cfg);
+    Addr counter = cluster.mem().alloc(8);
+    cluster.injector().armFailpoint(2, failpoints::kPersistEnqueue, 1);
+    for (PhysNodeId p = 0; p < cfg.numNodes; ++p)
+        cluster.injector().killAt(p, 4 * kMillisecond);
+    RunOutcome out = runCounter(cluster, counter, 80);
+    ASSERT_TRUE(out.lost);
+
+    PersistManager *pm = cluster.persistManager();
+    ASSERT_NE(pm, nullptr);
+    EXPECT_TRUE(pm->stalled());
+    std::uint64_t stalled_wm = pm->watermark();
+
+    cluster.coldRestart();
+    cluster.run();
+
+    std::uint64_t value = 0;
+    cluster.debugRead(counter, &value, 8);
+    EXPECT_EQ(value, 80u * cfg.totalThreads());
+    Counters c = cluster.totalCounters();
+    EXPECT_GT(c.persistRecordsDropped, 0u);
+    EXPECT_GT(c.persistCapturesSkipped, 0u);
+    EXPECT_GT(c.persistPartialsDiscarded, 0u);
+    // The tier resumed after the restart: the stall is gone and the
+    // watermark moved past the frozen value.
+    EXPECT_FALSE(pm->stalled());
+    EXPECT_GT(pm->watermark(), stalled_wm);
+}
+
+// ---- Without the tier ------------------------------------------------
+
+TEST(Persistence, KillAllWithoutTierIsCleanReasonedLoss)
+{
+    Config cfg = ftConfig();
+    Cluster cluster(cfg);
+    Addr counter = cluster.mem().alloc(8);
+    for (PhysNodeId p = 0; p < cfg.numNodes; ++p)
+        cluster.injector().killAt(p, 2 * kMillisecond);
+    RunOutcome out = runCounter(cluster, counter, 60);
+    ASSERT_TRUE(out.lost);
+    EXPECT_EQ(out.code, LossReason::AllNodesFailed) << out.reason;
+    EXPECT_NE(out.reason.find("all-nodes-failed"), std::string::npos);
+    // The engine drained cleanly: a declared loss leaks no events.
+    EXPECT_EQ(cluster.engine().pendingEvents(), 0u);
+    EXPECT_EQ(cluster.totalCounters().coldRestarts, 0u);
+}
+
+} // namespace
+} // namespace rsvm

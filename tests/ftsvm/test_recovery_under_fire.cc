@@ -42,6 +42,7 @@ struct RunOutcome
 {
     std::uint64_t value = 0;
     bool lost = false;
+    LossReason code = LossReason::None;
     std::string reason;
 };
 
@@ -65,6 +66,7 @@ runCounter(Cluster &cluster, int iters)
         cluster.run();
     } catch (const ClusterLostError &e) {
         out.lost = true;
+        out.code = e.code();
         out.reason = e.what();
         return out;
     }
@@ -99,6 +101,7 @@ TEST_P(RecoveryUnderFire, VerifiedResumeOrCleanLoss)
         EXPECT_EQ(cluster.injector().killed().size(), 2u)
             << "declared lost without the double kill: " << out.reason;
         EXPECT_FALSE(out.reason.empty());
+        EXPECT_NE(out.code, LossReason::None) << out.reason;
         return;
     }
     EXPECT_EQ(out.value, 15u * cfg.totalThreads())
@@ -168,6 +171,7 @@ TEST(BackupChain, SimultaneousVictimAndBackupDeath)
     RunOutcome out = runCounter(cluster, 15);
     if (out.lost) {
         EXPECT_FALSE(out.reason.empty());
+        EXPECT_NE(out.code, LossReason::None) << out.reason;
         return;
     }
     EXPECT_EQ(out.value, 15u * cfg.totalThreads());
@@ -188,6 +192,7 @@ TEST(BackupChain, CascadeAcrossEveryRecoveryPointStillEnds)
     RunOutcome out = runCounter(cluster, 20);
     if (out.lost) {
         EXPECT_FALSE(out.reason.empty());
+        EXPECT_NE(out.code, LossReason::None) << out.reason;
         return;
     }
     EXPECT_EQ(out.value, 20u * cfg.totalThreads());

@@ -188,6 +188,10 @@ TEST_P(ChaosTest, FinalStateMatchesClosedForm)
         EXPECT_GE(c.kills + (c.migPoint ? 1u : 0u), 2u)
             << "single kill must never lose the cluster: " << e.what();
         EXPECT_FALSE(cluster.lostReason().empty());
+        // Every declared loss carries its exact machine-checkable
+        // reason, and the exception code matches the cluster's record.
+        EXPECT_NE(e.code(), LossReason::None);
+        EXPECT_EQ(e.code(), cluster.lostCode());
         return;
     }
 

@@ -49,20 +49,38 @@
  * A join armed but never reached — the workload finished first — is
  * "not-triggered", like any unfired failpoint.
  *
+ * With --kill-all the matrix adds whole-cluster-loss scenarios per
+ * app: every physical node is killed mid-run (simultaneously and
+ * staggered). With the persistence tier enabled the run must cold-
+ * restart from the persisted watermark and still verify bit-exact —
+ * including with a persist:* failpoint killing a node at every tier
+ * stage (enqueue, drain, watermark advance, restart scan, rebuild).
+ * With the tier disabled the same schedule must end in a clean,
+ * reason-coded ClusterLostError, never a crash.
+ *
+ * Every scenario runs under a wall-clock watchdog (--watchdog SECS,
+ * default 180, 0 disables): a hung scenario kills the process with
+ * exit code 2 instead of wedging CI.
+ *
  * Usage:
  *   fault_campaign [--apps fft,lu] [--max-kills 2] [--nodes 4]
- *                  [--net-faults RATE] [--join] [--out matrix.json]
+ *                  [--net-faults RATE] [--join] [--kill-all]
+ *                  [--watchdog SECS] [--out matrix.json]
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "apps/app_common.hh"
 #include "net/failure.hh"
 #include "runtime/cluster.hh"
+#include "runtime/persist_manager.hh"
 
 namespace {
 
@@ -99,6 +117,17 @@ struct Scenario
      */
     bool join = false;
     SimTime joinAt = 0;
+    /**
+     * Kill EVERY physical node at 3 ms (+ node index * killAllStagger).
+     * With @c persist the cluster must cold-restart from the durable
+     * watermark and verify; without it the run must end in a clean
+     * ClusterLostError. Entries in @c kills may arm persist:* points
+     * for an extra death at a tier stage.
+     */
+    bool killAll = false;
+    SimTime killAllStagger = 0;
+    /** Enable the async persistence tier. */
+    bool persist = false;
 };
 
 struct Outcome
@@ -117,6 +146,13 @@ struct Outcome
     std::uint64_t joinsCompleted = 0;
     std::uint64_t joinsRolledBack = 0;
     std::uint64_t bulkTransferBytes = 0;
+    std::string lossCode; // empty unless a ClusterLostError was seen
+    std::uint64_t coldRestarts = 0;
+    std::uint64_t coldRestartAttempts = 0;
+    std::uint64_t watermark = 0;
+    std::uint64_t persistRecordsDurable = 0;
+    std::uint64_t persistRecordsDropped = 0;
+    std::uint64_t persistPartialsDiscarded = 0;
 };
 
 std::vector<std::string>
@@ -176,6 +212,12 @@ runScenario(const Scenario &sc, std::uint32_t nodes, double net_rate)
             cfg.homingHysteresis = 1.1;
             cfg.homingCooldownEpochs = 1;
         }
+        if (sc.persist) {
+            cfg.persistEnabled = true;
+            // Dense capture epochs so several are durable before the
+            // 3 ms whole-cluster kill lands.
+            cfg.persistEpoch = 500 * kMicrosecond;
+        }
 
         apps::AppParams params = apps::defaultParams(sc.app);
         apps::AppInstance inst = apps::makeApp(sc.app, params);
@@ -194,6 +236,11 @@ runScenario(const Scenario &sc, std::uint32_t nodes, double net_rate)
             cluster.injector().killAt(kVictim, 2 * kMillisecond);
             cluster.joinManager()->scheduleJoin(sc.joinAt, kVictim);
         }
+        if (sc.killAll) {
+            for (PhysNodeId p = 0; p < nodes; ++p)
+                cluster.injector().killAt(
+                    p, 3 * kMillisecond + p * sc.killAllStagger);
+        }
         inst.setup(cluster);
         if (sc.homing) {
             // Scramble the app's tuned placement round-robin so the
@@ -205,7 +252,19 @@ runScenario(const Scenario &sc, std::uint32_t nodes, double net_rate)
                 as.setPrimaryHome(p, p % cfg.numNodes);
         }
         cluster.spawn(inst.threadFn);
-        cluster.run();
+        bool restarted = false;
+        try {
+            cluster.run();
+        } catch (const ClusterLostError &e) {
+            if (!(sc.killAll && sc.persist))
+                throw;
+            // The expected whole-cluster loss: restart from the
+            // durable watermark and run the application to completion.
+            out.lossCode = lossReasonName(e.code());
+            cluster.coldRestart();
+            restarted = true;
+            cluster.run();
+        }
 
         out.killsFired = cluster.injector().killed().size();
         Counters c = cluster.totalCounters();
@@ -220,7 +279,21 @@ runScenario(const Scenario &sc, std::uint32_t nodes, double net_rate)
         out.joinsCompleted = c.rejoins;
         out.joinsRolledBack = c.joinsRolledBack;
         out.bulkTransferBytes = c.bulkTransferBytes;
-        if (!sc.kills.empty() && out.killsFired == 0) {
+        out.coldRestarts = c.coldRestarts;
+        out.coldRestartAttempts = c.coldRestartAttempts;
+        out.persistRecordsDurable = c.persistRecordsDurable;
+        out.persistRecordsDropped = c.persistRecordsDropped;
+        out.persistPartialsDiscarded = c.persistPartialsDiscarded;
+        if (const PersistManager *pm = cluster.persistManager())
+            out.watermark = pm->watermark();
+        if (sc.killAll && sc.persist && !restarted) {
+            // The workload beat the 3 ms whole-cluster kill; nothing
+            // was proven (tiny configs only — must not count as pass).
+            out.verdict = "not-triggered";
+            out.detail = "workload finished before the kill-all";
+            return out;
+        }
+        if (!sc.killAll && !sc.kills.empty() && out.killsFired == 0) {
             out.verdict = "not-triggered";
             return out;
         }
@@ -256,11 +329,28 @@ runScenario(const Scenario &sc, std::uint32_t nodes, double net_rate)
         // destroy every copy of some state, and recovery said so.
         out.verdict = "unrecoverable";
         out.detail = e.what();
+        out.lossCode = lossReasonName(e.code());
     } catch (const std::exception &e) {
         out.verdict = "fail";
         out.detail = std::string("unexpected exception: ") + e.what();
     }
     return out;
+}
+
+// ---- Per-scenario wall-clock watchdog ---------------------------------
+// A wedged scenario (lost event, infinite retry) must kill the
+// process with a distinct exit code instead of hanging CI. The
+// message is pre-rendered before alarm() so the handler only write()s.
+
+char g_watchdogMsg[256] =
+    "fault_campaign: watchdog timeout\n";
+
+extern "C" void
+watchdogFired(int)
+{
+    ssize_t w = write(2, g_watchdogMsg, std::strlen(g_watchdogMsg));
+    (void)w;
+    _exit(2);
 }
 
 } // namespace
@@ -273,6 +363,8 @@ main(int argc, char **argv)
     std::uint32_t nodes = 4;
     double net_rate = 0.0;
     bool with_join = false;
+    bool with_kill_all = false;
+    unsigned watchdog_secs = 180;
     std::string out_path;
 
     for (int i = 1; i < argc; ++i) {
@@ -294,13 +386,19 @@ main(int argc, char **argv)
             net_rate = std::atof(value());
         } else if (arg == "--join") {
             with_join = true;
+        } else if (arg == "--kill-all") {
+            with_kill_all = true;
+        } else if (arg == "--watchdog") {
+            watchdog_secs =
+                static_cast<unsigned>(std::atoi(value()));
         } else if (arg == "--out") {
             out_path = value();
         } else {
             std::fprintf(stderr,
                          "usage: fault_campaign [--apps a,b] "
                          "[--max-kills N] [--nodes N] "
-                         "[--net-faults RATE] [--join] [--out f.json]\n");
+                         "[--net-faults RATE] [--join] [--kill-all] "
+                         "[--watchdog SECS] [--out f.json]\n");
             return 2;
         }
     }
@@ -367,6 +465,35 @@ main(int argc, char **argv)
                 }
             }
         }
+        if (with_kill_all) {
+            auto killAllScenario = [&app](bool persist, SimTime stagger,
+                                          std::vector<Kill> kills = {}) {
+                Scenario sc;
+                sc.app = app;
+                sc.kills = std::move(kills);
+                sc.killAll = true;
+                sc.killAllStagger = stagger;
+                sc.persist = persist;
+                return sc;
+            };
+            // No stable storage (the paper's model): a whole-cluster
+            // kill must end in a clean, reason-coded loss.
+            scenarios.push_back(killAllScenario(false, 0));
+            // With the tier: simultaneous and staggered total loss
+            // must cold-restart from the watermark and verify.
+            scenarios.push_back(killAllScenario(true, 0));
+            scenarios.push_back(
+                killAllScenario(true, 50 * kMicrosecond));
+            // A second death at every persistence-tier stage: the
+            // runtime-side points land during normal operation (an
+            // extra single failure before the total loss), the
+            // restart-side points land inside coldRestart() and force
+            // a rebuild retry.
+            for (const char *pp : failpoints::kPersistPoints) {
+                scenarios.push_back(killAllScenario(
+                    true, 0, {{kVictim, pp, 1}}));
+            }
+        }
         if (with_join) {
             // The victim dies at 2 ms; its recovery pass completes
             // around 36 ms of modeled time, so a 6 ms join request
@@ -397,11 +524,31 @@ main(int argc, char **argv)
         }
     }
 
+    if (watchdog_secs > 0)
+        std::signal(SIGALRM, watchdogFired);
+
     std::string json = "{\n  \"scenarios\": [\n";
     int n_pass = 0, n_lost = 0, n_idle = 0, n_fail = 0;
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
         const Scenario &sc = scenarios[i];
+        if (watchdog_secs > 0) {
+            std::snprintf(g_watchdogMsg, sizeof g_watchdogMsg,
+                          "fault_campaign: scenario %zu/%zu (%s) "
+                          "exceeded the %u s watchdog\n",
+                          i + 1, scenarios.size(), sc.app.c_str(),
+                          watchdog_secs);
+            alarm(watchdog_secs);
+        }
         Outcome o = runScenario(sc, nodes, net_rate);
+        if (watchdog_secs > 0)
+            alarm(0);
+        if (sc.killAll && sc.persist && o.verdict == "unrecoverable") {
+            // The persistence tier's whole contract: a total loss with
+            // the tier enabled must be survivable via cold restart.
+            o.verdict = "fail";
+            o.detail =
+                "cold restart failed to revive the cluster: " + o.detail;
+        }
         if (o.verdict == "unrecoverable" && sc.homing &&
             sc.kills.size() == 1) {
             // The migration handoff's crash-safety contract: one
@@ -433,9 +580,23 @@ main(int argc, char **argv)
         json += "    {\"app\": \"" + sc.app + "\", \"homing\": " +
                 (sc.homing ? "true" : "false") + ", \"stall\": " +
                 (sc.stall ? "true" : "false") + ", \"join\": " +
-                (sc.join ? "true" : "false") + ", \"kills\": [" +
+                (sc.join ? "true" : "false") + ", \"kill_all\": " +
+                (sc.killAll ? "true" : "false") + ", \"persist\": " +
+                (sc.persist ? "true" : "false") + ", \"kills\": [" +
                 kills + "], \"outcome\": \"" + o.verdict +
-                "\", \"kills_fired\": " + std::to_string(o.killsFired) +
+                "\", \"loss_code\": \"" + o.lossCode +
+                "\", \"cold_restarts\": " +
+                std::to_string(o.coldRestarts) +
+                ", \"cold_restart_attempts\": " +
+                std::to_string(o.coldRestartAttempts) +
+                ", \"watermark\": " + std::to_string(o.watermark) +
+                ", \"persist_records_durable\": " +
+                std::to_string(o.persistRecordsDurable) +
+                ", \"persist_records_dropped\": " +
+                std::to_string(o.persistRecordsDropped) +
+                ", \"persist_partials_discarded\": " +
+                std::to_string(o.persistPartialsDiscarded) +
+                ", \"kills_fired\": " + std::to_string(o.killsFired) +
                 ", \"recoveries\": " + std::to_string(o.recoveries) +
                 ", \"recovery_restarts\": " +
                 std::to_string(o.restarts) +
@@ -458,11 +619,13 @@ main(int argc, char **argv)
                 ", \"detail\": \"" + jsonEscape(o.detail) + "\"}";
         json += (i + 1 < scenarios.size()) ? ",\n" : "\n";
 
-        std::fprintf(stderr, "[%3zu/%zu] %-8s%s%s%s %-50s %s\n", i + 1,
-                     scenarios.size(), sc.app.c_str(),
+        std::fprintf(stderr, "[%3zu/%zu] %-8s%s%s%s%s%s %-50s %s\n",
+                     i + 1, scenarios.size(), sc.app.c_str(),
                      sc.homing ? " [homing]" : "",
                      sc.stall ? " [stall]" : "",
-                     sc.join ? " [join]" : "", kills.c_str(),
+                     sc.join ? " [join]" : "",
+                     sc.killAll ? " [kill-all]" : "",
+                     sc.persist ? " [persist]" : "", kills.c_str(),
                      o.verdict.c_str());
     }
     json += "  ],\n  \"summary\": {\"pass\": " +
